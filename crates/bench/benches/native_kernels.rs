@@ -1,0 +1,73 @@
+//! Criterion benches of the native kernels: the hydro mini-app step and the
+//! store/copy microbenchmarks with and without non-temporal stores.  These
+//! run on the host CPU, so the NT-store effect is real on x86-64.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use clover_leaf::{SimConfig, Simulation};
+use clover_ubench::copy::{copy_halo_ratio, CopyHaloPoint};
+use clover_machine::icelake_sp_8360y;
+
+/// One full timestep of the hydro mini-app on a small grid.
+fn hydro_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloverleaf_step");
+    g.sample_size(10);
+    for grid in [64usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
+            let config = SimConfig::small(grid, 1);
+            let mut sim = Simulation::new(&config, 0, 1);
+            b.iter(|| sim.step(None));
+        });
+    }
+    g.finish();
+}
+
+/// Native store kernel: plain vs. non-temporal stores (Fig. 5's native
+/// counterpart).
+fn native_store(c: &mut Criterion) {
+    let n = 4 << 20; // 32 MiB per array: larger than L3 share, memory bound.
+    let mut buf = vec![0.0f64; n];
+    let mut g = c.benchmark_group("native_store");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("plain", |b| b.iter(|| clover_ubench::native::store_plain(&mut buf, 1.0)));
+    g.bench_function("nontemporal", |b| {
+        b.iter(|| clover_ubench::native::store_nontemporal(&mut buf, 2.0))
+    });
+    g.finish();
+}
+
+/// Native copy-with-halo kernel for the Fig. 8 inner dimensions.
+fn native_copy_halo(c: &mut Criterion) {
+    let rows = 2048usize;
+    let mut g = c.benchmark_group("native_copy_halo");
+    g.sample_size(10);
+    for inner in [216usize, 1920] {
+        let stride = inner + 5;
+        let src = vec![1.0f64; rows * stride];
+        let mut dst = vec![0.0f64; rows * stride];
+        g.throughput(Throughput::Bytes((rows * inner * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("plain", inner), &inner, |b, &inner| {
+            b.iter(|| clover_ubench::native::copy_with_halo(&mut dst, &src, inner, 5, rows, false))
+        });
+        g.bench_with_input(BenchmarkId::new("nontemporal", inner), &inner, |b, &inner| {
+            b.iter(|| clover_ubench::native::copy_with_halo(&mut dst, &src, inner, 5, rows, true))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the simulated Fig. 8 point for reference alongside the native
+/// numbers (kept tiny so `cargo bench` stays quick).
+fn simulated_copy_halo_reference(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let mut g = c.benchmark_group("simulated_copy_halo_reference");
+    g.sample_size(10);
+    g.bench_function("inner216_halo5", |b| {
+        b.iter(|| -> CopyHaloPoint { copy_halo_ratio(&machine, 216, 5, true) })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hydro_step, native_store, native_copy_halo, simulated_copy_halo_reference);
+criterion_main!(benches);

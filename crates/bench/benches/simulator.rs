@@ -1,0 +1,85 @@
+//! Criterion benches of the simulator and the analytic models — one bench
+//! group per paper experiment family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clover_core::decomp::Decomposition;
+use clover_core::{ScalingModel, TrafficModel, TrafficOptions, TINY_GRID};
+use clover_machine::icelake_sp_8360y;
+use clover_perfmon::{measure_loop, MeasureConfig};
+use clover_stencil::loop_by_name;
+use clover_ubench::{copy_halo_ratio, store_ratio, StoreKind};
+
+/// Table I: analytic prediction of all 22 loops.
+fn table1_traffic_model(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let model = TrafficModel::new(machine);
+    let decomp = Decomposition::new(72, TINY_GRID, TINY_GRID);
+    c.bench_function("table1/predict_all_72_ranks", |b| {
+        b.iter(|| model.predict_all(&TrafficOptions::original(72), &decomp))
+    });
+}
+
+/// Fig. 2/3: the full 72-rank scaling sweep.
+fn fig2_scaling_sweep(c: &mut Criterion) {
+    let model = ScalingModel::new(icelake_sp_8360y());
+    let mut g = c.benchmark_group("fig2_scaling");
+    g.sample_size(10);
+    g.bench_function("sweep_72_ranks", |b| {
+        b.iter(|| model.sweep(72, TrafficOptions::original))
+    });
+    g.finish();
+}
+
+/// Fig. 5: the store-ratio microbenchmark through the cache simulator.
+fn fig5_store_ratio(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let mut g = c.benchmark_group("fig5_store_ratio");
+    g.sample_size(10);
+    for cores in [1usize, 18, 72] {
+        g.bench_with_input(BenchmarkId::new("normal_1stream", cores), &cores, |b, &cores| {
+            b.iter(|| store_ratio(&machine, cores, 1, StoreKind::Normal))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 8: the copy-with-halo microbenchmark through the cache simulator.
+fn fig8_copy_halo(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let mut g = c.benchmark_group("fig8_copy_halo");
+    g.sample_size(10);
+    for inner in [216usize, 1920] {
+        g.bench_with_input(BenchmarkId::new("halo5_pf_on", inner), &inner, |b, &inner| {
+            b.iter(|| copy_halo_ratio(&machine, inner, 5, true))
+        });
+    }
+    g.finish();
+}
+
+/// Row-sampled loop measurement (the Table I "measurement" path) and its
+/// ablation: sampling more rows should not change the balance, which is why
+/// row sampling is valid.
+fn table1_loop_measurement(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let spec = loop_by_name("am04").unwrap();
+    let mut g = c.benchmark_group("table1_loop_measurement");
+    g.sample_size(10);
+    for rows in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("am04_rows", rows), &rows, |b, &rows| {
+            let cfg = MeasureConfig { local_inner: 1920, rows, ..MeasureConfig::single_rank() };
+            b.iter(|| measure_loop(&machine, &spec, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_traffic_model,
+    fig2_scaling_sweep,
+    fig5_store_ratio,
+    fig8_copy_halo,
+    table1_loop_measurement
+);
+criterion_main!(benches);

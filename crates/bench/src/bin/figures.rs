@@ -1,0 +1,41 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures <experiment> [...]     # e.g. figures table1 fig2 fig5
+//! figures all                    # everything (takes a few minutes)
+//! figures list                   # show the available experiment names
+//! ```
+//!
+//! Output is CSV-like text on stdout, one block per experiment.
+
+use clover_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for e in EXPERIMENTS {
+            println!("  {e}");
+        }
+        return;
+    }
+    let requested: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in requested {
+        match run_experiment(name) {
+            Some(output) => {
+                println!("==== {name} ====");
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; run `figures list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! `clover-bench` — the figure/table regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation has a generator here
+//! that prints the corresponding rows/series as CSV-like text.  The
+//! `figures` binary dispatches on the experiment name; the Criterion benches
+//! under `benches/` measure the native kernels and the simulator itself.
+
+use clover_core::{
+    hotspot_profile, CommModel, OptimizationPlan, ScalingModel, TrafficModel, TrafficOptions,
+};
+use clover_core::decomp::Decomposition;
+use clover_core::TINY_GRID;
+use clover_machine::{icelake_sp_8360y, sapphire_rapids_8470, sapphire_rapids_8480, Machine};
+use clover_stencil::{cloverleaf_loops, CodeBalance, PAPER_MEASURED_SINGLE_CORE};
+use clover_ubench::{copy_halo_ratio, copy_volume_per_iteration, store_ratio, StoreKind};
+
+/// All experiment identifiers the harness knows about.
+pub const EXPERIMENTS: [&str; 12] = [
+    "listing2", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11",
+];
+
+/// Generate the output of one experiment.  Unknown names return `None`.
+pub fn run_experiment(name: &str) -> Option<String> {
+    match name {
+        "listing2" => Some(listing2()),
+        "table1" => Some(table1()),
+        "fig2" => Some(fig2()),
+        "fig3" => Some(fig3()),
+        "fig4" => Some(fig4()),
+        "fig5" => Some(fig5()),
+        "fig6" => Some(fig6()),
+        "fig7" => Some(fig7()),
+        "fig8" => Some(fig8()),
+        "fig9" => Some(fig9()),
+        "fig10" => Some(fig10()),
+        "fig11" => Some(fig11()),
+        _ => None,
+    }
+}
+
+fn icx() -> Machine {
+    icelake_sp_8360y()
+}
+
+/// Listing 2: the hotspot runtime profile at 72 ranks.
+pub fn listing2() -> String {
+    let mut out = String::from("function,share_percent\n");
+    for e in hotspot_profile(&icx(), 72) {
+        out.push_str(&format!("{},{:.2}\n", e.name, e.share * 100.0));
+    }
+    out
+}
+
+/// Table I: per-loop model inputs, code-balance bounds and the predicted
+/// single-core balance, next to the paper's measured value.
+pub fn table1() -> String {
+    let machine = icx();
+    let model = TrafficModel::new(machine);
+    let decomp = Decomposition::new(1, TINY_GRID, TINY_GRID);
+    let opts = TrafficOptions::original(1);
+    let mut out = String::from(
+        "loop,arrays,rd_lcf,rd_lcb,wr,rd_and_wr,flops,min,lcf_wa,lcb,max,predicted_1core,paper_measured_1core\n",
+    );
+    for spec in cloverleaf_loops() {
+        let b = CodeBalance::from_spec(&spec);
+        let t = model.predict_loop(&spec, &opts, &decomp);
+        let paper = PAPER_MEASURED_SINGLE_CORE
+            .iter()
+            .find(|(n, _)| *n == spec.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2}\n",
+            spec.name,
+            spec.array_count(),
+            spec.rd_lcf(),
+            spec.rd_lcb(),
+            spec.wr(),
+            spec.rd_and_wr(),
+            spec.flops,
+            b.min,
+            b.lcf_wa,
+            b.lcb,
+            b.max,
+            t.code_balance(),
+            paper
+        ));
+    }
+    out
+}
+
+/// Fig. 2: speedup and memory bandwidth versus rank count.
+pub fn fig2() -> String {
+    let model = ScalingModel::new(icx());
+    let mut out = String::from("ranks,prime,local_inner,speedup,bandwidth_gbs\n");
+    for p in model.sweep(72, TrafficOptions::original) {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.1}\n",
+            p.ranks,
+            p.prime as u8,
+            p.local_inner,
+            p.speedup,
+            p.memory_bandwidth / 1e9
+        ));
+    }
+    out
+}
+
+/// Fig. 3: per-loop code balance versus rank count.
+pub fn fig3() -> String {
+    let model = ScalingModel::new(icx());
+    let loops: Vec<String> = cloverleaf_loops().iter().map(|l| l.name.clone()).collect();
+    let mut out = format!("ranks,{}\n", loops.join(","));
+    for p in model.sweep(72, TrafficOptions::original) {
+        let balances: Vec<String> =
+            p.loop_balances.iter().map(|(_, b)| format!("{b:.2}")).collect();
+        out.push_str(&format!("{},{}\n", p.ranks, balances.join(",")));
+    }
+    out
+}
+
+/// Fig. 4: relative MPI time breakdown for the paper's rank counts.
+pub fn fig4() -> String {
+    let model = CommModel::new(icx());
+    let mut out = String::from("ranks,serial,waitall,allreduce,isend,reduce,barrier\n");
+    for s in model.figure4_points() {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            s.ranks, s.serial, s.waitall, s.allreduce, s.isend, s.reduce, s.barrier
+        ));
+    }
+    out
+}
+
+fn store_ratio_figure(machine: &Machine, step: usize) -> String {
+    let mut out = String::from("cores,st1,st2,st3,stnt1,stnt2,stnt3\n");
+    let mut cores = 1;
+    while cores <= machine.total_cores() {
+        let row: Vec<String> = (1..=3)
+            .map(|s| format!("{:.3}", store_ratio(machine, cores, s, StoreKind::Normal)))
+            .chain((1..=3).map(|s| {
+                format!("{:.3}", store_ratio(machine, cores, s, StoreKind::NonTemporal))
+            }))
+            .collect();
+        out.push_str(&format!("{},{}\n", cores, row.join(",")));
+        cores += step;
+    }
+    out
+}
+
+/// Fig. 5: store ratios on Ice Lake SP.
+pub fn fig5() -> String {
+    store_ratio_figure(&icx(), 3)
+}
+
+/// Fig. 6: copy-kernel data volume per iteration versus thread count.
+pub fn fig6() -> String {
+    let machine = icx();
+    let mut out = String::from("threads,read_bytes_per_it,write_bytes_per_it,itom_bytes_per_it\n");
+    for threads in 1..=36 {
+        let p = copy_volume_per_iteration(&machine, threads);
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{:.2}\n",
+            p.threads, p.read_bytes_per_it, p.write_bytes_per_it, p.itom_bytes_per_it
+        ));
+    }
+    out
+}
+
+/// Fig. 7: predicted vs. full-node code balance for the original and the
+/// optimized code.
+pub fn fig7() -> String {
+    let machine = icx();
+    let model = TrafficModel::new(machine.clone());
+    let decomp = Decomposition::new(72, TINY_GRID, TINY_GRID);
+    let plan = OptimizationPlan::build(&machine, 72);
+    let mut out = String::from("loop,prediction_min,prediction,original,optimized\n");
+    for (spec, advice) in cloverleaf_loops().iter().zip(&plan.loops) {
+        let bounds = CodeBalance::from_spec(spec);
+        let refined =
+            model.predict_loop(spec, &TrafficOptions::original(72), &decomp).code_balance();
+        out.push_str(&format!(
+            "{},{},{:.2},{:.2},{:.2}\n",
+            spec.name, bounds.min, refined, advice.original_balance, advice.optimized_balance
+        ));
+    }
+    out.push_str(&format!(
+        "# average improvement {:.1}%, max {:.1}%\n",
+        plan.average_improvement() * 100.0,
+        plan.max_improvement() * 100.0
+    ));
+    out
+}
+
+fn copy_halo_figure(machine: &Machine, with_pf_off: bool) -> String {
+    let mut out = String::from(
+        "halo,inner216,inner530,inner1920,inner216_pfoff,inner530_pfoff,inner1920_pfoff\n",
+    );
+    for halo in 0..=17usize {
+        let mut cells = Vec::new();
+        for &inner in &[216usize, 530, 1920] {
+            cells.push(format!("{:.3}", copy_halo_ratio(machine, inner, halo, true).ratio));
+        }
+        if with_pf_off {
+            for &inner in &[216usize, 530, 1920] {
+                cells.push(format!("{:.3}", copy_halo_ratio(machine, inner, halo, false).ratio));
+            }
+        } else {
+            cells.extend(["".into(), "".into(), "".into()]);
+        }
+        out.push_str(&format!("{},{}\n", halo, cells.join(",")));
+    }
+    out
+}
+
+/// Fig. 8: copy read-to-write ratio versus halo size on Ice Lake SP,
+/// prefetchers on and off.
+pub fn fig8() -> String {
+    copy_halo_figure(&icx(), true)
+}
+
+/// Fig. 9: store ratios on the SPR 8470 with SNC on and off.
+pub fn fig9() -> String {
+    let on = store_ratio_figure(&sapphire_rapids_8470(true), 8);
+    let off = store_ratio_figure(&sapphire_rapids_8470(false), 8);
+    format!("# SNC on\n{on}# SNC off\n{off}")
+}
+
+/// Fig. 10: store ratios on the SPR 8480+.
+pub fn fig10() -> String {
+    store_ratio_figure(&sapphire_rapids_8480(), 8)
+}
+
+/// Fig. 11: copy read-to-write ratio versus halo size on the SPR 8480+.
+pub fn fig11() -> String {
+    copy_halo_figure(&sapphire_rapids_8480(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_experiments_produce_output() {
+        for name in ["listing2", "table1", "fig4", "fig6", "fig7"] {
+            let out = run_experiment(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(out.lines().count() > 2, "{name} output too short");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_returns_none() {
+        assert!(run_experiment("fig99").is_none());
+    }
+
+    #[test]
+    fn table1_has_22_loop_rows() {
+        let t = table1();
+        assert_eq!(t.lines().count(), 23);
+        assert!(t.contains("am04,2,1,2,1,0,4,16,24,24,32"));
+    }
+
+    #[test]
+    fn listing2_totals_to_100_percent() {
+        let total: f64 = listing2()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 100.0).abs() < 0.5, "total {total}");
+    }
+
+    #[test]
+    fn fig7_reports_improvement_summary() {
+        let f = fig7();
+        assert!(f.contains("average improvement"));
+        assert_eq!(
+            f.lines().filter(|l| !l.starts_with('#') && !l.starts_with("loop")).count(),
+            22
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Memory access primitives.
+
+/// Cache-line size in bytes (64 on every evaluated platform).
+pub const LINE_BYTES: u64 = 64;
+
+/// Kind of memory access issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Ordinary load.
+    Load,
+    /// Ordinary (temporal) store; misses trigger a write-allocate unless the
+    /// hardware evades it.
+    Store,
+    /// Non-temporal (streaming) store; bypasses the cache hierarchy through
+    /// a write-combine buffer.
+    StoreNT,
+}
+
+impl AccessKind {
+    /// True for either store flavour.
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::StoreNT)
+    }
+}
+
+/// One memory access: a byte range `[addr, addr + bytes)` of a given kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Starting byte address (virtual, arbitrary origin).
+    pub addr: u64,
+    /// Length in bytes (typically 8 for a double).
+    pub bytes: u32,
+    /// Load / store / non-temporal store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for an 8-byte (double precision) load.
+    pub fn load8(addr: u64) -> Self {
+        Self { addr, bytes: 8, kind: AccessKind::Load }
+    }
+
+    /// Convenience constructor for an 8-byte (double precision) store.
+    pub fn store8(addr: u64) -> Self {
+        Self { addr, bytes: 8, kind: AccessKind::Store }
+    }
+
+    /// Convenience constructor for an 8-byte non-temporal store.
+    pub fn store8_nt(addr: u64) -> Self {
+        Self { addr, bytes: 8, kind: AccessKind::StoreNT }
+    }
+
+    /// First cache line touched by this access.
+    pub fn first_line(&self) -> u64 {
+        line_of(self.addr)
+    }
+
+    /// Last cache line touched by this access (inclusive).
+    pub fn last_line(&self) -> u64 {
+        line_of(self.addr + self.bytes.max(1) as u64 - 1)
+    }
+
+    /// Iterator over all cache-line indices touched by this access.
+    pub fn lines(&self) -> impl Iterator<Item = u64> {
+        self.first_line()..=self.last_line()
+    }
+}
+
+/// Cache-line index of a byte address.
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_of(130), 2);
+    }
+
+    #[test]
+    fn access_within_one_line() {
+        let a = Access::load8(16);
+        assert_eq!(a.first_line(), 0);
+        assert_eq!(a.last_line(), 0);
+        assert_eq!(a.lines().count(), 1);
+    }
+
+    #[test]
+    fn access_straddling_lines() {
+        let a = Access { addr: 60, bytes: 8, kind: AccessKind::Load };
+        assert_eq!(a.first_line(), 0);
+        assert_eq!(a.last_line(), 1);
+        assert_eq!(a.lines().count(), 2);
+    }
+
+    #[test]
+    fn store_kinds() {
+        assert!(AccessKind::Store.is_store());
+        assert!(AccessKind::StoreNT.is_store());
+        assert!(!AccessKind::Load.is_store());
+        assert_eq!(Access::store8(0).kind, AccessKind::Store);
+        assert_eq!(Access::store8_nt(0).kind, AccessKind::StoreNT);
+    }
+
+    #[test]
+    fn zero_length_access_touches_one_line() {
+        let a = Access { addr: 100, bytes: 0, kind: AccessKind::Load };
+        assert_eq!(a.lines().count(), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Node-level simulation: SPMD kernels across ranks with compact pinning.
+//!
+//! The microbenchmarks and the CloverLeaf traffic measurements run the same
+//! kernel on every rank (SPMD).  Ranks pinned to the same ccNUMA domain see
+//! the same occupancy, so their memory traffic is identical; the node
+//! simulator therefore simulates one *representative* core per distinct
+//! domain load and scales the counters — with an exact per-rank mode kept
+//! for validation (see the `row_sampling` ablation bench).
+
+use clover_machine::Machine;
+
+use crate::counters::MemCounters;
+use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
+use crate::prefetch::PrefetcherConfig;
+
+/// Configuration of one node-level simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine to simulate.
+    pub machine: Machine,
+    /// Number of ranks, pinned compactly (domain 0 fills first).
+    pub ranks: usize,
+    /// SpecI2M MSR switch.
+    pub speci2m_enabled: bool,
+    /// Hardware prefetcher configuration.
+    pub prefetchers: PrefetcherConfig,
+}
+
+impl SimConfig {
+    /// Default configuration: all features on, `ranks` ranks on `machine`.
+    pub fn new(machine: Machine, ranks: usize) -> Self {
+        Self { machine, ranks, speci2m_enabled: true, prefetchers: PrefetcherConfig::enabled() }
+    }
+
+    /// Disable SpecI2M (models clearing the MSR bit).
+    pub fn without_speci2m(mut self) -> Self {
+        self.speci2m_enabled = false;
+        self
+    }
+
+    /// Disable all hardware prefetchers.
+    pub fn without_prefetchers(mut self) -> Self {
+        self.prefetchers = PrefetcherConfig::disabled();
+        self
+    }
+
+    fn core_options(&self, cores_in_domain: usize) -> CoreSimOptions {
+        // Cores in the same socket share the L3; the share shrinks with the
+        // number of active cores on the socket.  Compact pinning puts
+        // `cores_in_domain * domains_per_socket`-ish cores on a socket; we
+        // approximate the share with the active cores of this domain times
+        // the domains per socket, capped at the hardware sharer count.
+        let sharers = (cores_in_domain * self.machine.topology.domains_per_socket())
+            .clamp(1, self.machine.caches.l3_sharers);
+        CoreSimOptions {
+            speci2m_enabled: self.speci2m_enabled,
+            prefetchers: self.prefetchers,
+            l3_sharers: sharers,
+        }
+    }
+}
+
+/// Aggregated result of a node-level simulation.
+#[derive(Debug, Clone)]
+pub struct NodeSimReport {
+    /// Number of ranks simulated.
+    pub ranks: usize,
+    /// Traffic counters summed over all ranks.
+    pub total: MemCounters,
+    /// Traffic counters of a single rank in the most loaded domain.
+    pub per_rank: MemCounters,
+    /// Active cores per ccNUMA domain (compact pinning).
+    pub cores_per_domain: Vec<usize>,
+}
+
+impl NodeSimReport {
+    /// Total memory data volume in bytes (read + write).
+    pub fn total_bytes(&self) -> f64 {
+        self.total.total_bytes()
+    }
+
+    /// Node-wide read-to-write ratio.
+    pub fn read_write_ratio(&self) -> f64 {
+        self.total.read_write_ratio()
+    }
+}
+
+/// Node-level SPMD simulator.
+#[derive(Debug, Clone)]
+pub struct NodeSim {
+    config: SimConfig,
+}
+
+impl NodeSim {
+    /// Create a simulator from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.ranks >= 1, "need at least one rank");
+        assert!(
+            config.ranks <= config.machine.total_cores(),
+            "cannot oversubscribe the node"
+        );
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run an SPMD kernel, simulating one representative core per distinct
+    /// domain occupancy and scaling the counters by the number of ranks at
+    /// that occupancy.
+    ///
+    /// The kernel receives the rank id it is standing in for and the core
+    /// simulator to drive.
+    pub fn run_spmd<F>(&self, kernel: F) -> NodeSimReport
+    where
+        F: Fn(usize, &mut CoreSim),
+    {
+        let machine = &self.config.machine;
+        let cores_per_domain = machine.topology.active_cores_per_domain(self.config.ranks);
+        let active_domains = cores_per_domain.iter().filter(|&&c| c > 0).count();
+
+        let mut total = MemCounters::new();
+        let mut per_rank = MemCounters::new();
+        let mut first = true;
+        let mut simulated: Vec<(usize, MemCounters)> = Vec::new();
+        let mut first_rank_of_domain = 0usize;
+        for &count in &cores_per_domain {
+            if count == 0 {
+                break;
+            }
+            // Re-use a previously simulated domain with the same load.
+            let counters = if let Some((_, c)) = simulated.iter().find(|(n, _)| *n == count) {
+                *c
+            } else {
+                let ctx = OccupancyContext::domain_load(machine, count, active_domains);
+                let mut core = CoreSim::new(machine, ctx, self.config.core_options(count));
+                kernel(first_rank_of_domain, &mut core);
+                let c = core.flush();
+                simulated.push((count, c));
+                c
+            };
+            if first {
+                per_rank = counters;
+                first = false;
+            }
+            total.merge(&counters.scaled(count as f64));
+            first_rank_of_domain += count;
+        }
+
+        NodeSimReport { ranks: self.config.ranks, total, per_rank, cores_per_domain }
+    }
+
+    /// Run an SPMD kernel simulating *every* rank individually.  Exact but
+    /// linearly more expensive; used to validate the representative-core
+    /// approximation.
+    pub fn run_spmd_exact<F>(&self, kernel: F) -> NodeSimReport
+    where
+        F: Fn(usize, &mut CoreSim),
+    {
+        let machine = &self.config.machine;
+        let cores_per_domain = machine.topology.active_cores_per_domain(self.config.ranks);
+        let active_domains = cores_per_domain.iter().filter(|&&c| c > 0).count();
+
+        let mut total = MemCounters::new();
+        let mut per_rank = MemCounters::new();
+        let mut rank = 0usize;
+        for &count in &cores_per_domain {
+            if count == 0 {
+                break;
+            }
+            let ctx = OccupancyContext::domain_load(machine, count, active_domains);
+            for _ in 0..count {
+                let mut core = CoreSim::new(machine, ctx, self.config.core_options(count));
+                kernel(rank, &mut core);
+                let c = core.flush();
+                if rank == 0 {
+                    per_rank = c;
+                }
+                total.merge(&c);
+                rank += 1;
+            }
+        }
+        NodeSimReport { ranks: self.config.ranks, total, per_rank, cores_per_domain }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::icelake_sp_8360y;
+
+    fn store_kernel(n: u64) -> impl Fn(usize, &mut CoreSim) {
+        move |rank, core| {
+            let base = (rank as u64) << 36;
+            for i in 0..n {
+                core.store(base + i * 8, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn representative_matches_exact_for_uniform_kernel() {
+        let m = icelake_sp_8360y();
+        let cfg = SimConfig::new(m, 4);
+        let sim = NodeSim::new(cfg);
+        let fast = sim.run_spmd(store_kernel(4096));
+        let exact = sim.run_spmd_exact(store_kernel(4096));
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+        assert!(rel(fast.total.read_lines, exact.total.read_lines) < 1e-9);
+        assert!(rel(fast.total.write_lines, exact.total.write_lines) < 1e-9);
+        assert!(rel(fast.total.itom_lines, exact.total.itom_lines.max(1e-12)) < 1e-9);
+    }
+
+    #[test]
+    fn scaling_store_ratio_drops_with_cores() {
+        let m = icelake_sp_8360y();
+        let ratio = |ranks: usize| {
+            let sim = NodeSim::new(SimConfig::new(m.clone(), ranks));
+            let rep = sim.run_spmd(store_kernel(4096));
+            rep.total_bytes() / rep.total.write_bytes()
+        };
+        let serial = ratio(1);
+        let saturated = ratio(18);
+        assert!(serial > 1.9, "serial store ratio ≈ 2, got {serial}");
+        assert!(saturated < 1.3, "saturated store ratio must drop, got {saturated}");
+    }
+
+    #[test]
+    fn new_domain_worsens_the_ratio_again() {
+        let m = icelake_sp_8360y();
+        let ratio = |ranks: usize| {
+            let sim = NodeSim::new(SimConfig::new(m.clone(), ranks));
+            let rep = sim.run_spmd(store_kernel(4096));
+            rep.total_bytes() / rep.total.write_bytes()
+        };
+        // 18 ranks saturate domain 0; 20 ranks put two lonely ranks on
+        // domain 1 whose stores cannot be evaded → node ratio rises.
+        assert!(ratio(20) > ratio(18));
+    }
+
+    #[test]
+    fn speci2m_off_keeps_ratio_at_two() {
+        let m = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(m, 36).without_speci2m());
+        let rep = sim.run_spmd(store_kernel(4096));
+        let ratio = rep.total_bytes() / rep.total.write_bytes();
+        assert!(ratio > 1.95, "without SpecI2M all stores write-allocate, got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn oversubscription_panics() {
+        let m = icelake_sp_8360y();
+        let cores = m.total_cores();
+        let _ = NodeSim::new(SimConfig::new(m, cores + 1));
+    }
+
+    #[test]
+    fn report_helpers() {
+        let m = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(m, 2));
+        let rep = sim.run_spmd(store_kernel(1024));
+        assert_eq!(rep.ranks, 2);
+        assert_eq!(rep.cores_per_domain.iter().sum::<usize>(), 2);
+        assert!(rep.total_bytes() > 0.0);
+        assert!(rep.read_write_ratio() > 0.0);
+    }
+}

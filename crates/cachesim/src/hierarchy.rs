@@ -1,0 +1,558 @@
+//! Per-core cache hierarchy simulation with write-allocate evasion.
+//!
+//! A [`CoreSim`] models one core's private L1/L2 caches plus its share of
+//! the socket's L3 cache, a write-coalescing store path with the SpecI2M
+//! engine, a non-temporal store path, and the hardware prefetchers.  It
+//! produces the memory-controller counters ([`MemCounters`]) for the access
+//! stream fed to it.
+//!
+//! Probabilistic micro-architectural events (evasion success, speculative
+//! reads, partial write-combine flushes) use fractional accounting so the
+//! results are deterministic.
+
+use clover_machine::speci2m::EvasionContext;
+use clover_machine::Machine;
+
+use crate::access::{Access, AccessKind};
+use crate::cache::{LookupResult, SetAssocCache};
+use crate::coalescer::{FinalizedLine, WriteCoalescer};
+use crate::counters::MemCounters;
+use crate::prefetch::{PrefetcherConfig, StreamerPrefetcher};
+
+/// Occupancy of the machine while this core runs: how loaded its ccNUMA
+/// domain is and how many domains of the node are populated.  This is what
+/// makes SpecI2M "dynamic-adaptive".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyContext {
+    /// Bandwidth utilisation (0..=1) of the core's ccNUMA domain.
+    pub domain_utilization: f64,
+    /// Number of ccNUMA domains with at least one active core.
+    pub active_domains: usize,
+    /// Total ccNUMA domains in the node.
+    pub total_domains: usize,
+}
+
+impl OccupancyContext {
+    /// Context of a single active core on an otherwise idle node.
+    pub fn serial(machine: &Machine) -> Self {
+        Self {
+            domain_utilization: machine.domain_utilization(1),
+            active_domains: 1,
+            total_domains: machine.topology.domains.len(),
+        }
+    }
+
+    /// Context for compact pinning of `total_ranks` ranks, seen from a core
+    /// in the most loaded domain.
+    pub fn compact(machine: &Machine, total_ranks: usize) -> Self {
+        let per_domain = machine.topology.active_cores_per_domain(total_ranks);
+        let active_domains = per_domain.iter().filter(|&&c| c > 0).count().max(1);
+        let busiest = per_domain.iter().copied().max().unwrap_or(1);
+        Self {
+            domain_utilization: machine.domain_utilization(busiest),
+            active_domains,
+            total_domains: machine.topology.domains.len(),
+        }
+    }
+
+    /// Context for a core running in a domain with `cores_in_domain` active
+    /// cores while `active_domains` domains of the node are populated.
+    pub fn domain_load(machine: &Machine, cores_in_domain: usize, active_domains: usize) -> Self {
+        Self {
+            domain_utilization: machine.domain_utilization(cores_in_domain),
+            active_domains: active_domains.max(1),
+            total_domains: machine.topology.domains.len(),
+        }
+    }
+}
+
+/// Simulation switches for one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSimOptions {
+    /// Whether the SpecI2M feature is enabled (MSR bit).
+    pub speci2m_enabled: bool,
+    /// Hardware prefetcher configuration.
+    pub prefetchers: PrefetcherConfig,
+    /// Number of cores actively sharing the L3 (determines this core's L3
+    /// share).  `1` gives the full L3 to this core.
+    pub l3_sharers: usize,
+}
+
+impl Default for CoreSimOptions {
+    fn default() -> Self {
+        Self {
+            speci2m_enabled: true,
+            prefetchers: PrefetcherConfig::enabled(),
+            l3_sharers: 1,
+        }
+    }
+}
+
+/// Cache hierarchy + store path of a single core.
+#[derive(Debug, Clone)]
+pub struct CoreSim {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    coalescer: WriteCoalescer,
+    nt_coalescer: WriteCoalescer,
+    streamer: StreamerPrefetcher,
+    options: CoreSimOptions,
+    ctx: OccupancyContext,
+    speci2m: clover_machine::SpecI2MParams,
+    counters: MemCounters,
+}
+
+impl CoreSim {
+    /// Build a core simulator for `machine` under the given occupancy and
+    /// options.
+    pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
+        let caches = &machine.caches;
+        let l3_share = (caches.l3.capacity_bytes / options.l3_sharers.max(1)).max(64 * 64);
+        Self {
+            l1: SetAssocCache::new(caches.l1.capacity_bytes, caches.l1.associativity),
+            l2: SetAssocCache::new(caches.l2.capacity_bytes, caches.l2.associativity),
+            l3: SetAssocCache::new(l3_share, caches.l3.associativity),
+            coalescer: WriteCoalescer::default(),
+            nt_coalescer: WriteCoalescer::default(),
+            streamer: StreamerPrefetcher::new(options.prefetchers.streamer_distance),
+            options,
+            ctx,
+            speci2m: machine.speci2m.clone(),
+            counters: MemCounters::new(),
+        }
+    }
+
+    /// The occupancy context this core was configured with.
+    pub fn context(&self) -> OccupancyContext {
+        self.ctx
+    }
+
+    /// Current counter snapshot (without flushing pending state).
+    pub fn counters(&self) -> MemCounters {
+        self.counters
+    }
+
+    /// Feed a single access.
+    pub fn access(&mut self, access: Access) {
+        match access.kind {
+            AccessKind::Load => {
+                for line in access.lines() {
+                    self.load_line(line);
+                }
+            }
+            AccessKind::Store => {
+                let events = self.coalescer.store(access.addr, access.bytes);
+                for ev in events {
+                    self.handle_store_line(ev);
+                }
+            }
+            AccessKind::StoreNT => {
+                let events = self.nt_coalescer.store(access.addr, access.bytes);
+                for ev in events {
+                    self.handle_nt_line(ev);
+                }
+            }
+        }
+    }
+
+    /// Feed a load of `bytes` bytes at `addr`.
+    pub fn load(&mut self, addr: u64, bytes: u32) {
+        self.access(Access { addr, bytes, kind: AccessKind::Load });
+    }
+
+    /// Feed a store of `bytes` bytes at `addr`.
+    pub fn store(&mut self, addr: u64, bytes: u32) {
+        self.access(Access { addr, bytes, kind: AccessKind::Store });
+    }
+
+    /// Feed a non-temporal store of `bytes` bytes at `addr`.
+    pub fn store_nt(&mut self, addr: u64, bytes: u32) {
+        self.access(Access { addr, bytes, kind: AccessKind::StoreNT });
+    }
+
+    /// Finalize pending store streams and flush dirty cache lines to memory.
+    /// Must be called at the end of a measurement region; returns the final
+    /// counters.
+    pub fn flush(&mut self) -> MemCounters {
+        let events = self.coalescer.flush();
+        for ev in events {
+            self.handle_store_line(ev);
+        }
+        let nt_events = self.nt_coalescer.flush();
+        for ev in nt_events {
+            self.handle_nt_line(ev);
+        }
+        // Write back every dirty line exactly once (inclusive hierarchy).
+        let mut dirty: Vec<u64> = Vec::new();
+        dirty.extend(self.l1.flush_dirty());
+        dirty.extend(self.l2.flush_dirty());
+        dirty.extend(self.l3.flush_dirty());
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.counters.write_lines += dirty.len() as f64;
+        self.counters
+    }
+
+    fn hierarchy_hit(&mut self, line: u64, write: bool) -> bool {
+        if self.l1.touch(line, write) == LookupResult::Hit {
+            return true;
+        }
+        if self.l2.touch(line, write) == LookupResult::Hit {
+            // Promote to L1 (clean copy; the dirty bit stays in L2).
+            self.fill_upper(line, false, 1);
+            return true;
+        }
+        if self.l3.touch(line, write) == LookupResult::Hit {
+            self.fill_upper(line, false, 2);
+            return true;
+        }
+        false
+    }
+
+    /// Fill a line into the upper levels (L1 and optionally L2), cascading
+    /// dirty evictions downwards without generating memory traffic.
+    fn fill_upper(&mut self, line: u64, dirty: bool, levels: usize) {
+        if levels >= 2 {
+            if let Some(ev) = self.l2.fill(line, dirty) {
+                if ev.dirty {
+                    // Dirty eviction from L2 lands in L3 (present or not).
+                    if self.l3.touch(ev.line, true) == LookupResult::Miss {
+                        if let Some(ev3) = self.l3.fill(ev.line, true) {
+                            if ev3.dirty {
+                                self.counters.write_lines += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(ev) = self.l1.fill(line, dirty) {
+            if ev.dirty {
+                if self.l2.touch(ev.line, true) == LookupResult::Miss {
+                    if let Some(ev2) = self.l2.fill(ev.line, true) {
+                        if ev2.dirty {
+                            if self.l3.touch(ev2.line, true) == LookupResult::Miss {
+                                if let Some(ev3) = self.l3.fill(ev2.line, true) {
+                                    if ev3.dirty {
+                                        self.counters.write_lines += 1.0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fill a line into the whole hierarchy after a memory read or an ITOM
+    /// claim.  The dirty bit is kept at the L3 level only so the eventual
+    /// write-back is counted exactly once.
+    fn fill_all(&mut self, line: u64, dirty: bool) {
+        if let Some(ev) = self.l3.fill(line, dirty) {
+            if ev.dirty {
+                self.counters.write_lines += 1.0;
+            }
+        }
+        self.fill_upper(line, false, 2);
+    }
+
+    /// Fill a prefetched line into L3 only.
+    fn fill_prefetch(&mut self, line: u64) {
+        if self.l3.contains(line) {
+            return;
+        }
+        self.counters.read_lines += 1.0;
+        self.counters.prefetch_lines += 1.0;
+        if let Some(ev) = self.l3.fill(line, false) {
+            if ev.dirty {
+                self.counters.write_lines += 1.0;
+            }
+        }
+    }
+
+    fn load_line(&mut self, line: u64) {
+        if self.hierarchy_hit(line, false) {
+            return;
+        }
+        // Demand miss: read from memory.
+        self.counters.read_lines += 1.0;
+        self.fill_all(line, false);
+        // Prefetchers react to demand misses.
+        if self.options.prefetchers.adjacent_line {
+            let buddy = line ^ 1;
+            self.fill_prefetch(buddy);
+        }
+        if self.options.prefetchers.streamer {
+            let pf_lines = self.streamer.on_demand_miss(line);
+            for pf in pf_lines {
+                self.fill_prefetch(pf);
+            }
+        }
+    }
+
+    fn evasion_context(&self, ev: &FinalizedLine) -> EvasionContext {
+        EvasionContext {
+            domain_utilization: self.ctx.domain_utilization,
+            active_domains: self.ctx.active_domains,
+            total_domains: self.ctx.total_domains,
+            store_streams: ev.active_streams.max(1),
+            streak_lines: ev.streak_estimate.max(1.0),
+        }
+    }
+
+    fn handle_store_line(&mut self, ev: FinalizedLine) {
+        if self.hierarchy_hit(ev.line, true) {
+            // Store hit: no memory traffic now; the dirty line is written
+            // back on eviction.
+            return;
+        }
+        let ectx = self.evasion_context(&ev);
+        let params = if self.options.speci2m_enabled {
+            self.speci2m.clone()
+        } else {
+            self.speci2m.switched_off()
+        };
+        let pf_factor = self.options.prefetchers.evasion_factor();
+        let (evaded, spec_read) = if ev.full {
+            let e = params.evasion_fraction(&ectx) * pf_factor;
+            let s = params.speculative_read_fraction(&ectx);
+            (e.clamp(0.0, 1.0), s)
+        } else {
+            // Partially written lines can never be claimed without a read;
+            // under load they still trigger speculative activity.
+            (0.0, params.speculative_read_fraction(&ectx))
+        };
+        self.counters.itom_lines += evaded;
+        self.counters.write_allocate_lines += 1.0 - evaded;
+        self.counters.read_lines += 1.0 - evaded;
+        self.counters.read_lines += spec_read;
+        self.counters.speculative_read_lines += spec_read;
+        // The line now lives dirty in the hierarchy either way.
+        self.fill_all(ev.line, true);
+    }
+
+    fn handle_nt_line(&mut self, ev: FinalizedLine) {
+        // NT stores bypass the hierarchy; stale copies must be invalidated.
+        self.l1.invalidate(ev.line);
+        self.l2.invalidate(ev.line);
+        self.l3.invalidate(ev.line);
+        self.counters.write_lines += 1.0;
+        if ev.full {
+            // Under heavy load a fraction of write-combine buffers is
+            // flushed early, causing a read-modify-write.
+            let frac = self.speci2m.nt_partial_flush_fraction(
+                self.ctx.domain_utilization,
+                self.ctx.active_domains,
+                self.ctx.total_domains,
+            );
+            self.counters.read_lines += frac;
+        } else {
+            self.counters.read_lines += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::icelake_sp_8360y;
+
+    fn serial_core(machine: &Machine) -> CoreSim {
+        CoreSim::new(machine, OccupancyContext::serial(machine), CoreSimOptions::default())
+    }
+
+    fn loaded_core(machine: &Machine) -> CoreSim {
+        // Full node: every domain saturated.
+        let ctx = OccupancyContext::compact(machine, machine.total_cores());
+        CoreSim::new(machine, ctx, CoreSimOptions { l3_sharers: 36, ..Default::default() })
+    }
+
+    /// Stream `n` doubles: load from `src`, store to `dst`.
+    fn copy_kernel(core: &mut CoreSim, src: u64, dst: u64, n: u64, nt: bool) {
+        for i in 0..n {
+            core.load(src + 8 * i, 8);
+            if nt {
+                core.store_nt(dst + 8 * i, 8);
+            } else {
+                core.store(dst + 8 * i, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_load_sweep_reads_each_line_once() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        let n = 8 * 1024u64; // 64 KiB of doubles = 1024 lines
+        for i in 0..n {
+            core.load(i * 8, 8);
+        }
+        let c = core.flush();
+        // Prefetchers may overfetch a few lines past the end, but the order
+        // of magnitude must be exactly one read per line and no writes.
+        assert!(c.read_lines >= 1024.0);
+        assert!(c.read_lines <= 1100.0, "read lines = {}", c.read_lines);
+        assert_eq!(c.write_lines, 0.0);
+    }
+
+    #[test]
+    fn serial_copy_has_write_allocates() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        let n = 8 * 4096u64;
+        copy_kernel(&mut core, 0, 1 << 30, n, false);
+        let c = core.flush();
+        let lines = (n / 8) as f64;
+        // Serial: SpecI2M inactive → every store line needs a write-allocate.
+        // Read = source + WA ≈ 2 lines/iteration-line, write = 1.
+        assert!(c.write_allocate_lines > 0.95 * lines, "WA = {}", c.write_allocate_lines);
+        assert!((c.read_lines / lines - 2.0).abs() < 0.15, "reads/line = {}", c.read_lines / lines);
+        assert!((c.write_lines / lines - 1.0).abs() < 0.05);
+        assert!(c.itom_lines < 0.05 * lines);
+    }
+
+    #[test]
+    fn loaded_copy_evades_write_allocates() {
+        let m = icelake_sp_8360y();
+        let mut core = loaded_core(&m);
+        let n = 8 * 4096u64;
+        copy_kernel(&mut core, 0, 1 << 30, n, false);
+        let c = core.flush();
+        let lines = (n / 8) as f64;
+        // Under full-node load SpecI2M claims most store lines via ITOM.
+        assert!(c.itom_lines > 0.6 * lines, "itom = {} of {}", c.itom_lines, lines);
+        assert!(c.read_lines / lines < 1.5);
+        // The read/write ratio approaches 1 (paper Fig. 6 / Fig. 8).
+        assert!(c.read_write_ratio() < 1.5);
+    }
+
+    #[test]
+    fn speci2m_disabled_restores_write_allocates() {
+        let m = icelake_sp_8360y();
+        let ctx = OccupancyContext::compact(&m, m.total_cores());
+        let mut core = CoreSim::new(
+            &m,
+            ctx,
+            CoreSimOptions { speci2m_enabled: false, l3_sharers: 36, ..Default::default() },
+        );
+        let n = 8 * 4096u64;
+        copy_kernel(&mut core, 0, 1 << 30, n, false);
+        let c = core.flush();
+        let lines = (n / 8) as f64;
+        assert!(c.itom_lines < 1e-9);
+        assert!(c.read_lines / lines > 1.9, "without SpecI2M every store needs a WA");
+    }
+
+    #[test]
+    fn nt_stores_avoid_write_allocates_when_serial() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        let n = 8 * 4096u64;
+        copy_kernel(&mut core, 0, 1 << 30, n, true);
+        let c = core.flush();
+        let lines = (n / 8) as f64;
+        // NT stores: read only the source, write the destination once.
+        assert!((c.read_lines / lines - 1.0).abs() < 0.1, "reads/line = {}", c.read_lines / lines);
+        assert!((c.write_lines / lines - 1.0).abs() < 0.05);
+        assert_eq!(c.write_allocate_lines, 0.0);
+    }
+
+    #[test]
+    fn nt_stores_degrade_slightly_under_full_node_load() {
+        let m = icelake_sp_8360y();
+        let mut serial = serial_core(&m);
+        let mut loaded = loaded_core(&m);
+        let n = 8 * 4096u64;
+        copy_kernel(&mut serial, 0, 1 << 30, n, true);
+        copy_kernel(&mut loaded, 0, 1 << 30, n, true);
+        let cs = serial.flush();
+        let cl = loaded.flush();
+        // Store ratio (traffic per byte written): rises from ~1.0 towards
+        // ~1.16 on the full node (Fig. 5 NT curves).
+        let extra_serial = cs.read_lines / cs.write_lines;
+        let extra_loaded = cl.read_lines / cl.write_lines;
+        assert!(extra_loaded > extra_serial);
+        assert!(extra_loaded - 1.0 < 0.4);
+    }
+
+    #[test]
+    fn short_rows_evade_less_than_long_rows() {
+        let m = icelake_sp_8360y();
+        let n_rows = 64u64;
+        let mut ratios = Vec::new();
+        for inner in [216u64, 1920u64] {
+            let mut core = loaded_core(&m);
+            // Copy row by row with a 5-element halo gap between rows, as the
+            // prime-rank decomposition produces.
+            for row in 0..n_rows {
+                let src = row * (inner + 5) * 8;
+                let dst = (1 << 32) + row * (inner + 5) * 8;
+                copy_kernel(&mut core, src, dst, inner, false);
+            }
+            let c = core.flush();
+            ratios.push(c.read_write_ratio());
+        }
+        assert!(
+            ratios[0] > ratios[1] + 0.05,
+            "short inner dimension must have a worse read/write ratio: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn store_hit_generates_no_memory_read() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        // Load a small array (fits in L1), then overwrite it.
+        for i in 0..64u64 {
+            core.load(i * 8, 8);
+        }
+        let after_loads = core.counters();
+        for i in 0..64u64 {
+            core.store(i * 8, 8);
+        }
+        let c = core.flush();
+        assert_eq!(c.read_lines, after_loads.read_lines, "stores hit in cache: no extra reads");
+        assert!(c.write_lines >= 8.0, "dirty lines must be written back");
+    }
+
+    #[test]
+    fn flush_is_idempotent_for_writes() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        for i in 0..512u64 {
+            core.store(i * 8, 8);
+        }
+        let c1 = core.flush();
+        let c2 = core.flush();
+        assert_eq!(c1.write_lines, c2.write_lines, "second flush must not add writes");
+    }
+
+    #[test]
+    fn prefetchers_off_increase_wa_for_partial_lines() {
+        let m = icelake_sp_8360y();
+        let mk = |pf: PrefetcherConfig| {
+            let ctx = OccupancyContext::compact(&m, m.total_cores());
+            CoreSim::new(&m, ctx, CoreSimOptions { prefetchers: pf, l3_sharers: 36, ..Default::default() })
+        };
+        let run = |core: &mut CoreSim| {
+            for row in 0..64u64 {
+                let base = row * (216 + 3) * 8;
+                for i in 0..216u64 {
+                    core.load((1 << 33) + base + i * 8, 8);
+                    core.store(base + i * 8, 8);
+                }
+            }
+            core.flush()
+        };
+        let on = run(&mut mk(PrefetcherConfig::enabled()));
+        let off = run(&mut mk(PrefetcherConfig::disabled()));
+        assert!(
+            off.read_write_ratio() > on.read_write_ratio(),
+            "PF off must increase the read/write ratio: on={} off={}",
+            on.read_write_ratio(),
+            off.read_write_ratio()
+        );
+    }
+}

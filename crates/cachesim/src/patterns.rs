@@ -1,0 +1,272 @@
+//! Reusable access-pattern generators.
+//!
+//! The microbenchmarks (`clover-ubench`) and the row-sampled CloverLeaf
+//! traffic measurements (`clover-perfmon`) drive the core simulator with a
+//! small set of canonical patterns: contiguous array sweeps, row-wise sweeps
+//! with halo gaps, and multi-array stencil row sweeps.
+
+use crate::access::AccessKind;
+use crate::hierarchy::CoreSim;
+
+/// Size of a double-precision element in bytes.
+pub const ELEM_BYTES: u64 = 8;
+
+/// A contiguous sweep over `elements` doubles starting at `base`.
+#[derive(Debug, Clone, Copy)]
+pub struct ArraySweep {
+    /// First byte address of the array.
+    pub base: u64,
+    /// Number of double elements.
+    pub elements: u64,
+    /// Kind of access performed on each element.
+    pub kind: AccessKind,
+}
+
+impl ArraySweep {
+    /// Drive the sweep through a core simulator.
+    pub fn drive(&self, core: &mut CoreSim) {
+        for i in 0..self.elements {
+            let addr = self.base + i * ELEM_BYTES;
+            match self.kind {
+                AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
+                AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
+                AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
+            }
+        }
+    }
+
+    /// Total bytes explicitly touched by the sweep.
+    pub fn touched_bytes(&self) -> u64 {
+        self.elements * ELEM_BYTES
+    }
+}
+
+/// A row-wise sweep: `rows` rows of `inner` doubles each, separated by a
+/// halo gap of `halo` doubles that is *not* touched — the access pattern of
+/// a rank that owns a narrow strip of a larger grid (the copy-with-halo
+/// microbenchmark of Figs. 8 and 11).
+#[derive(Debug, Clone, Copy)]
+pub struct RowSweep {
+    /// First byte address of the first row.
+    pub base: u64,
+    /// Touched elements per row.
+    pub inner: u64,
+    /// Untouched halo elements between consecutive rows.
+    pub halo: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Kind of access performed on each element.
+    pub kind: AccessKind,
+}
+
+impl RowSweep {
+    /// Row stride in elements (touched + halo).
+    pub fn stride_elements(&self) -> u64 {
+        self.inner + self.halo
+    }
+
+    /// Byte address of element `i` in row `row`.
+    pub fn addr(&self, row: u64, i: u64) -> u64 {
+        self.base + (row * self.stride_elements() + i) * ELEM_BYTES
+    }
+
+    /// Drive the sweep through a core simulator.
+    pub fn drive(&self, core: &mut CoreSim) {
+        for row in 0..self.rows {
+            for i in 0..self.inner {
+                let addr = self.addr(row, i);
+                match self.kind {
+                    AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
+                    AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
+                    AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
+                }
+            }
+        }
+    }
+
+    /// Total bytes explicitly touched.
+    pub fn touched_bytes(&self) -> u64 {
+        self.rows * self.inner * ELEM_BYTES
+    }
+}
+
+/// One array operand of a stencil row sweep.
+#[derive(Debug, Clone)]
+pub struct StencilOperand {
+    /// Base byte address of the array.
+    pub base: u64,
+    /// Offsets accessed relative to the centre point, in (di, dk) element
+    /// units where `di` moves along the inner dimension and `dk` along the
+    /// outer (row) dimension.
+    pub offsets: Vec<(i64, i64)>,
+    /// Kind of access for this operand.
+    pub kind: AccessKind,
+}
+
+/// A row-wise sweep of a 2D stencil over several arrays: the access pattern
+/// of one CloverLeaf hotspot loop restricted to a band of rows.
+///
+/// All arrays share the same logical grid layout: row stride
+/// `row_stride` elements, the sweep covers rows `k0..k0+rows` and inner
+/// indices `i0..i0+inner`.
+#[derive(Debug, Clone)]
+pub struct StencilRowSweep {
+    /// Arrays read/written by the loop body, with their stencil offsets.
+    pub operands: Vec<StencilOperand>,
+    /// Row stride of the grid in elements (including halos).
+    pub row_stride: u64,
+    /// First inner index of the sweep.
+    pub i0: u64,
+    /// Number of inner iterations per row.
+    pub inner: u64,
+    /// First row of the sweep.
+    pub k0: u64,
+    /// Number of rows.
+    pub rows: u64,
+}
+
+impl StencilRowSweep {
+    /// Byte address of logical grid point `(i, k)` of an operand.
+    fn addr(&self, base: u64, i: i64, k: i64) -> u64 {
+        let idx = k * self.row_stride as i64 + i;
+        debug_assert!(idx >= 0, "stencil access out of the allocated halo region");
+        base + idx as u64 * ELEM_BYTES
+    }
+
+    /// Drive the sweep through a core simulator in the loop order of the
+    /// Fortran source: outer loop over rows, inner loop over `i`, reads
+    /// before the write of each iteration.
+    pub fn drive(&self, core: &mut CoreSim) {
+        for k in self.k0..self.k0 + self.rows {
+            for i in self.i0..self.i0 + self.inner {
+                for op in &self.operands {
+                    for &(di, dk) in &op.offsets {
+                        let addr = self.addr(op.base, i as i64 + di, k as i64 + dk);
+                        match op.kind {
+                            AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
+                            AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
+                            AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of grid-point updates performed by the sweep.
+    pub fn iterations(&self) -> u64 {
+        self.inner * self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{CoreSimOptions, OccupancyContext};
+    use clover_machine::icelake_sp_8360y;
+
+    fn serial_core() -> CoreSim {
+        let m = icelake_sp_8360y();
+        CoreSim::new(&m, OccupancyContext::serial(&m), CoreSimOptions::default())
+    }
+
+    #[test]
+    fn array_sweep_load_volume() {
+        let mut core = serial_core();
+        let sweep = ArraySweep { base: 0, elements: 8192, kind: AccessKind::Load };
+        sweep.drive(&mut core);
+        let c = core.flush();
+        let expected_lines = 8192.0 / 8.0;
+        assert!(c.read_lines >= expected_lines);
+        assert!(c.read_lines <= expected_lines * 1.05);
+        assert_eq!(sweep.touched_bytes(), 8192 * 8);
+    }
+
+    #[test]
+    fn row_sweep_addressing() {
+        let r = RowSweep { base: 1000, inner: 216, halo: 5, rows: 3, kind: AccessKind::Store };
+        assert_eq!(r.stride_elements(), 221);
+        assert_eq!(r.addr(0, 0), 1000);
+        assert_eq!(r.addr(1, 0), 1000 + 221 * 8);
+        assert_eq!(r.touched_bytes(), 3 * 216 * 8);
+    }
+
+    #[test]
+    fn row_sweep_store_generates_writes() {
+        let mut core = serial_core();
+        let r = RowSweep { base: 0, inner: 216, halo: 5, rows: 8, kind: AccessKind::Store };
+        r.drive(&mut core);
+        let c = core.flush();
+        let touched_lines = r.touched_bytes() as f64 / 64.0;
+        assert!(c.write_lines >= touched_lines * 0.95);
+        // Serial run: every written line needs a write-allocate read.
+        assert!(c.read_lines >= touched_lines * 0.9);
+    }
+
+    #[test]
+    fn stencil_row_sweep_copy_traffic() {
+        // A plain copy stencil: read b(i,k), write a(i,k).
+        let mut core = serial_core();
+        let stride = 2048u64;
+        let sweep = StencilRowSweep {
+            operands: vec![
+                StencilOperand { base: 1 << 30, offsets: vec![(0, 0)], kind: AccessKind::Load },
+                StencilOperand { base: 1 << 31, offsets: vec![(0, 0)], kind: AccessKind::Store },
+            ],
+            row_stride: stride,
+            i0: 0,
+            inner: stride,
+            k0: 1,
+            rows: 4,
+        };
+        sweep.drive(&mut core);
+        let c = core.flush();
+        let it = sweep.iterations() as f64;
+        // Per iteration: 8 B read (b) + 8 B WA (a, serial) + 8 B write (a).
+        let bytes_per_it = c.total_bytes() / it;
+        assert!((bytes_per_it - 24.0).abs() < 2.0, "bytes/it = {bytes_per_it}");
+    }
+
+    #[test]
+    fn stencil_four_point_layer_condition_satisfied() {
+        // y(i,k) = f(x(i,k±1), x(i±1,k)) with a row length small enough for
+        // the layer condition: x should be read from memory only once.
+        let mut core = serial_core();
+        let stride = 1024u64; // 8 KiB per row: 3 rows easily fit in L2
+        let sweep = StencilRowSweep {
+            operands: vec![
+                StencilOperand {
+                    base: 1 << 30,
+                    offsets: vec![(0, 1), (-1, 0), (1, 0), (0, -1)],
+                    kind: AccessKind::Load,
+                },
+                StencilOperand { base: 1 << 31, offsets: vec![(0, 0)], kind: AccessKind::Store },
+            ],
+            row_stride: stride,
+            i0: 1,
+            inner: stride - 2,
+            k0: 1,
+            rows: 16,
+        };
+        sweep.drive(&mut core);
+        let c = core.flush();
+        let it = sweep.iterations() as f64;
+        // Layer condition fulfilled: x read once (8 B/it) + WA (8) + write (8)
+        // ≈ 24 B/it (plus halo rows overhead).
+        let bytes_per_it = c.total_bytes() / it;
+        assert!(bytes_per_it < 30.0, "LC satisfied should give ~24-26 B/it, got {bytes_per_it}");
+    }
+
+    #[test]
+    fn stencil_iterations_count() {
+        let sweep = StencilRowSweep {
+            operands: vec![],
+            row_stride: 100,
+            i0: 2,
+            inner: 50,
+            k0: 3,
+            rows: 7,
+        };
+        assert_eq!(sweep.iterations(), 350);
+    }
+}

@@ -1,0 +1,205 @@
+//! Hardware prefetcher models: adjacent-line and streamer prefetch.
+//!
+//! The paper's Fig. 8 compares the copy microbenchmark with all hardware
+//! prefetchers enabled and disabled ("PF off").  Two effects matter for the
+//! memory traffic:
+//!
+//! * the **adjacent-line prefetcher** fetches the buddy line of every demand
+//!   miss, effectively doubling the line size — harmless for long sequential
+//!   streams (the buddy is needed anyway) but wasteful for short rows;
+//! * the **streamer** runs ahead of sequential miss streams and keeps the
+//!   line-fill buffers busy; the paper observes that active prefetchers and
+//!   long streams *help* SpecI2M, while disabling them makes the
+//!   read-to-write ratio rise drastically for partially written lines.
+//!
+//! The streamer here detects ascending sequential misses within 4 KiB pages
+//! and issues a configurable number of prefetch requests ahead of the
+//! demand stream.
+
+use crate::cache::LruTable;
+
+/// Page size used for stream detection (prefetchers do not cross 4 KiB
+/// boundaries).
+const PAGE_LINES: u64 = 4096 / 64;
+
+/// Configuration of the hardware prefetchers of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetcherConfig {
+    /// Adjacent-line ("buddy") prefetcher enabled.
+    pub adjacent_line: bool,
+    /// Streamer prefetcher enabled.
+    pub streamer: bool,
+    /// How many lines the streamer runs ahead of the demand stream.
+    pub streamer_distance: u64,
+    /// Multiplier applied to the SpecI2M evasion efficiency when the
+    /// prefetchers are *disabled* (the paper observes prefetchers assist
+    /// the feature; "PF off" makes the read-to-write ratio rise).
+    pub pf_off_evasion_factor: f64,
+}
+
+impl PrefetcherConfig {
+    /// All prefetchers on (the default BIOS setting of the test systems).
+    pub fn enabled() -> Self {
+        Self {
+            adjacent_line: true,
+            streamer: true,
+            streamer_distance: 8,
+            pf_off_evasion_factor: 0.55,
+        }
+    }
+
+    /// All prefetchers off (the paper's "PF off" experiments).
+    pub fn disabled() -> Self {
+        Self {
+            adjacent_line: false,
+            streamer: false,
+            streamer_distance: 0,
+            pf_off_evasion_factor: 0.55,
+        }
+    }
+
+    /// True if any prefetcher is active.
+    pub fn any_enabled(&self) -> bool {
+        self.adjacent_line || self.streamer
+    }
+
+    /// Factor applied to the SpecI2M evasion efficiency under this
+    /// prefetcher configuration.
+    pub fn evasion_factor(&self) -> f64 {
+        if self.any_enabled() {
+            1.0
+        } else {
+            self.pf_off_evasion_factor
+        }
+    }
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    last_line: u64,
+    ascending_hits: u32,
+    prefetched_up_to: u64,
+}
+
+/// Streamer prefetcher: detects ascending sequential demand-miss streams per
+/// page and issues prefetches ahead of them.
+#[derive(Debug, Clone)]
+pub struct StreamerPrefetcher {
+    streams: LruTable<StreamState>,
+    distance: u64,
+}
+
+impl StreamerPrefetcher {
+    /// Create a streamer with the given lookahead distance (lines).
+    pub fn new(distance: u64) -> Self {
+        Self { streams: LruTable::new(16), distance }
+    }
+
+    /// Inform the prefetcher about a demand read miss at `line`.  Returns the
+    /// lines it wants to prefetch (possibly empty).
+    pub fn on_demand_miss(&mut self, line: u64) -> Vec<u64> {
+        if self.distance == 0 {
+            return Vec::new();
+        }
+        let page = line / PAGE_LINES;
+        let page_end = (page + 1) * PAGE_LINES;
+        if let Some(s) = self.streams.get_mut(page) {
+            let ascending = line == s.last_line + 1;
+            s.last_line = line;
+            if ascending {
+                s.ascending_hits += 1;
+            } else {
+                s.ascending_hits = 0;
+                s.prefetched_up_to = line;
+                return Vec::new();
+            }
+            if s.ascending_hits >= 2 {
+                let start = s.prefetched_up_to.max(line) + 1;
+                let end = (line + self.distance + 1).min(page_end);
+                if start < end {
+                    s.prefetched_up_to = end - 1;
+                    return (start..end).collect();
+                }
+            }
+            Vec::new()
+        } else {
+            self.streams.insert(
+                page,
+                StreamState { last_line: line, ascending_hits: 0, prefetched_up_to: line },
+            );
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        assert!(PrefetcherConfig::enabled().any_enabled());
+        assert!(!PrefetcherConfig::disabled().any_enabled());
+        assert_eq!(PrefetcherConfig::enabled().evasion_factor(), 1.0);
+        assert!(PrefetcherConfig::disabled().evasion_factor() < 1.0);
+    }
+
+    #[test]
+    fn streamer_needs_a_sequential_run_before_prefetching() {
+        let mut p = StreamerPrefetcher::new(4);
+        assert!(p.on_demand_miss(100).is_empty());
+        assert!(p.on_demand_miss(101).is_empty());
+        let pf = p.on_demand_miss(102);
+        assert!(!pf.is_empty(), "third sequential miss should trigger prefetch");
+        assert!(pf.iter().all(|&l| l > 102));
+    }
+
+    #[test]
+    fn streamer_does_not_cross_page_boundary() {
+        let mut p = StreamerPrefetcher::new(16);
+        let page_last = PAGE_LINES - 1;
+        p.on_demand_miss(page_last - 2);
+        p.on_demand_miss(page_last - 1);
+        let pf = p.on_demand_miss(page_last);
+        assert!(pf.is_empty(), "prefetch must stop at the page boundary, got {pf:?}");
+    }
+
+    #[test]
+    fn streamer_resets_on_non_sequential_access() {
+        let mut p = StreamerPrefetcher::new(4);
+        p.on_demand_miss(10);
+        p.on_demand_miss(11);
+        assert!(!p.on_demand_miss(12).is_empty());
+        // Jump backwards: the stream resets and needs a new run.
+        assert!(p.on_demand_miss(5).is_empty());
+        assert!(p.on_demand_miss(6).is_empty());
+        assert!(!p.on_demand_miss(7).is_empty());
+    }
+
+    #[test]
+    fn streamer_does_not_reprefetch_already_covered_lines() {
+        let mut p = StreamerPrefetcher::new(4);
+        p.on_demand_miss(20);
+        p.on_demand_miss(21);
+        let first = p.on_demand_miss(22);
+        let second = p.on_demand_miss(23);
+        // The second batch must not contain lines already prefetched.
+        for l in &second {
+            assert!(!first.contains(l));
+        }
+    }
+
+    #[test]
+    fn zero_distance_streamer_is_inert() {
+        let mut p = StreamerPrefetcher::new(0);
+        for l in 0..10 {
+            assert!(p.on_demand_miss(l).is_empty());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! 2D field storage with halo cells.
+
+/// A 2D double-precision field over a local domain of `nx × ny` cells with a
+/// halo of `halo` cells on every side.  Data is stored row-major with the
+/// inner (x) index contiguous, like the Fortran arrays of the original code
+/// (transposed storage, identical access pattern per row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2D {
+    nx: usize,
+    ny: usize,
+    halo: usize,
+    data: Vec<f64>,
+}
+
+impl Field2D {
+    /// Allocate a zero-initialised field.
+    pub fn new(nx: usize, ny: usize, halo: usize) -> Self {
+        let data = vec![0.0; (nx + 2 * halo) * (ny + 2 * halo)];
+        Self { nx, ny, halo, data }
+    }
+
+    /// Interior cells along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior cells along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Halo depth.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Row stride (allocated cells along x including halos).
+    pub fn stride(&self) -> usize {
+        self.nx + 2 * self.halo
+    }
+
+    #[inline]
+    fn index(&self, i: isize, k: isize) -> usize {
+        let h = self.halo as isize;
+        debug_assert!(i >= -h && i < self.nx as isize + h, "i={i} out of range");
+        debug_assert!(k >= -h && k < self.ny as isize + h, "k={k} out of range");
+        ((k + h) as usize) * self.stride() + (i + h) as usize
+    }
+
+    /// Read cell `(i, k)`; interior cells are `0..nx × 0..ny`, halo cells
+    /// use negative or ≥ `nx`/`ny` indices.
+    #[inline]
+    pub fn get(&self, i: isize, k: isize) -> f64 {
+        self.data[self.index(i, k)]
+    }
+
+    /// Write cell `(i, k)`.
+    #[inline]
+    pub fn set(&mut self, i: isize, k: isize, value: f64) {
+        let idx = self.index(i, k);
+        self.data[idx] = value;
+    }
+
+    /// Fill every cell (including halos) with a value.
+    pub fn fill(&mut self, value: f64) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Sum of the interior cells.
+    pub fn interior_sum(&self) -> f64 {
+        let mut sum = 0.0;
+        for k in 0..self.ny as isize {
+            for i in 0..self.nx as isize {
+                sum += self.get(i, k);
+            }
+        }
+        sum
+    }
+
+    /// Copy the interior and halo of another field (same shape).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Field2D) {
+        assert_eq!(self.nx, other.nx);
+        assert_eq!(self.ny, other.ny);
+        assert_eq!(self.halo, other.halo);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Extract a column `i` over rows `0..ny` (used for halo packing).
+    pub fn pack_column(&self, i: isize) -> Vec<f64> {
+        (0..self.ny as isize).map(|k| self.get(i, k)).collect()
+    }
+
+    /// Extract a row `k` over columns `0..nx`.
+    pub fn pack_row(&self, k: isize) -> Vec<f64> {
+        (0..self.nx as isize).map(|i| self.get(i, k)).collect()
+    }
+
+    /// Write a packed column into column `i`.
+    pub fn unpack_column(&mut self, i: isize, data: &[f64]) {
+        assert_eq!(data.len(), self.ny);
+        for (k, &v) in data.iter().enumerate() {
+            self.set(i, k as isize, v);
+        }
+    }
+
+    /// Write a packed row into row `k`.
+    pub fn unpack_row(&mut self, k: isize, data: &[f64]) {
+        assert_eq!(data.len(), self.nx);
+        for (i, &v) in data.iter().enumerate() {
+            self.set(i as isize, k, v);
+        }
+    }
+
+    /// Zero-gradient boundary fill on the outer (physical) boundaries.
+    /// `left`, `right`, `bottom`, `top` select which sides are physical
+    /// boundaries of the global domain (not rank-internal).
+    pub fn reflect_boundaries(&mut self, left: bool, right: bool, bottom: bool, top: bool) {
+        let h = self.halo as isize;
+        let nx = self.nx as isize;
+        let ny = self.ny as isize;
+        // Two passes so the corner halo cells converge regardless of which
+        // sides are physical boundaries and which were filled by a halo
+        // exchange before this call.
+        for _ in 0..2 {
+            for k in -h..ny + h {
+                for g in 1..=h {
+                    if left {
+                        let v = self.get(g - 1, k);
+                        self.set(-g, k, v);
+                    }
+                    if right {
+                        let v = self.get(nx - g, k);
+                        self.set(nx - 1 + g, k, v);
+                    }
+                }
+            }
+            for i in -h..nx + h {
+                for g in 1..=h {
+                    if bottom {
+                        let v = self.get(i, g - 1);
+                        self.set(i, -g, v);
+                    }
+                    if top {
+                        let v = self.get(i, ny - g);
+                        self.set(i, ny - 1 + g, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_interior_and_halo() {
+        let mut f = Field2D::new(4, 3, 2);
+        f.set(0, 0, 1.5);
+        f.set(3, 2, 2.5);
+        f.set(-2, -2, 9.0);
+        f.set(5, 4, 7.0);
+        assert_eq!(f.get(0, 0), 1.5);
+        assert_eq!(f.get(3, 2), 2.5);
+        assert_eq!(f.get(-2, -2), 9.0);
+        assert_eq!(f.get(5, 4), 7.0);
+        assert_eq!(f.stride(), 8);
+    }
+
+    #[test]
+    fn interior_sum_ignores_halo() {
+        let mut f = Field2D::new(2, 2, 1);
+        f.fill(3.0);
+        assert_eq!(f.interior_sum(), 12.0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut f = Field2D::new(3, 4, 1);
+        for k in 0..4isize {
+            for i in 0..3isize {
+                f.set(i, k, (10 * k + i) as f64);
+            }
+        }
+        let col = f.pack_column(1);
+        assert_eq!(col, vec![1.0, 11.0, 21.0, 31.0]);
+        let row = f.pack_row(2);
+        assert_eq!(row, vec![20.0, 21.0, 22.0]);
+        let mut g = Field2D::new(3, 4, 1);
+        g.unpack_column(-1, &col);
+        assert_eq!(g.get(-1, 3), 31.0);
+        g.unpack_row(4, &row);
+        assert_eq!(g.get(2, 4), 22.0);
+    }
+
+    #[test]
+    fn reflect_boundaries_zero_gradient() {
+        let mut f = Field2D::new(3, 3, 1);
+        for k in 0..3isize {
+            for i in 0..3isize {
+                f.set(i, k, (i + 1) as f64);
+            }
+        }
+        f.reflect_boundaries(true, true, true, true);
+        assert_eq!(f.get(-1, 0), f.get(0, 0));
+        assert_eq!(f.get(3, 1), f.get(2, 1));
+        assert_eq!(f.get(1, -1), f.get(1, 0));
+        assert_eq!(f.get(1, 3), f.get(1, 2));
+    }
+
+    #[test]
+    fn copy_from_duplicates_everything() {
+        let mut a = Field2D::new(2, 2, 1);
+        a.set(0, 0, 5.0);
+        a.set(-1, -1, 2.0);
+        let mut b = Field2D::new(2, 2, 1);
+        b.copy_from(&a);
+        assert_eq!(b.get(0, 0), 5.0);
+        assert_eq!(b.get(-1, -1), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_shape_mismatch_panics() {
+        let a = Field2D::new(2, 2, 1);
+        let mut b = Field2D::new(3, 2, 1);
+        b.copy_from(&a);
+    }
+}

@@ -1,0 +1,231 @@
+//! Halo exchange between neighbouring ranks.
+//!
+//! CloverLeaf exchanges halo layers after every kernel that produces data
+//! its neighbours need.  Ranks are arranged on a `ranks_x × ranks_y`
+//! Cartesian grid (row-major, x fastest); each exchange ships one column or
+//! row per halo depth to the left/right/bottom/top neighbour.
+
+use clover_simpi::Comm;
+
+use crate::chunk::{Chunk, HALO};
+use crate::field::Field2D;
+
+/// Position of a rank in the rank grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankGrid {
+    /// This rank's id.
+    pub rank: usize,
+    /// Ranks along x.
+    pub ranks_x: usize,
+    /// Ranks along y.
+    pub ranks_y: usize,
+}
+
+impl RankGrid {
+    /// x coordinate of this rank.
+    pub fn rx(&self) -> usize {
+        self.rank % self.ranks_x
+    }
+
+    /// y coordinate of this rank.
+    pub fn ry(&self) -> usize {
+        self.rank / self.ranks_x
+    }
+
+    /// Left neighbour rank, if any.
+    pub fn left(&self) -> Option<usize> {
+        (self.rx() > 0).then(|| self.rank - 1)
+    }
+
+    /// Right neighbour rank, if any.
+    pub fn right(&self) -> Option<usize> {
+        (self.rx() + 1 < self.ranks_x).then(|| self.rank + 1)
+    }
+
+    /// Bottom neighbour rank, if any.
+    pub fn bottom(&self) -> Option<usize> {
+        (self.ry() > 0).then(|| self.rank - self.ranks_x)
+    }
+
+    /// Top neighbour rank, if any.
+    pub fn top(&self) -> Option<usize> {
+        (self.ry() + 1 < self.ranks_y).then(|| self.rank + self.ranks_x)
+    }
+}
+
+/// Exchange the halo of one field with all four neighbours and apply
+/// zero-gradient boundaries on the physical edges.
+///
+/// Every rank must call this collectively with the same `tag`.
+pub fn exchange_field(comm: &mut Comm, grid: &RankGrid, chunk_bounds: (bool, bool, bool, bool), field: &mut Field2D, tag: u32) {
+    let h = HALO as isize;
+    // X direction: send interior columns, receive into halo columns.
+    if let Some(left) = grid.left() {
+        for d in 0..h {
+            comm.send(left, tag * 8 + d as u32, &field.pack_column(d));
+        }
+    }
+    if let Some(right) = grid.right() {
+        for d in 0..h {
+            comm.send(right, tag * 8 + 4 + d as u32, &field.pack_column(field.nx() as isize - 1 - d));
+        }
+    }
+    if let Some(right) = grid.right() {
+        for d in 0..h {
+            let data = comm.recv(right, tag * 8 + d as u32);
+            field.unpack_column(field.nx() as isize + d, &data);
+        }
+    }
+    if let Some(left) = grid.left() {
+        for d in 0..h {
+            let data = comm.recv(left, tag * 8 + 4 + d as u32);
+            field.unpack_column(-1 - d, &data);
+        }
+    }
+    // Y direction (after x so corners propagate correctly for our depth-1
+    // stencils; rows include only the interior columns, corners come from
+    // the physical-boundary fill).
+    if let Some(bottom) = grid.bottom() {
+        for d in 0..h {
+            comm.send(bottom, tag * 8 + d as u32, &field.pack_row(d));
+        }
+    }
+    if let Some(top) = grid.top() {
+        for d in 0..h {
+            comm.send(top, tag * 8 + 4 + d as u32, &field.pack_row(field.ny() as isize - 1 - d));
+        }
+    }
+    if let Some(top) = grid.top() {
+        for d in 0..h {
+            let data = comm.recv(top, tag * 8 + d as u32);
+            field.unpack_row(field.ny() as isize + d, &data);
+        }
+    }
+    if let Some(bottom) = grid.bottom() {
+        for d in 0..h {
+            let data = comm.recv(bottom, tag * 8 + 4 + d as u32);
+            field.unpack_row(-1 - d, &data);
+        }
+    }
+    let (at_left, at_right, at_bottom, at_top) = chunk_bounds;
+    field.reflect_boundaries(at_left, at_right, at_bottom, at_top);
+}
+
+/// Exchange the halos of the fields needed before the Lagrangian step.
+pub fn exchange_primary(comm: &mut Comm, grid: &RankGrid, chunk: &mut Chunk) {
+    let bounds = (chunk.at_left, chunk.at_right, chunk.at_bottom, chunk.at_top);
+    exchange_field(comm, grid, bounds, &mut chunk.density0, 1);
+    exchange_field(comm, grid, bounds, &mut chunk.energy0, 2);
+    exchange_field(comm, grid, bounds, &mut chunk.pressure, 3);
+    exchange_field(comm, grid, bounds, &mut chunk.viscosity, 4);
+    exchange_field(comm, grid, bounds, &mut chunk.xvel0, 5);
+    exchange_field(comm, grid, bounds, &mut chunk.yvel0, 6);
+}
+
+/// Exchange the halos of the predicted density/energy so the equation of
+/// state can be evaluated on the halo cells (needed by `accelerate`).
+pub fn exchange_eos(comm: &mut Comm, grid: &RankGrid, chunk: &mut Chunk) {
+    let bounds = (chunk.at_left, chunk.at_right, chunk.at_bottom, chunk.at_top);
+    exchange_field(comm, grid, bounds, &mut chunk.density1, 15);
+    exchange_field(comm, grid, bounds, &mut chunk.energy1, 16);
+}
+
+/// Exchange the halos of the fields needed before the advection sweeps.
+pub fn exchange_advection(comm: &mut Comm, grid: &RankGrid, chunk: &mut Chunk) {
+    let bounds = (chunk.at_left, chunk.at_right, chunk.at_bottom, chunk.at_top);
+    exchange_field(comm, grid, bounds, &mut chunk.density1, 7);
+    exchange_field(comm, grid, bounds, &mut chunk.energy1, 8);
+    exchange_field(comm, grid, bounds, &mut chunk.xvel1, 9);
+    exchange_field(comm, grid, bounds, &mut chunk.yvel1, 10);
+    exchange_field(comm, grid, bounds, &mut chunk.vol_flux_x, 11);
+    exchange_field(comm, grid, bounds, &mut chunk.vol_flux_y, 12);
+    exchange_field(comm, grid, bounds, &mut chunk.mass_flux_x, 13);
+    exchange_field(comm, grid, bounds, &mut chunk.mass_flux_y, 14);
+}
+
+/// Serial (single-rank) halo update: only the physical boundaries.
+pub fn serial_boundaries(chunk: &mut Chunk) {
+    let fields: [&mut Field2D; 14] = [
+        &mut chunk.density0,
+        &mut chunk.energy0,
+        &mut chunk.pressure,
+        &mut chunk.viscosity,
+        &mut chunk.xvel0,
+        &mut chunk.yvel0,
+        &mut chunk.density1,
+        &mut chunk.energy1,
+        &mut chunk.xvel1,
+        &mut chunk.yvel1,
+        &mut chunk.vol_flux_x,
+        &mut chunk.vol_flux_y,
+        &mut chunk.mass_flux_x,
+        &mut chunk.mass_flux_y,
+    ];
+    for f in fields {
+        f.reflect_boundaries(true, true, true, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_simpi::World;
+
+    #[test]
+    fn rank_grid_neighbours() {
+        let g = RankGrid { rank: 4, ranks_x: 3, ranks_y: 2 };
+        assert_eq!(g.rx(), 1);
+        assert_eq!(g.ry(), 1);
+        assert_eq!(g.left(), Some(3));
+        assert_eq!(g.right(), Some(5));
+        assert_eq!(g.bottom(), Some(1));
+        assert_eq!(g.top(), None);
+        let corner = RankGrid { rank: 0, ranks_x: 3, ranks_y: 2 };
+        assert_eq!(corner.left(), None);
+        assert_eq!(corner.bottom(), None);
+    }
+
+    #[test]
+    fn two_rank_exchange_transfers_interior_columns() {
+        let results = World::run(2, |mut comm| {
+            let rank = comm.rank();
+            let grid = RankGrid { rank, ranks_x: 2, ranks_y: 1 };
+            let mut field = Field2D::new(4, 3, HALO);
+            for k in 0..3isize {
+                for i in 0..4isize {
+                    field.set(i, k, (rank * 100) as f64 + (10 * k + i) as f64);
+                }
+            }
+            let bounds = (rank == 0, rank == 1, true, true);
+            exchange_field(&mut comm, &grid, bounds, &mut field, 1);
+            // Rank 0's right halo must contain rank 1's leftmost columns.
+            (field.get(4, 1), field.get(-1, 1))
+        });
+        // Rank 0: halo column 4 = rank 1's column 0 (value 100 + 10).
+        assert_eq!(results[0].0, 110.0);
+        // Rank 1: halo column -1 = rank 0's column 3 (value 13).
+        assert_eq!(results[1].1, 13.0);
+    }
+
+    #[test]
+    fn physical_boundaries_are_zero_gradient_after_exchange() {
+        let results = World::run(2, |mut comm| {
+            let rank = comm.rank();
+            let grid = RankGrid { rank, ranks_x: 2, ranks_y: 1 };
+            let mut field = Field2D::new(4, 3, HALO);
+            field.fill(0.0);
+            for k in 0..3isize {
+                for i in 0..4isize {
+                    field.set(i, k, 7.0);
+                }
+            }
+            let bounds = (rank == 0, rank == 1, true, true);
+            exchange_field(&mut comm, &grid, bounds, &mut field, 2);
+            (field.get(1, -1), field.get(1, 4))
+        });
+        for (bottom, top) in results {
+            assert_eq!(bottom, 7.0);
+            assert_eq!(top, 7.0);
+        }
+    }
+}

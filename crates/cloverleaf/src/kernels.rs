@@ -1,0 +1,458 @@
+//! The CloverLeaf compute kernels.
+//!
+//! Loop labels in comments refer to the hotspot-loop naming of the paper
+//! (am00–am11 in `advec_mom`, ac00–ac07 in `advec_cell`, pdv00–pdv01 in
+//! `pdv`); the non-hotspot kernels (`ideal_gas`, `viscosity`, `calc_dt`,
+//! `accelerate`, `flux_calc`, `reset_field`) complete the timestep.
+
+use crate::chunk::Chunk;
+use crate::GAMMA;
+
+/// Equation of state: pressure and sound speed from density and energy
+/// (`ideal_gas_kernel`).
+pub fn ideal_gas(chunk: &mut Chunk, predict: bool) {
+    let h = 1isize;
+    for k in -h..(chunk.ny as isize + h) {
+        for i in -h..(chunk.nx as isize + h) {
+            let (rho, e) = if predict {
+                (chunk.density1.get(i, k), chunk.energy1.get(i, k))
+            } else {
+                (chunk.density0.get(i, k), chunk.energy0.get(i, k))
+            };
+            let rho = rho.max(1e-12);
+            let e = e.max(0.0);
+            let p = (GAMMA - 1.0) * rho * e;
+            chunk.pressure.set(i, k, p);
+            chunk.soundspeed.set(i, k, (GAMMA * p / rho).sqrt());
+        }
+    }
+}
+
+/// Artificial viscosity from the local compression rate
+/// (`viscosity_kernel`).
+pub fn viscosity(chunk: &mut Chunk) {
+    // One ring of halo cells is computed as well (their xvel0/yvel0
+    // neighbours are valid up to the halo depth of 2), so `accelerate` can
+    // read valid viscosity values at i±1/k±1 without an extra exchange.
+    for k in -1..(chunk.ny as isize + 1) {
+        for i in -1..(chunk.nx as isize + 1) {
+            let du = chunk.xvel0.get(i + 1, k) - chunk.xvel0.get(i - 1, k);
+            let dv = chunk.yvel0.get(i, k + 1) - chunk.yvel0.get(i, k - 1);
+            let div = 0.5 * (du / chunk.dx + dv / chunk.dy);
+            let q = if div < 0.0 {
+                2.0 * chunk.density0.get(i, k) * div * div * chunk.dx * chunk.dx
+            } else {
+                0.0
+            };
+            chunk.viscosity.set(i, k, q);
+        }
+    }
+}
+
+/// Local CFL time-step limit (`calc_dt_kernel`).  The global step is the
+/// minimum over all ranks.
+pub fn calc_dt(chunk: &Chunk, cfl: f64) -> f64 {
+    let mut dt = f64::MAX;
+    for k in 0..chunk.ny as isize {
+        for i in 0..chunk.nx as isize {
+            let c = chunk.soundspeed.get(i, k).max(1e-12);
+            let u = chunk.xvel0.get(i, k).abs();
+            let v = chunk.yvel0.get(i, k).abs();
+            let dt_cell = (chunk.dx / (c + u + 1e-12)).min(chunk.dy / (c + v + 1e-12));
+            dt = dt.min(dt_cell);
+        }
+    }
+    cfl * dt
+}
+
+/// PdV work: update energy and density from the velocity divergence.
+/// `predict = true` is the half-step predictor (loop pdv00), `false` the
+/// corrector (pdv01).
+pub fn pdv(chunk: &mut Chunk, dt: f64, predict: bool) {
+    let dt_eff = if predict { 0.5 * dt } else { dt };
+    for k in 0..chunk.ny as isize {
+        for i in 0..chunk.nx as isize {
+            // pdv00 / pdv01
+            let du = chunk.xvel0.get(i + 1, k) - chunk.xvel0.get(i - 1, k);
+            let dv = chunk.yvel0.get(i, k + 1) - chunk.yvel0.get(i, k - 1);
+            let div = 0.5 * (du / chunk.dx + dv / chunk.dy);
+            let rho0 = chunk.density0.get(i, k).max(1e-12);
+            let p = chunk.pressure.get(i, k) + chunk.viscosity.get(i, k);
+            let volume_change = 1.0 / (1.0 + div * dt_eff);
+            let rho1 = rho0 * volume_change;
+            let e1 = (chunk.energy0.get(i, k) - dt_eff * p * div / rho0).max(1e-12);
+            chunk.density1.set(i, k, rho1);
+            chunk.energy1.set(i, k, e1);
+        }
+    }
+}
+
+/// Acceleration from pressure and viscosity gradients
+/// (`accelerate_kernel`).
+pub fn accelerate(chunk: &mut Chunk, dt: f64) {
+    for k in 0..chunk.ny as isize {
+        for i in 0..chunk.nx as isize {
+            let rho = chunk.density0.get(i, k).max(1e-12);
+            let dpx = chunk.pressure.get(i + 1, k) - chunk.pressure.get(i - 1, k);
+            let dpy = chunk.pressure.get(i, k + 1) - chunk.pressure.get(i, k - 1);
+            let dqx = chunk.viscosity.get(i + 1, k) - chunk.viscosity.get(i - 1, k);
+            let dqy = chunk.viscosity.get(i, k + 1) - chunk.viscosity.get(i, k - 1);
+            let ax = -(dpx + dqx) / (2.0 * chunk.dx * rho);
+            let ay = -(dpy + dqy) / (2.0 * chunk.dy * rho);
+            chunk.xvel1.set(i, k, chunk.xvel0.get(i, k) + dt * ax);
+            chunk.yvel1.set(i, k, chunk.yvel0.get(i, k) + dt * ay);
+        }
+    }
+}
+
+/// Face volume fluxes from the face-averaged velocities
+/// (`flux_calc_kernel`).  `vol_flux_x(i,k)` is the flux through the face
+/// between cells `i-1` and `i`.
+pub fn flux_calc(chunk: &mut Chunk, dt: f64) {
+    for k in 0..chunk.ny as isize {
+        for i in 0..(chunk.nx as isize + 1) {
+            let u_face = 0.5 * (chunk.xvel1.get(i - 1, k) + chunk.xvel1.get(i, k));
+            chunk.vol_flux_x.set(i, k, dt * chunk.dy * u_face);
+        }
+    }
+    for k in 0..(chunk.ny as isize + 1) {
+        for i in 0..chunk.nx as isize {
+            let v_face = 0.5 * (chunk.yvel1.get(i, k - 1) + chunk.yvel1.get(i, k));
+            chunk.vol_flux_y.set(i, k, dt * chunk.dx * v_face);
+        }
+    }
+    // Closed (reflective) global boundaries carry no flux.
+    if chunk.at_left {
+        for k in 0..chunk.ny as isize {
+            chunk.vol_flux_x.set(0, k, 0.0);
+        }
+    }
+    if chunk.at_right {
+        for k in 0..chunk.ny as isize {
+            chunk.vol_flux_x.set(chunk.nx as isize, k, 0.0);
+        }
+    }
+    if chunk.at_bottom {
+        for i in 0..chunk.nx as isize {
+            chunk.vol_flux_y.set(i, 0, 0.0);
+        }
+    }
+    if chunk.at_top {
+        for i in 0..chunk.nx as isize {
+            chunk.vol_flux_y.set(i, chunk.ny as isize, 0.0);
+        }
+    }
+}
+
+/// Donor-cell advection of density and energy (`advec_cell_kernel`).
+/// `sweep_x = true` advects along x (loops ac00–ac03), `false` along y
+/// (ac04–ac07).
+pub fn advec_cell(chunk: &mut Chunk, sweep_x: bool) {
+    let vol = chunk.cell_volume();
+    if sweep_x {
+        // ac00/ac01: pre/post volumes.
+        // ac02: mass and energy fluxes through x faces (donor cell).
+        for k in 0..chunk.ny as isize {
+            for i in 0..(chunk.nx as isize + 1) {
+                let vf = chunk.vol_flux_x.get(i, k);
+                let donor = if vf > 0.0 { i - 1 } else { i };
+                let mf = vf * chunk.density1.get(donor, k);
+                chunk.mass_flux_x.set(i, k, mf);
+                chunk.ener_flux.set(i, k, mf * chunk.energy1.get(donor, k));
+            }
+        }
+        // ac03: conservative update of density and energy.
+        for k in 0..chunk.ny as isize {
+            for i in 0..chunk.nx as isize {
+                let rho_old = chunk.density1.get(i, k);
+                let mass_old = rho_old * vol;
+                let dm = chunk.mass_flux_x.get(i, k) - chunk.mass_flux_x.get(i + 1, k);
+                let de = chunk.ener_flux.get(i, k) - chunk.ener_flux.get(i + 1, k);
+                let mass_new = (mass_old + dm).max(1e-12);
+                let rho_new = mass_new / vol;
+                let e_new = (rho_old * vol * chunk.energy1.get(i, k) + de) / mass_new;
+                chunk.density1.set(i, k, rho_new);
+                chunk.energy1.set(i, k, e_new.max(1e-12));
+            }
+        }
+    } else {
+        // ac04/ac05: pre/post volumes; ac06: fluxes; ac07: update.
+        for k in 0..(chunk.ny as isize + 1) {
+            for i in 0..chunk.nx as isize {
+                let vf = chunk.vol_flux_y.get(i, k);
+                let donor = if vf > 0.0 { k - 1 } else { k };
+                let mf = vf * chunk.density1.get(i, donor);
+                chunk.mass_flux_y.set(i, k, mf);
+                chunk.ener_flux.set(i, k, mf * chunk.energy1.get(i, donor));
+            }
+        }
+        for k in 0..chunk.ny as isize {
+            for i in 0..chunk.nx as isize {
+                let rho_old = chunk.density1.get(i, k);
+                let mass_old = rho_old * vol;
+                let dm = chunk.mass_flux_y.get(i, k) - chunk.mass_flux_y.get(i, k + 1);
+                let de = chunk.ener_flux.get(i, k) - chunk.ener_flux.get(i, k + 1);
+                let mass_new = (mass_old + dm).max(1e-12);
+                let rho_new = mass_new / vol;
+                let e_new = (rho_old * vol * chunk.energy1.get(i, k) + de) / mass_new;
+                chunk.density1.set(i, k, rho_new);
+                chunk.energy1.set(i, k, e_new.max(1e-12));
+            }
+        }
+    }
+}
+
+/// Donor-cell advection of momentum (`advec_mom_kernel`), applied per
+/// velocity component.  The x sweep covers loops am00–am07, the y sweep
+/// am08–am11 (per component).
+pub fn advec_mom(chunk: &mut Chunk, sweep_x: bool, x_component: bool) {
+    let vol = chunk.cell_volume();
+    // am04/am08: node flux from the mass fluxes.
+    // am05/am09: node masses before/after advection.
+    // am06/am10: momentum flux (donor velocity).
+    // am07/am11: velocity update.
+    if sweep_x {
+        for k in 0..chunk.ny as isize {
+            for i in 0..(chunk.nx as isize + 1) {
+                chunk.node_flux.set(i, k, chunk.mass_flux_x.get(i, k));
+            }
+        }
+    } else {
+        for k in 0..(chunk.ny as isize + 1) {
+            for i in 0..chunk.nx as isize {
+                chunk.node_flux.set(i, k, chunk.mass_flux_y.get(i, k));
+            }
+        }
+    }
+    for k in 0..chunk.ny as isize {
+        for i in 0..chunk.nx as isize {
+            chunk.node_mass_pre.set(i, k, chunk.density1.get(i, k) * vol);
+        }
+    }
+    if sweep_x {
+        for k in 0..chunk.ny as isize {
+            for i in 0..(chunk.nx as isize + 1) {
+                let mf = chunk.node_flux.get(i, k);
+                let donor = if mf > 0.0 { i - 1 } else { i };
+                let vel = if x_component {
+                    chunk.xvel1.get(donor, k)
+                } else {
+                    chunk.yvel1.get(donor, k)
+                };
+                chunk.mom_flux.set(i, k, mf * vel);
+            }
+        }
+        for k in 0..chunk.ny as isize {
+            for i in 0..chunk.nx as isize {
+                let mass = chunk.node_mass_pre.get(i, k).max(1e-12);
+                let dmom = chunk.mom_flux.get(i, k) - chunk.mom_flux.get(i + 1, k);
+                let dm = chunk.node_flux.get(i, k) - chunk.node_flux.get(i + 1, k);
+                let vel_old = if x_component { chunk.xvel1.get(i, k) } else { chunk.yvel1.get(i, k) };
+                let mass_new = (mass + dm).max(1e-12);
+                let vel_new = (mass * vel_old + dmom) / mass_new;
+                if x_component {
+                    chunk.xvel1.set(i, k, vel_new);
+                } else {
+                    chunk.yvel1.set(i, k, vel_new);
+                }
+            }
+        }
+    } else {
+        for k in 0..(chunk.ny as isize + 1) {
+            for i in 0..chunk.nx as isize {
+                let mf = chunk.node_flux.get(i, k);
+                let donor = if mf > 0.0 { k - 1 } else { k };
+                let vel = if x_component {
+                    chunk.xvel1.get(i, donor)
+                } else {
+                    chunk.yvel1.get(i, donor)
+                };
+                chunk.mom_flux.set(i, k, mf * vel);
+            }
+        }
+        for k in 0..chunk.ny as isize {
+            for i in 0..chunk.nx as isize {
+                let mass = chunk.node_mass_pre.get(i, k).max(1e-12);
+                let dmom = chunk.mom_flux.get(i, k) - chunk.mom_flux.get(i, k + 1);
+                let dm = chunk.node_flux.get(i, k) - chunk.node_flux.get(i, k + 1);
+                let vel_old = if x_component { chunk.xvel1.get(i, k) } else { chunk.yvel1.get(i, k) };
+                let mass_new = (mass + dm).max(1e-12);
+                let vel_new = (mass * vel_old + dmom) / mass_new;
+                if x_component {
+                    chunk.xvel1.set(i, k, vel_new);
+                } else {
+                    chunk.yvel1.set(i, k, vel_new);
+                }
+            }
+        }
+    }
+}
+
+/// Copy the updated fields back into the step-start fields
+/// (`reset_field_kernel`).
+pub fn reset_field(chunk: &mut Chunk) {
+    for k in 0..chunk.ny as isize {
+        for i in 0..chunk.nx as isize {
+            chunk.density0.set(i, k, chunk.density1.get(i, k));
+            chunk.energy0.set(i, k, chunk.energy1.get(i, k));
+            chunk.xvel0.set(i, k, chunk.xvel1.get(i, k));
+            chunk.yvel0.set(i, k, chunk.yvel1.get(i, k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_chunk(n: usize) -> Chunk {
+        let mut c = Chunk::new(n, n, 1.0, 1.0);
+        for k in -2..(n as isize + 2) {
+            for i in -2..(n as isize + 2) {
+                c.density0.set(i, k, 0.5);
+                c.energy0.set(i, k, 2.0);
+                c.density1.set(i, k, 0.5);
+                c.energy1.set(i, k, 2.0);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn ideal_gas_matches_eos() {
+        let mut c = uniform_chunk(8);
+        ideal_gas(&mut c, false);
+        let expected_p = (GAMMA - 1.0) * 0.5 * 2.0;
+        assert!((c.pressure.get(3, 3) - expected_p).abs() < 1e-12);
+        let expected_c = (GAMMA * expected_p / 0.5).sqrt();
+        assert!((c.soundspeed.get(3, 3) - expected_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_state_stays_uniform_over_a_step() {
+        let mut c = uniform_chunk(8);
+        ideal_gas(&mut c, false);
+        viscosity(&mut c);
+        let dt = calc_dt(&c, 0.5);
+        assert!(dt > 0.0 && dt.is_finite());
+        pdv(&mut c, dt, true);
+        accelerate(&mut c, dt);
+        flux_calc(&mut c, dt);
+        advec_cell(&mut c, true);
+        advec_cell(&mut c, false);
+        advec_mom(&mut c, true, true);
+        advec_mom(&mut c, false, false);
+        reset_field(&mut c);
+        for k in 0..8isize {
+            for i in 0..8isize {
+                assert!((c.density0.get(i, k) - 0.5).abs() < 1e-12, "density changed");
+                assert!((c.energy0.get(i, k) - 2.0).abs() < 1e-12, "energy changed");
+                assert!(c.xvel0.get(i, k).abs() < 1e-12, "velocity appeared");
+            }
+        }
+    }
+
+    #[test]
+    fn viscosity_only_acts_under_compression() {
+        let mut c = uniform_chunk(8);
+        // Diverging flow: du/dx > 0 → no viscosity.
+        for k in -2..10isize {
+            for i in -2..10isize {
+                c.xvel0.set(i, k, i as f64 * 0.1);
+            }
+        }
+        viscosity(&mut c);
+        assert_eq!(c.viscosity.get(4, 4), 0.0);
+        // Converging flow: du/dx < 0 → viscosity active.
+        for k in -2..10isize {
+            for i in -2..10isize {
+                c.xvel0.set(i, k, -(i as f64) * 0.1);
+            }
+        }
+        viscosity(&mut c);
+        assert!(c.viscosity.get(4, 4) > 0.0);
+    }
+
+    #[test]
+    fn calc_dt_shrinks_with_higher_soundspeed() {
+        let mut slow = uniform_chunk(8);
+        ideal_gas(&mut slow, false);
+        let dt_slow = calc_dt(&slow, 0.7);
+        let mut fast = uniform_chunk(8);
+        for k in -2..10isize {
+            for i in -2..10isize {
+                fast.energy0.set(i, k, 8.0);
+            }
+        }
+        ideal_gas(&mut fast, false);
+        let dt_fast = calc_dt(&fast, 0.7);
+        assert!(dt_fast < dt_slow);
+    }
+
+    #[test]
+    fn pdv_compression_raises_energy() {
+        let mut c = uniform_chunk(8);
+        ideal_gas(&mut c, false);
+        // Converging velocity field → div < 0 → compression heats the gas.
+        for k in -2..10isize {
+            for i in -2..10isize {
+                c.xvel0.set(i, k, -(i as f64) * 0.01);
+            }
+        }
+        pdv(&mut c, 0.01, false);
+        assert!(c.energy1.get(4, 4) > c.energy0.get(4, 4));
+        assert!(c.density1.get(4, 4) > c.density0.get(4, 4));
+    }
+
+    #[test]
+    fn accelerate_pushes_away_from_high_pressure() {
+        let mut c = uniform_chunk(8);
+        // Pressure decreasing with i: force points towards +x.
+        for k in -2..10isize {
+            for i in -2..10isize {
+                c.pressure.set(i, k, 10.0 - i as f64);
+                c.viscosity.set(i, k, 0.0);
+            }
+        }
+        accelerate(&mut c, 0.1);
+        assert!(c.xvel1.get(4, 4) > 0.0);
+        assert!(c.yvel1.get(4, 4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advection_conserves_mass_with_closed_boundaries() {
+        let mut c = uniform_chunk(16);
+        // A density bump in the middle and a uniform rightward velocity.
+        for k in 4..12isize {
+            for i in 4..12isize {
+                c.density1.set(i, k, 1.5);
+                c.density0.set(i, k, 1.5);
+            }
+        }
+        for k in -2..18isize {
+            for i in -2..18isize {
+                c.xvel1.set(i, k, 0.3);
+                c.yvel1.set(i, k, 0.1);
+            }
+        }
+        let mass_before: f64 = c.density1.interior_sum() * c.cell_volume();
+        flux_calc(&mut c, 0.2);
+        advec_cell(&mut c, true);
+        advec_cell(&mut c, false);
+        let mass_after: f64 = c.density1.interior_sum() * c.cell_volume();
+        assert!(
+            (mass_before - mass_after).abs() < 1e-9 * mass_before,
+            "mass {mass_before} -> {mass_after}"
+        );
+    }
+
+    #[test]
+    fn reset_field_copies_new_into_old() {
+        let mut c = uniform_chunk(4);
+        c.density1.set(2, 2, 9.0);
+        c.xvel1.set(1, 1, 3.0);
+        reset_field(&mut c);
+        assert_eq!(c.density0.get(2, 2), 9.0);
+        assert_eq!(c.xvel0.get(1, 1), 3.0);
+    }
+}

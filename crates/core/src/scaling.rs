@@ -1,0 +1,225 @@
+//! Node-level scaling model (Figs. 2 and 3).
+//!
+//! For every rank count the model combines the domain decomposition, the
+//! per-loop traffic model and the machine's bandwidth saturation curve into
+//! an execution-time estimate per timestep, from which speedup and the
+//! achieved memory bandwidth follow.  The hotspot loops represent ~69 % of
+//! the runtime; the remainder is modelled as a fixed memory-bound fraction
+//! so the absolute shares match the profile in Listing 2.
+
+use clover_machine::Machine;
+
+use crate::decomp::Decomposition;
+use crate::traffic::{LoopTraffic, TrafficModel, TrafficOptions};
+use crate::{TINY_GRID, TINY_STEPS};
+
+/// Fraction of the total runtime spent outside the three hotspot functions
+/// (Listing 2: the hotspots cover 67.5–69.2 %).
+const NON_HOTSPOT_FRACTION: f64 = 0.31;
+
+/// One point of the scaling study.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Whether the rank count is prime (1D decomposition).
+    pub prime: bool,
+    /// Local inner dimension per rank (elements).
+    pub local_inner: usize,
+    /// Estimated wall-clock time per timestep (seconds).
+    pub time_per_step: f64,
+    /// Speedup relative to one rank.
+    pub speedup: f64,
+    /// Achieved memory bandwidth (byte/s) across the node.
+    pub memory_bandwidth: f64,
+    /// Memory data volume per timestep (bytes).
+    pub volume_per_step: f64,
+    /// Per-loop code balance (byte/it) in catalogue order.
+    pub loop_balances: Vec<(String, f64)>,
+}
+
+/// The scaling model for one machine and one code variant.
+#[derive(Debug, Clone)]
+pub struct ScalingModel {
+    machine: Machine,
+    traffic: TrafficModel,
+    grid: usize,
+}
+
+impl ScalingModel {
+    /// Model for the Tiny working set on `machine`.
+    pub fn new(machine: Machine) -> Self {
+        let traffic = TrafficModel::new(machine.clone());
+        Self { machine, traffic, grid: TINY_GRID }
+    }
+
+    /// Use a different (e.g. scaled-down) square grid.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Grid size used by the model.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    fn hotspot_time_and_volume(
+        &self,
+        ranks: usize,
+        opts: &TrafficOptions,
+        decomp: &Decomposition,
+    ) -> (f64, f64, Vec<LoopTraffic>) {
+        let loops = self.traffic.predict_all(opts, decomp);
+        let iterations = (self.grid as f64) * (self.grid as f64);
+        // Per-rank iterations; every loop sweeps the whole local domain.
+        let per_rank_iterations = iterations / ranks as f64;
+        let peak = self.machine.core_peak_flops();
+        // The code is bulk-synchronous (halo exchange after every kernel):
+        // each loop finishes when the most loaded ccNUMA domain finishes.
+        let per_domain = self.machine.topology.active_cores_per_domain(ranks);
+        let mut time = 0.0;
+        let mut volume = 0.0;
+        for t in &loops {
+            let loop_time = per_domain
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let domain_bw = self.machine.bandwidth.domain_bandwidth(c);
+                    let per_rank_bw = domain_bw / c as f64;
+                    per_rank_iterations * t.time_per_iteration(per_rank_bw, peak)
+                })
+                .fold(0.0, f64::max);
+            time += loop_time;
+            volume += iterations * t.code_balance();
+        }
+        (time, volume, loops)
+    }
+
+    /// Evaluate one rank count.
+    pub fn point(&self, ranks: usize, opts: &TrafficOptions) -> ScalingPoint {
+        assert!(ranks >= 1 && ranks <= self.machine.total_cores());
+        let decomp = Decomposition::new(ranks, self.grid, self.grid);
+        let (hotspot_time, hotspot_volume, loops) =
+            self.hotspot_time_and_volume(ranks, opts, &decomp);
+        // The non-hotspot 31 % scale the same way (memory bound).
+        let time_per_step = hotspot_time / (1.0 - NON_HOTSPOT_FRACTION);
+        let volume_per_step = hotspot_volume / (1.0 - NON_HOTSPOT_FRACTION);
+        ScalingPoint {
+            ranks,
+            prime: crate::decomp::is_prime(ranks),
+            local_inner: decomp.typical_local_inner(),
+            time_per_step,
+            speedup: 0.0, // filled in by `sweep`
+            memory_bandwidth: volume_per_step / time_per_step,
+            volume_per_step,
+            loop_balances: loops.iter().map(|l| (l.name.clone(), l.code_balance())).collect(),
+        }
+    }
+
+    /// Evaluate a full sweep over 1..=`max_ranks` ranks and fill in
+    /// speedups relative to the single-rank point.
+    pub fn sweep(&self, max_ranks: usize, opts_for: impl Fn(usize) -> TrafficOptions) -> Vec<ScalingPoint> {
+        let mut points: Vec<ScalingPoint> =
+            (1..=max_ranks).map(|r| self.point(r, &opts_for(r))).collect();
+        let t1 = points[0].time_per_step;
+        for p in &mut points {
+            p.speedup = t1 / p.time_per_step;
+        }
+        points
+    }
+
+    /// Total runtime estimate of a full Tiny run (400 steps) on `ranks`
+    /// ranks.
+    pub fn total_runtime(&self, ranks: usize, opts: &TrafficOptions) -> f64 {
+        self.point(ranks, opts).time_per_step * TINY_STEPS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::icelake_sp_8360y;
+
+    fn sweep_to_72() -> Vec<ScalingPoint> {
+        ScalingModel::new(icelake_sp_8360y()).sweep(72, TrafficOptions::original)
+    }
+
+    #[test]
+    fn speedup_is_one_for_one_rank_and_grows() {
+        let points = sweep_to_72();
+        assert!((points[0].speedup - 1.0).abs() < 1e-12);
+        assert!(points[71].speedup > 10.0, "full node speedup = {}", points[71].speedup);
+        assert!(points[17].speedup > points[8].speedup);
+    }
+
+    #[test]
+    fn bandwidth_saturates_within_first_domain() {
+        // Fig. 2: the first ccNUMA domain (18 cores) saturates at ~9 cores.
+        let points = sweep_to_72();
+        let bw9 = points[8].memory_bandwidth;
+        let bw18 = points[17].memory_bandwidth;
+        let m = icelake_sp_8360y();
+        assert!(bw9 > 0.85 * m.domain_bandwidth());
+        assert!(bw18 <= 1.05 * m.domain_bandwidth());
+        // But the speedup keeps rising beyond saturation because SpecI2M
+        // reduces the traffic per iteration.
+        assert!(points[17].speedup > points[8].speedup * 1.05);
+    }
+
+    #[test]
+    fn prime_rank_counts_show_speedup_drops() {
+        let points = sweep_to_72();
+        // Fig. 2: pronounced drops at prime counts beyond one domain.
+        for p in [37usize, 41, 43, 47, 53, 59, 61, 67, 71] {
+            let prime = &points[p - 1];
+            let before = &points[p - 2];
+            assert!(prime.prime);
+            assert!(
+                prime.speedup < before.speedup,
+                "speedup at {} ranks ({}) should dip below {} ranks ({})",
+                p,
+                prime.speedup,
+                p - 1,
+                before.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn prime_drops_are_not_bandwidth_drops() {
+        // The paper stresses that the speedup drops are *not* accompanied by
+        // bandwidth drops: traffic per iteration rises instead.
+        let points = sweep_to_72();
+        let p71 = &points[70];
+        let p72 = &points[71];
+        assert!(p71.volume_per_step > p72.volume_per_step * 1.05);
+        assert!(p71.memory_bandwidth > 0.9 * p72.memory_bandwidth);
+    }
+
+    #[test]
+    fn per_loop_balances_cover_catalogue() {
+        let model = ScalingModel::new(icelake_sp_8360y());
+        let point = model.point(72, &TrafficOptions::original(72));
+        assert_eq!(point.loop_balances.len(), 22);
+        assert_eq!(point.local_inner, 1920);
+    }
+
+    #[test]
+    fn total_runtime_scales_with_steps() {
+        let model = ScalingModel::new(icelake_sp_8360y());
+        let t_step = model.point(36, &TrafficOptions::original(36)).time_per_step;
+        let total = model.total_runtime(36, &TrafficOptions::original(36));
+        assert!((total - 400.0 * t_step).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_grid_runs_faster() {
+        let big = ScalingModel::new(icelake_sp_8360y());
+        let small = ScalingModel::new(icelake_sp_8360y()).with_grid(1920);
+        assert!(small.grid() < big.grid());
+        let tb = big.point(18, &TrafficOptions::original(18)).time_per_step;
+        let ts = small.point(18, &TrafficOptions::original(18)).time_per_step;
+        assert!(ts < tb / 10.0);
+    }
+}

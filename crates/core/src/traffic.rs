@@ -1,0 +1,351 @@
+//! Per-loop memory traffic / code balance model.
+//!
+//! For every hotspot loop the model combines
+//!
+//! * the structural bounds from the loop descriptor (layer condition,
+//!   write-allocate candidates — Table I),
+//! * the machine's SpecI2M behaviour (activation with bandwidth
+//!   utilisation, streak-length response driven by the local inner
+//!   dimension, stream-count response, node-population penalty),
+//! * the chosen code variant (original, SpecI2M off, non-temporal stores +
+//!   loop restructuring),
+//!
+//! into a predicted code balance in byte per iteration.  The refined
+//! full-node model of Fig. 7 and the per-rank curves of Fig. 3 are both
+//! produced by this module.
+
+use clover_machine::speci2m::EvasionContext;
+use clover_machine::Machine;
+use clover_stencil::{CodeBalance, LoopSpec};
+
+use crate::decomp::Decomposition;
+
+/// Code variant being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeVariant {
+    /// The unmodified SPEChpc code: plain stores, hardware may apply
+    /// SpecI2M where it can.
+    Original,
+    /// SpecI2M switched off via the MSR bit (plain stores, full
+    /// write-allocates).
+    SpecI2MOff,
+    /// The paper's optimized version: `!DIR$ vector nontemporal` on each
+    /// hotspot loop (one write stream per loop becomes NT) plus the
+    /// restructuring of ac01/ac05 so SpecI2M applies to the second stream.
+    Optimized,
+}
+
+/// Options of one traffic-model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficOptions {
+    /// Code variant.
+    pub variant: CodeVariant,
+    /// Number of ranks (compact pinning).
+    pub ranks: usize,
+    /// Whether the layer condition is fulfilled (it always is for the Tiny
+    /// working set on the evaluated machines; exposed for what-if studies).
+    pub layer_condition_ok: bool,
+}
+
+impl TrafficOptions {
+    /// Original code on `ranks` ranks with the layer condition satisfied.
+    pub fn original(ranks: usize) -> Self {
+        Self { variant: CodeVariant::Original, ranks, layer_condition_ok: true }
+    }
+
+    /// Optimized code (NT stores + restructuring) on `ranks` ranks.
+    pub fn optimized(ranks: usize) -> Self {
+        Self { variant: CodeVariant::Optimized, ranks, layer_condition_ok: true }
+    }
+
+    /// Original code with SpecI2M disabled.
+    pub fn speci2m_off(ranks: usize) -> Self {
+        Self { variant: CodeVariant::SpecI2MOff, ranks, layer_condition_ok: true }
+    }
+}
+
+/// Traffic prediction for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopTraffic {
+    /// Loop label.
+    pub name: String,
+    /// Structural code-balance bounds (Table I).
+    pub bounds: CodeBalance,
+    /// Predicted read traffic per iteration (bytes).
+    pub read_bytes_per_it: f64,
+    /// Predicted write traffic per iteration (bytes).
+    pub write_bytes_per_it: f64,
+    /// Fraction of evadable write-allocates actually evaded.
+    pub evasion_fraction: f64,
+    /// Flops per iteration.
+    pub flops_per_it: f64,
+}
+
+impl LoopTraffic {
+    /// Total predicted code balance (byte/it).
+    pub fn code_balance(&self) -> f64 {
+        self.read_bytes_per_it + self.write_bytes_per_it
+    }
+
+    /// Roofline time per iteration (seconds) at memory bandwidth `bw`
+    /// (byte/s) and peak in-core performance `peak_flops` (flop/s).
+    pub fn time_per_iteration(&self, bw: f64, peak_flops: f64) -> f64 {
+        let mem = self.code_balance() / bw.max(1.0);
+        let core = self.flops_per_it / peak_flops.max(1.0);
+        mem.max(core)
+    }
+}
+
+/// The per-loop traffic model for one machine.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    machine: Machine,
+}
+
+impl TrafficModel {
+    /// Create a model for `machine`.
+    pub fn new(machine: Machine) -> Self {
+        Self { machine }
+    }
+
+    /// Borrow the machine description.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Evasion context of a rank under compact pinning with the given local
+    /// inner dimension (elements) and store stream count.
+    fn evasion_context(
+        &self,
+        ranks: usize,
+        local_inner: usize,
+        store_streams: usize,
+    ) -> EvasionContext {
+        let per_domain = self.machine.topology.active_cores_per_domain(ranks);
+        let active_domains = per_domain.iter().filter(|&&c| c > 0).count().max(1);
+        let busiest = per_domain.iter().copied().max().unwrap_or(1);
+        EvasionContext {
+            domain_utilization: self.machine.domain_utilization(busiest),
+            active_domains,
+            total_domains: self.machine.topology.domains.len(),
+            store_streams: store_streams.max(1),
+            // A grid row of `local_inner` doubles forms one store streak.
+            streak_lines: (local_inner as f64 * 8.0 / 64.0).max(1.0),
+        }
+    }
+
+    /// Predict the traffic of a single loop for the given options and
+    /// decomposition.
+    pub fn predict_loop(
+        &self,
+        spec: &LoopSpec,
+        opts: &TrafficOptions,
+        decomp: &Decomposition,
+    ) -> LoopTraffic {
+        let bounds = CodeBalance::from_spec(spec);
+        let local_inner = decomp.typical_local_inner().max(1);
+        let elem = 8.0;
+
+        let rd_base = if opts.layer_condition_ok { spec.rd_lcf() } else { spec.rd_lcb() } as f64;
+        let wr = spec.wr() as f64;
+        let mut evadable = spec.evadable_write_streams() as f64;
+
+        // Halo overhead of short rows: each read stream fetches up to one
+        // extra cache line per row (Sec. V-C); partial first/last lines of
+        // the written rows add the same overhead on the write-allocate side.
+        let row_overhead = 8.0 / (local_inner as f64 + 8.0);
+        let read_halo_overhead = rd_base * elem * row_overhead;
+
+        let ctx = self.evasion_context(opts.ranks, local_inner, spec.wr().max(1));
+        let params = match opts.variant {
+            CodeVariant::SpecI2MOff => self.machine.speci2m.switched_off(),
+            _ => self.machine.speci2m.clone(),
+        };
+
+        // Loops whose stores the hardware fails to recognise (ac01/ac05 in
+        // the original code) and branchy loops (ac02/ac06) see no SpecI2M in
+        // the original variant; the optimized variant restructures ac01/ac05.
+        let blocked = match opts.variant {
+            CodeVariant::Original => spec.speci2m_blocked || spec.has_branches,
+            CodeVariant::Optimized => spec.has_branches,
+            CodeVariant::SpecI2MOff => true,
+        };
+
+        let mut nt_streams = 0.0;
+        if opts.variant == CodeVariant::Optimized && evadable >= 1.0 {
+            // The compiler applies the NT directive to exactly one
+            // (alignable) write stream; the rest stays with SpecI2M.
+            nt_streams = 1.0;
+            evadable -= 1.0;
+        }
+
+        let evasion = if blocked { 0.0 } else { params.evasion_fraction(&ctx) };
+        let spec_read = if blocked { 0.0 } else { params.speculative_read_fraction(&ctx) };
+        let nt_flush = params.nt_partial_flush_fraction(
+            ctx.domain_utilization,
+            ctx.active_domains,
+            ctx.total_domains,
+        );
+
+        // Reads: leading elements + non-evaded write-allocates + speculative
+        // reads + NT partial flushes + short-row halo overhead.
+        let wa_reads = evadable * elem * (1.0 - evasion);
+        let speculative = evadable * elem * spec_read;
+        let nt_reads = nt_streams * elem * nt_flush;
+        let read = rd_base * elem + wa_reads + speculative + nt_reads + read_halo_overhead;
+
+        // Writes: every written element reaches memory once; partial lines
+        // at row boundaries add up to one extra line per row and stream.
+        let write_halo_overhead = wr * elem * row_overhead * 0.5;
+        let write = wr * elem + write_halo_overhead;
+
+        LoopTraffic {
+            name: spec.name.clone(),
+            bounds,
+            read_bytes_per_it: read,
+            write_bytes_per_it: write,
+            evasion_fraction: evasion,
+            flops_per_it: spec.flops as f64,
+        }
+    }
+
+    /// Predict the traffic of every catalogue loop.
+    pub fn predict_all(&self, opts: &TrafficOptions, decomp: &Decomposition) -> Vec<LoopTraffic> {
+        clover_stencil::cloverleaf_loops()
+            .iter()
+            .map(|spec| self.predict_loop(spec, opts, decomp))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::icelake_sp_8360y;
+    use clover_stencil::loop_by_name;
+    use crate::TINY_GRID;
+
+    fn model() -> TrafficModel {
+        TrafficModel::new(icelake_sp_8360y())
+    }
+
+    fn decomp(ranks: usize) -> Decomposition {
+        Decomposition::new(ranks, TINY_GRID, TINY_GRID)
+    }
+
+    #[test]
+    fn single_core_matches_lcf_wa_bound() {
+        // Table I: the single-core measurement equals the LCF+WA case within
+        // a few percent for every loop.
+        let m = model();
+        for spec in clover_stencil::cloverleaf_loops() {
+            let t = m.predict_loop(&spec, &TrafficOptions::original(1), &decomp(1));
+            let rel = (t.code_balance() - t.bounds.lcf_wa).abs() / t.bounds.lcf_wa;
+            assert!(rel < 0.03, "{}: predicted {} vs LCF,WA {}", spec.name, t.code_balance(), t.bounds.lcf_wa);
+        }
+    }
+
+    #[test]
+    fn full_node_am04_drops_towards_minimum() {
+        let m = model();
+        let spec = loop_by_name("am04").unwrap();
+        let serial = m.predict_loop(&spec, &TrafficOptions::original(1), &decomp(1));
+        let node = m.predict_loop(&spec, &TrafficOptions::original(72), &decomp(72));
+        assert!(node.code_balance() < serial.code_balance());
+        // The refined model lands between the min (16) and LCF+WA (24).
+        assert!(node.code_balance() > node.bounds.min);
+        assert!(node.code_balance() < node.bounds.lcf_wa);
+    }
+
+    #[test]
+    fn speci2m_off_keeps_single_core_balance_at_all_rank_counts() {
+        let m = model();
+        let spec = loop_by_name("am04").unwrap();
+        let node = m.predict_loop(&spec, &TrafficOptions::speci2m_off(72), &decomp(72));
+        // Without SpecI2M the balance stays near the LCF+WA value (modulo
+        // the small halo overhead of the 1920-element rows).
+        assert!((node.code_balance() - node.bounds.lcf_wa).abs() / node.bounds.lcf_wa < 0.05);
+        assert_eq!(node.evasion_fraction, 0.0);
+    }
+
+    #[test]
+    fn prime_rank_counts_have_higher_balance_than_neighbours() {
+        let m = model();
+        let spec = loop_by_name("am04").unwrap();
+        let balance = |ranks: usize| {
+            m.predict_loop(&spec, &TrafficOptions::original(ranks), &decomp(ranks)).code_balance()
+        };
+        // 71 is prime (216-element rows); 72 decomposes 8×9 (1920-element rows).
+        assert!(balance(71) > balance(72) * 1.05, "71: {} vs 72: {}", balance(71), balance(72));
+        assert!(balance(37) > balance(36) * 1.04, "37: {} vs 36: {}", balance(37), balance(36));
+    }
+
+    #[test]
+    fn class_iii_loops_are_insensitive_to_speci2m() {
+        // am07, am11, ac03, ac07 have no evadable write stream: their
+        // balance must be identical with and without SpecI2M.
+        let m = model();
+        for name in ["am07", "am11", "ac03", "ac07"] {
+            let spec = loop_by_name(name).unwrap();
+            let on = m.predict_loop(&spec, &TrafficOptions::original(72), &decomp(72));
+            let off = m.predict_loop(&spec, &TrafficOptions::speci2m_off(72), &decomp(72));
+            assert!(
+                (on.code_balance() - off.code_balance()).abs() < 1e-9,
+                "{name}: {} vs {}",
+                on.code_balance(),
+                off.code_balance()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_loops_do_not_profit_in_original_but_do_when_optimized() {
+        let m = model();
+        for name in ["ac01", "ac05"] {
+            let spec = loop_by_name(name).unwrap();
+            let orig = m.predict_loop(&spec, &TrafficOptions::original(72), &decomp(72));
+            let opt = m.predict_loop(&spec, &TrafficOptions::optimized(72), &decomp(72));
+            assert_eq!(orig.evasion_fraction, 0.0, "{name} blocked in original code");
+            assert!(opt.code_balance() < orig.code_balance(), "{name} must improve when optimized");
+        }
+    }
+
+    #[test]
+    fn optimized_variant_improves_average_balance_by_a_few_percent() {
+        // Fig. 7: the optimized version achieves on average 5.8 % lower code
+        // balance (maximum 23.2 %).
+        let m = model();
+        let d = decomp(72);
+        let orig = m.predict_all(&TrafficOptions::original(72), &d);
+        let opt = m.predict_all(&TrafficOptions::optimized(72), &d);
+        let rel_impr: Vec<f64> = orig
+            .iter()
+            .zip(&opt)
+            .map(|(o, n)| (o.code_balance() - n.code_balance()) / o.code_balance())
+            .collect();
+        let avg = rel_impr.iter().sum::<f64>() / rel_impr.len() as f64;
+        let max = rel_impr.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(avg > 0.02 && avg < 0.12, "average improvement {avg}");
+        assert!(max > 0.10 && max < 0.30, "max improvement {max}");
+        assert!(rel_impr.iter().all(|&r| r > -1e-9), "optimization must never hurt");
+    }
+
+    #[test]
+    fn roofline_time_is_memory_bound_for_hotspot_loops() {
+        let m = model();
+        let spec = loop_by_name("pdv00").unwrap();
+        let t = m.predict_loop(&spec, &TrafficOptions::original(18), &decomp(18));
+        let machine = icelake_sp_8360y();
+        let bw_per_rank = machine.domain_bandwidth() / 18.0;
+        let mem_time = t.code_balance() / bw_per_rank;
+        assert!((t.time_per_iteration(bw_per_rank, machine.core_peak_flops()) - mem_time).abs() < 1e-15);
+    }
+
+    #[test]
+    fn predict_all_covers_all_loops() {
+        let m = model();
+        let all = m.predict_all(&TrafficOptions::original(36), &decomp(36));
+        assert_eq!(all.len(), 22);
+        assert!(all.iter().all(|t| t.code_balance() > 0.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Main-memory bandwidth saturation model.
+//!
+//! Memory-bound codes saturate the bandwidth of a ccNUMA domain with a
+//! fraction of its cores (about 9 of 18 on the Ice Lake SP test system).
+//! The scaling study (Fig. 2), the Roofline predictions and the SpecI2M
+//! activation model all need the attainable bandwidth — and the resulting
+//! *utilisation* — as a function of the number of active cores per domain.
+
+/// Shape of the per-domain bandwidth saturation curve.
+///
+/// The curve is the classic "linear ramp with saturation" used in ECM-style
+/// models: one core draws `saturated_bw / saturation_cores`, `n` cores draw
+/// `n` times that until the domain limit is reached, with an optional smooth
+/// knee controlled by `knee_sharpness`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SaturationCurve {
+    /// Number of cores required to reach the saturated domain bandwidth.
+    pub saturation_cores: f64,
+    /// Knee smoothing exponent; large values approach the hard
+    /// `min(n/n_sat, 1)` ramp, small values give a softer approach to
+    /// saturation.  Typical value: 4.
+    pub knee_sharpness: f64,
+}
+
+impl SaturationCurve {
+    /// Create a curve that saturates at `saturation_cores` cores.
+    pub fn new(saturation_cores: f64, knee_sharpness: f64) -> Self {
+        assert!(saturation_cores > 0.0 && knee_sharpness > 0.0);
+        Self {
+            saturation_cores,
+            knee_sharpness,
+        }
+    }
+
+    /// Fraction of the saturated bandwidth drawn by `cores` active cores
+    /// (0..=1).  This is also the bandwidth *utilisation* of the domain.
+    pub fn utilization(&self, cores: usize) -> f64 {
+        if cores == 0 {
+            return 0.0;
+        }
+        let x = cores as f64 / self.saturation_cores;
+        // Smooth-min of x and 1: (x^-k + 1)^(-1/k) approaches min(x, 1).
+        let k = self.knee_sharpness;
+        (x.powf(-k) + 1.0).powf(-1.0 / k)
+    }
+
+    /// Attainable bandwidth (byte/s) for `cores` active cores in a domain
+    /// whose saturated bandwidth is `saturated_bw`.
+    pub fn bandwidth(&self, cores: usize, saturated_bw: f64) -> f64 {
+        saturated_bw * self.utilization(cores)
+    }
+}
+
+/// Bandwidth model of one machine: saturated per-domain bandwidth plus the
+/// saturation curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BandwidthModel {
+    /// Saturated (attainable) bandwidth of one ccNUMA domain in byte/s.
+    pub domain_saturated_bw: f64,
+    /// Single-core attainable bandwidth in byte/s (load+store mix).
+    pub single_core_bw: f64,
+    /// Saturation curve shape.
+    pub curve: SaturationCurve,
+}
+
+impl BandwidthModel {
+    /// Construct a model; `saturation_cores` is derived from the ratio of
+    /// domain to single-core bandwidth unless the curve says otherwise.
+    pub fn new(domain_saturated_bw: f64, single_core_bw: f64, curve: SaturationCurve) -> Self {
+        assert!(domain_saturated_bw > 0.0 && single_core_bw > 0.0);
+        Self {
+            domain_saturated_bw,
+            single_core_bw,
+            curve,
+        }
+    }
+
+    /// Attainable bandwidth of `cores` cores within one domain (byte/s).
+    pub fn domain_bandwidth(&self, cores: usize) -> f64 {
+        self.curve.bandwidth(cores, self.domain_saturated_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_zero_and_saturated() {
+        let c = SaturationCurve::new(9.0, 4.0);
+        assert_eq!(c.utilization(0), 0.0);
+        assert!(c.utilization(18) > 0.95);
+        assert!(c.utilization(100) <= 1.0);
+    }
+
+    #[test]
+    fn utilization_monotone() {
+        let c = SaturationCurve::new(9.0, 4.0);
+        let mut prev = 0.0;
+        for n in 0..40 {
+            let u = c.utilization(n);
+            assert!(u >= prev);
+            assert!(u <= 1.0);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn single_core_fraction_is_roughly_linear_region() {
+        let c = SaturationCurve::new(9.0, 4.0);
+        let u1 = c.utilization(1);
+        // One of nine cores should draw roughly 1/9 of the bandwidth.
+        assert!((u1 - 1.0 / 9.0).abs() < 0.02, "u1 = {u1}");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_saturated_bw() {
+        let c = SaturationCurve::new(9.0, 4.0);
+        let m = BandwidthModel::new(80e9, 13e9, c);
+        assert!(m.domain_bandwidth(18) > 0.95 * 80e9);
+        assert!(m.domain_bandwidth(1) < 15e9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_curve_panics() {
+        let _ = SaturationCurve::new(0.0, 4.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Phenomenological parameter set of the SpecI2M write-allocate evasion
+//! feature.
+//!
+//! Intel does not disclose the heuristics that govern SpecI2M; the paper
+//! characterises the feature through microbenchmarks (store ratio vs. core
+//! count and stream count, copy read/write ratio vs. inner-loop length and
+//! halo size).  This module captures that characterisation as a parameter
+//! set plus a closed-form efficiency function.  The cache simulator
+//! (`clover-cachesim`) applies the efficiency per store stream; the analytic
+//! models (`clover-core`) use the same function directly.
+//!
+//! The observed behaviour encoded here:
+//!
+//! * SpecI2M is **dynamic-adaptive**: it only engages when the memory
+//!   bandwidth utilisation of the ccNUMA domain is high (Sec. V-A).
+//! * Its effectiveness **degrades with the number of concurrent store
+//!   streams** on Ice Lake SP (Fig. 5) but not on Sapphire Rapids (Fig. 10).
+//! * It **fails on short inner loops**: store streaks of only a few cache
+//!   lines (prime-rank decompositions → 216-element rows) evade far fewer
+//!   write-allocates than long streaks (Fig. 8).
+//! * Partial cache lines at row boundaries are never evaded and additionally
+//!   trigger **speculative reads** that inflate the read volume — the
+//!   "prime number effect" (Sec. V-C).
+//! * Efficiency drops again when additional ccNUMA domains are populated
+//!   (full node worse than full socket, Fig. 5).
+
+/// How SpecI2M efficiency responds to the number of concurrent store
+/// streams of one core.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StreamCountResponse {
+    /// Multiplicative efficiency factor for 1, 2, 3, ... store streams.
+    /// Streams beyond the table use the last entry.
+    pub factors: Vec<f64>,
+}
+
+impl StreamCountResponse {
+    /// Constant response (no stream-count dependence).
+    pub fn flat() -> Self {
+        Self { factors: vec![1.0] }
+    }
+
+    /// Factor for a given stream count (1-based; 0 is treated as 1).
+    pub fn factor(&self, streams: usize) -> f64 {
+        if self.factors.is_empty() {
+            return 1.0;
+        }
+        let idx = streams.max(1).min(self.factors.len()) - 1;
+        self.factors[idx]
+    }
+}
+
+/// Everything the simulator/model needs to know about SpecI2M on one chip.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpecI2MParams {
+    /// Whether the feature exists/is enabled (it can be switched off via an
+    /// NDA'd MSR bit; the paper uses that switch to isolate the effect).
+    pub enabled: bool,
+    /// Domain bandwidth utilisation below which SpecI2M stays inactive.
+    pub activation_utilization: f64,
+    /// Domain bandwidth utilisation above which SpecI2M reaches its full
+    /// efficiency.
+    pub full_effect_utilization: f64,
+    /// Maximum fraction of write-allocates evaded for an ideal workload
+    /// (single long store stream, one ccNUMA domain populated).
+    pub max_evasion: f64,
+    /// Efficiency penalty when every ccNUMA domain of the node is populated
+    /// (the full-node store ratio is worse than the full-socket one).
+    /// 0 = no penalty, 0.2 = 20 % efficiency loss at full node.
+    pub node_population_penalty: f64,
+    /// Stream-count response (Ice Lake degrades, Sapphire Rapids does not).
+    pub stream_response: StreamCountResponse,
+    /// Characteristic store-streak length (in cache lines) of the
+    /// exponential streak response `1 - exp(-lines/scale)`.
+    pub streak_scale_lines: f64,
+    /// Fraction of *failed* SpecI2M attempts (eligible full-line stores that
+    /// were not evaded while the feature is active) that additionally incur
+    /// a speculative read of the line into L3 — the mechanism behind the
+    /// extra read volume of the prime-number effect.
+    pub speculative_read_penalty: f64,
+    /// Fraction of NT (non-temporal) stores whose write-combine buffer is
+    /// flushed partially under full-node load, causing a read despite the NT
+    /// hint (the NT store ratio rises from 1.0 to ~1.16 on ICX).
+    pub nt_partial_flush_max: f64,
+}
+
+/// Workload/occupancy context for one store stream, used to evaluate the
+/// SpecI2M efficiency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvasionContext {
+    /// Bandwidth utilisation (0..=1) of the ccNUMA domain the stream's
+    /// target memory lives in.
+    pub domain_utilization: f64,
+    /// Number of ccNUMA domains populated with at least one active core.
+    pub active_domains: usize,
+    /// Total number of ccNUMA domains in the node.
+    pub total_domains: usize,
+    /// Concurrent store streams issued by the core.
+    pub store_streams: usize,
+    /// Length of the consecutive full-line store streak in cache lines
+    /// (e.g. an inner loop of 216 doubles → 27 lines).
+    pub streak_lines: f64,
+}
+
+impl SpecI2MParams {
+    /// Parameter set representing a chip without any automatic
+    /// write-allocate evasion (or with the feature switched off).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            activation_utilization: 1.0,
+            full_effect_utilization: 1.0,
+            max_evasion: 0.0,
+            node_population_penalty: 0.0,
+            stream_response: StreamCountResponse::flat(),
+            streak_scale_lines: 1.0,
+            speculative_read_penalty: 0.0,
+            nt_partial_flush_max: 0.0,
+        }
+    }
+
+    /// Return a copy with the feature switched off (models clearing the MSR
+    /// bit, as done in Sec. V-A of the paper).
+    pub fn switched_off(&self) -> Self {
+        let mut p = self.clone();
+        p.enabled = false;
+        p
+    }
+
+    /// Ramp factor (0..=1) describing how far SpecI2M has "kicked in" at a
+    /// given domain bandwidth utilisation.
+    pub fn activation_ramp(&self, utilization: f64) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let u = utilization.clamp(0.0, 1.0);
+        if u <= self.activation_utilization {
+            0.0
+        } else if u >= self.full_effect_utilization {
+            1.0
+        } else {
+            (u - self.activation_utilization)
+                / (self.full_effect_utilization - self.activation_utilization)
+        }
+    }
+
+    /// Streak-length response (0..=1): long consecutive full-line store
+    /// streaks are detected reliably, short ones are not.
+    pub fn streak_response(&self, streak_lines: f64) -> f64 {
+        if streak_lines <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-streak_lines / self.streak_scale_lines).exp()
+    }
+
+    /// Penalty factor (0..=1 multiplier) from populating several ccNUMA
+    /// domains.
+    pub fn node_population_factor(&self, active_domains: usize, total_domains: usize) -> f64 {
+        if total_domains <= 1 || active_domains <= 1 {
+            return 1.0;
+        }
+        let frac = (active_domains.min(total_domains) - 1) as f64 / (total_domains - 1) as f64;
+        1.0 - self.node_population_penalty * frac
+    }
+
+    /// Fraction of write-allocates evaded for full-line stores in the given
+    /// context (0..=1).
+    ///
+    /// This is the central phenomenological function: the product of the
+    /// activation ramp, the stream-count response, the streak-length
+    /// response, the node-population penalty and the machine's maximum
+    /// evasion efficiency.
+    pub fn evasion_fraction(&self, ctx: &EvasionContext) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let ramp = self.activation_ramp(ctx.domain_utilization);
+        let streams = self.stream_response.factor(ctx.store_streams);
+        let streak = self.streak_response(ctx.streak_lines);
+        let node = self.node_population_factor(ctx.active_domains, ctx.total_domains);
+        (self.max_evasion * ramp * streams * streak * node).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of eligible (full-line) stores that trigger a *speculative
+    /// read* although they were not evaded.  Relevant for short streaks:
+    /// SpecI2M starts speculating, fails, and the line is fetched anyway —
+    /// sometimes more than once (adjacent-line prefetch), which is the
+    /// origin of the up-to-24 % read inflation at prime rank counts.
+    pub fn speculative_read_fraction(&self, ctx: &EvasionContext) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let ramp = self.activation_ramp(ctx.domain_utilization);
+        if ramp <= 0.0 {
+            return 0.0;
+        }
+        // Failed attempts are those suppressed by the streak response.
+        let failed = 1.0 - self.streak_response(ctx.streak_lines);
+        (self.speculative_read_penalty * ramp * failed).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of non-temporal stores that nevertheless cause a read
+    /// (partial write-combine-buffer flush) at the given utilisation.
+    pub fn nt_partial_flush_fraction(&self, domain_utilization: f64, active_domains: usize, total_domains: usize) -> f64 {
+        let u = domain_utilization.clamp(0.0, 1.0);
+        let pop = if total_domains <= 1 {
+            1.0
+        } else {
+            0.5 + 0.5 * active_domains.min(total_domains) as f64 / total_domains as f64
+        };
+        (self.nt_partial_flush_max * u * pop).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{icelake_sp_8360y, sapphire_rapids_8480};
+
+    fn ctx(util: f64, domains: usize, streams: usize, streak: f64) -> EvasionContext {
+        EvasionContext {
+            domain_utilization: util,
+            active_domains: domains,
+            total_domains: 4,
+            store_streams: streams,
+            streak_lines: streak,
+        }
+    }
+
+    #[test]
+    fn disabled_never_evades() {
+        let p = SpecI2MParams::disabled();
+        assert_eq!(p.evasion_fraction(&ctx(1.0, 1, 1, 1000.0)), 0.0);
+        assert_eq!(p.speculative_read_fraction(&ctx(1.0, 1, 1, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn switched_off_copy_keeps_other_params() {
+        let p = icelake_sp_8360y().speci2m;
+        let off = p.switched_off();
+        assert!(!off.enabled);
+        assert_eq!(off.max_evasion, p.max_evasion);
+        assert_eq!(off.evasion_fraction(&ctx(1.0, 1, 1, 1000.0)), 0.0);
+    }
+
+    #[test]
+    fn icx_serial_code_sees_no_evasion() {
+        let p = icelake_sp_8360y();
+        let u = p.domain_utilization(1);
+        let f = p.speci2m.evasion_fraction(&ctx(u, 1, 1, 1000.0));
+        assert!(f < 0.05, "serial evasion should be negligible, got {f}");
+    }
+
+    #[test]
+    fn icx_saturated_domain_evasion_is_high() {
+        let p = icelake_sp_8360y();
+        let f = p.speci2m.evasion_fraction(&ctx(1.0, 1, 1, 2000.0));
+        assert!(f > 0.9, "saturated single-domain evasion should exceed 90 %, got {f}");
+    }
+
+    #[test]
+    fn full_node_is_worse_than_full_socket_on_icx() {
+        let p = icelake_sp_8360y().speci2m;
+        let socket = p.evasion_fraction(&ctx(1.0, 2, 1, 2000.0));
+        let node = p.evasion_fraction(&ctx(1.0, 4, 1, 2000.0));
+        assert!(node < socket);
+        // Full-node store ratio should land in the paper's 1.2–1.25 band.
+        let ratio = 2.0 - node;
+        assert!((1.15..=1.3).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn more_streams_hurt_on_icx_but_not_spr() {
+        let icx = icelake_sp_8360y().speci2m;
+        let spr = sapphire_rapids_8480().speci2m;
+        let c1 = ctx(1.0, 1, 1, 2000.0);
+        let c3 = ctx(1.0, 1, 3, 2000.0);
+        assert!(icx.evasion_fraction(&c3) < icx.evasion_fraction(&c1));
+        assert!((spr.evasion_fraction(&c3) - spr.evasion_fraction(&c1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_streaks_evade_less() {
+        let p = icelake_sp_8360y().speci2m;
+        let short = p.evasion_fraction(&ctx(1.0, 4, 1, 27.0)); // 216 doubles
+        let long = p.evasion_fraction(&ctx(1.0, 4, 1, 240.0)); // 1920 doubles
+        assert!(short < long);
+        assert!(long - short > 0.15, "short loops must lose noticeably: {short} vs {long}");
+    }
+
+    #[test]
+    fn speculative_reads_only_for_short_streaks_under_load() {
+        let p = icelake_sp_8360y().speci2m;
+        assert_eq!(p.speculative_read_fraction(&ctx(0.0, 1, 1, 10.0)), 0.0);
+        let short = p.speculative_read_fraction(&ctx(1.0, 4, 1, 27.0));
+        let long = p.speculative_read_fraction(&ctx(1.0, 4, 1, 2000.0));
+        assert!(short > long);
+        assert!(short > 0.05);
+    }
+
+    #[test]
+    fn spr_evades_less_than_icx() {
+        let icx = icelake_sp_8360y().speci2m;
+        let spr = sapphire_rapids_8480().speci2m;
+        let c = ctx(1.0, 1, 1, 2000.0);
+        assert!(spr.evasion_fraction(&c) < icx.evasion_fraction(&c));
+        // SPR evades roughly half of the write-allocates at best.
+        let ratio = 2.0 - spr.evasion_fraction(&c);
+        assert!((1.4..=1.6).contains(&ratio), "SPR best ratio = {ratio}");
+    }
+
+    #[test]
+    fn stream_response_clamps_index() {
+        let r = StreamCountResponse { factors: vec![1.0, 0.9, 0.8] };
+        assert_eq!(r.factor(0), 1.0);
+        assert_eq!(r.factor(1), 1.0);
+        assert_eq!(r.factor(3), 0.8);
+        assert_eq!(r.factor(10), 0.8);
+        assert_eq!(StreamCountResponse::flat().factor(7), 1.0);
+    }
+
+    #[test]
+    fn activation_ramp_edges() {
+        let p = icelake_sp_8360y().speci2m;
+        assert_eq!(p.activation_ramp(0.0), 0.0);
+        assert_eq!(p.activation_ramp(1.0), 1.0);
+        let mid = p.activation_ramp((p.activation_utilization + p.full_effect_utilization) / 2.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn nt_partial_flush_band_on_icx() {
+        let p = icelake_sp_8360y().speci2m;
+        let at_node = p.nt_partial_flush_fraction(1.0, 4, 4);
+        assert!((0.12..=0.20).contains(&at_node), "NT flush fraction = {at_node}");
+        assert!(p.nt_partial_flush_fraction(0.05, 1, 4) < 0.02);
+    }
+}

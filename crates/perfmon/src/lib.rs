@@ -1,0 +1,15 @@
+//! `clover-perfmon` — region markers and per-loop traffic measurement.
+//!
+//! Plays the role LIKWID's Marker API plays in the paper: code regions are
+//! bracketed with start/stop markers, and the memory-controller counters of
+//! the cache simulator are attributed to the enclosing region.  On top of
+//! the raw markers, [`loop_measure`] drives the simulator with the access
+//! pattern of one CloverLeaf hotspot loop (derived from its
+//! `clover-stencil` descriptor) over a band of grid rows and reports the
+//! measured code balance — the "measurement" side of Table I and Fig. 3.
+
+pub mod loop_measure;
+pub mod marker;
+
+pub use loop_measure::{measure_loop, LoopMeasurement, MeasureConfig};
+pub use marker::{PerfMonitor, RegionStats};

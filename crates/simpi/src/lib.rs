@@ -1,0 +1,26 @@
+//! `clover-simpi` — an in-process message-passing substrate.
+//!
+//! The CloverLeaf benchmark in the paper is the *MPI-only* version: every
+//! rank owns a chunk of the 2D grid and exchanges halo layers with its
+//! neighbours, plus global reductions for the time-step control.  This crate
+//! provides exactly the communication primitives CloverLeaf needs, executed
+//! by ranks that are ordinary OS threads exchanging messages over channels:
+//!
+//! * point-to-point `send`/`recv` with tags and an unexpected-message queue,
+//! * non-blocking `isend` with a `Request`/`waitall` pair (the paper's
+//!   profile is dominated by `MPI_Waitall`),
+//! * `barrier`, `allreduce` (min/max/sum) and `reduce`,
+//! * per-rank wall-clock accounting of the time spent in each operation
+//!   class, mirroring the ITAC measurement behind Fig. 4.
+//!
+//! The substrate is deliberately small: it is not a general MPI, it is the
+//! subset CloverLeaf exercises, with deterministic semantics suitable for
+//! unit tests.
+
+pub mod comm;
+pub mod timing;
+pub mod world;
+
+pub use comm::{Comm, Request};
+pub use timing::{MpiOp, TimeBreakdown};
+pub use world::World;

@@ -1,0 +1,159 @@
+//! Wall-clock accounting of communication operations.
+//!
+//! The paper's Fig. 4 breaks the runtime of CloverLeaf into serial execution
+//! and the time spent in individual MPI calls (`MPI_Waitall`,
+//! `MPI_Allreduce`, `MPI_Isend`, `MPI_Reduce`, `MPI_Barrier`).  Every
+//! [`crate::Comm`] records the same breakdown for its rank.
+
+use std::time::Duration;
+
+/// Classes of communication operations that are timed separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiOp {
+    /// Non-blocking send initiation.
+    Isend,
+    /// Blocking receive / wait for all outstanding requests.
+    Waitall,
+    /// Global all-reduce.
+    Allreduce,
+    /// Root-only reduce.
+    Reduce,
+    /// Barrier synchronisation.
+    Barrier,
+}
+
+impl MpiOp {
+    /// All operation classes in display order (matches Fig. 4's legend).
+    pub const ALL: [MpiOp; 5] = [
+        MpiOp::Waitall,
+        MpiOp::Allreduce,
+        MpiOp::Isend,
+        MpiOp::Reduce,
+        MpiOp::Barrier,
+    ];
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiOp::Isend => "MPI_Isend",
+            MpiOp::Waitall => "MPI_Waitall",
+            MpiOp::Allreduce => "MPI_Allreduce",
+            MpiOp::Reduce => "MPI_Reduce",
+            MpiOp::Barrier => "MPI_Barrier",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            MpiOp::Waitall => 0,
+            MpiOp::Allreduce => 1,
+            MpiOp::Isend => 2,
+            MpiOp::Reduce => 3,
+            MpiOp::Barrier => 4,
+        }
+    }
+}
+
+/// Per-rank communication time breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct TimeBreakdown {
+    times: [Duration; 5],
+}
+
+impl TimeBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `dt` to the bucket of `op`.
+    pub fn add(&mut self, op: MpiOp, dt: Duration) {
+        self.times[op.index()] += dt;
+    }
+
+    /// Time spent in `op`.
+    pub fn get(&self, op: MpiOp) -> Duration {
+        self.times[op.index()]
+    }
+
+    /// Total time spent in all communication operations.
+    pub fn total_comm(&self) -> Duration {
+        self.times.iter().sum()
+    }
+
+    /// Merge another breakdown into this one (e.g. across ranks).
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for i in 0..self.times.len() {
+            self.times[i] += other.times[i];
+        }
+    }
+
+    /// Relative share of each operation (plus the serial share first) given
+    /// the total wall-clock time of the rank.  Mirrors Fig. 4: returns
+    /// `(serial_fraction, [(op, fraction); 5])`.
+    pub fn relative_shares(&self, wall: Duration) -> (f64, Vec<(MpiOp, f64)>) {
+        let wall_s = wall.as_secs_f64().max(1e-12);
+        let comm_s = self.total_comm().as_secs_f64().min(wall_s);
+        let serial = (wall_s - comm_s) / wall_s;
+        let shares = MpiOp::ALL
+            .iter()
+            .map(|&op| (op, self.get(op).as_secs_f64() / wall_s))
+            .collect();
+        (serial, shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut b = TimeBreakdown::new();
+        b.add(MpiOp::Waitall, Duration::from_millis(10));
+        b.add(MpiOp::Waitall, Duration::from_millis(5));
+        b.add(MpiOp::Allreduce, Duration::from_millis(1));
+        assert_eq!(b.get(MpiOp::Waitall), Duration::from_millis(15));
+        assert_eq!(b.get(MpiOp::Allreduce), Duration::from_millis(1));
+        assert_eq!(b.get(MpiOp::Barrier), Duration::ZERO);
+        assert_eq!(b.total_comm(), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimeBreakdown::new();
+        a.add(MpiOp::Isend, Duration::from_millis(2));
+        let mut b = TimeBreakdown::new();
+        b.add(MpiOp::Isend, Duration::from_millis(3));
+        b.add(MpiOp::Reduce, Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.get(MpiOp::Isend), Duration::from_millis(5));
+        assert_eq!(a.get(MpiOp::Reduce), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn relative_shares_sum_to_one() {
+        let mut b = TimeBreakdown::new();
+        b.add(MpiOp::Waitall, Duration::from_millis(20));
+        b.add(MpiOp::Allreduce, Duration::from_millis(10));
+        let (serial, shares) = b.relative_shares(Duration::from_millis(100));
+        let total: f64 = serial + shares.iter().map(|(_, f)| f).sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((serial - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_cover_all_ops() {
+        for op in MpiOp::ALL {
+            assert!(op.name().starts_with("MPI_"));
+        }
+    }
+
+    #[test]
+    fn shares_clamp_when_comm_exceeds_wall() {
+        let mut b = TimeBreakdown::new();
+        b.add(MpiOp::Barrier, Duration::from_secs(2));
+        let (serial, _) = b.relative_shares(Duration::from_secs(1));
+        assert!(serial >= 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Layer-condition analysis.
+//!
+//! Layer conditions adapt the reuse-distance concept to stencil loops: if
+//! the cache can hold the number of grid rows spanned by the stencil, every
+//! array element is loaded from memory only once per sweep; otherwise each
+//! row of the stencil causes its own stream of memory loads (Sec. II-C,
+//! Fig. 1 and Eq. (1)/(2) of the paper).
+
+use crate::spec::LoopSpec;
+use crate::ELEMENT_BYTES;
+
+/// Result of evaluating the layer condition of one loop on one machine
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCondition {
+    /// Rows that must be cached simultaneously (stencil row extent).
+    pub rows_required: usize,
+    /// Length of the inner dimension of the local domain (elements).
+    pub inner_length: usize,
+    /// Cache capacity available for row reuse (bytes).  Following the
+    /// paper, this is usually *half* the physically available cache.
+    pub effective_cache_bytes: usize,
+    /// Whether the condition holds.
+    pub satisfied: bool,
+}
+
+impl LayerCondition {
+    /// Evaluate the layer condition of `spec` for a local inner dimension of
+    /// `inner_length` elements and `effective_cache_bytes` of usable cache.
+    ///
+    /// The condition reads `rows × inner_length × 8 byte < C_eff`
+    /// (cf. Eq. (1); the safety factor of ½ is already folded into
+    /// `effective_cache_bytes` by the caller).
+    pub fn evaluate(spec: &LoopSpec, inner_length: usize, effective_cache_bytes: usize) -> Self {
+        let rows = spec.rows_for_layer_condition();
+        let required = rows * inner_length * ELEMENT_BYTES;
+        Self {
+            rows_required: rows,
+            inner_length,
+            effective_cache_bytes,
+            satisfied: rows == 0 || required < effective_cache_bytes,
+        }
+    }
+
+    /// The cache size in bytes needed to satisfy the condition.
+    pub fn required_bytes(&self) -> usize {
+        self.rows_required * self.inner_length * ELEMENT_BYTES
+    }
+
+    /// Largest inner dimension (elements) for which the condition still
+    /// holds with the given cache.
+    pub fn max_inner_length(rows: usize, effective_cache_bytes: usize) -> usize {
+        if rows == 0 {
+            usize::MAX
+        } else {
+            effective_cache_bytes / (rows * ELEMENT_BYTES)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArrayAccess, LoopSpec};
+
+    fn two_row_loop() -> LoopSpec {
+        LoopSpec {
+            name: "am04".into(),
+            function: "advec_mom".into(),
+            arrays: vec![
+                ArrayAccess::read("mass_flux_x", &[(0, -1), (0, 0), (1, -1), (1, 0)]),
+                ArrayAccess::write("node_flux"),
+            ],
+            flops: 4,
+            has_branches: false,
+            speci2m_blocked: false,
+        }
+    }
+
+    #[test]
+    fn paper_example_cache_requirement() {
+        // The paper (Eq. 2): two rows of M = 15360 doubles need
+        // 2 × 15360 × 8 byte = 245.76 kB to stay cached; with the ½ safety
+        // factor that means C > 492 kB, easily available on ICX (2.75 MiB
+        // aggregate per core).
+        let spec = two_row_loop();
+        let effective = (2_883_584usize) / 2; // ≈ 2.75 MiB / 2
+        let lc = LayerCondition::evaluate(&spec, 15_360, effective);
+        assert_eq!(lc.rows_required, 2);
+        assert_eq!(lc.required_bytes(), 2 * 15_360 * 8);
+        assert!(lc.satisfied, "the Tiny grid satisfies the LC on ICX");
+    }
+
+    #[test]
+    fn tiny_cache_breaks_the_condition() {
+        let spec = two_row_loop();
+        let lc = LayerCondition::evaluate(&spec, 15_360, 64 * 1024);
+        assert!(!lc.satisfied);
+    }
+
+    #[test]
+    fn max_inner_length_inverse() {
+        let cache = 1 << 20;
+        let max = LayerCondition::max_inner_length(2, cache);
+        let spec = two_row_loop();
+        assert!(LayerCondition::evaluate(&spec, max - 1, cache).satisfied);
+        assert!(!LayerCondition::evaluate(&spec, max + 1, cache).satisfied);
+    }
+
+    #[test]
+    fn loop_without_reads_always_satisfied() {
+        let spec = LoopSpec {
+            name: "w".into(),
+            function: "f".into(),
+            arrays: vec![ArrayAccess::write("out")],
+            flops: 0,
+            has_branches: false,
+            speci2m_blocked: false,
+        };
+        let lc = LayerCondition::evaluate(&spec, 1_000_000_000, 1);
+        assert!(lc.satisfied);
+        assert_eq!(LayerCondition::max_inner_length(0, 1024), usize::MAX);
+    }
+}

@@ -1,0 +1,202 @@
+//! Copy-kernel microbenchmarks (Figs. 6, 8 and 11).
+//!
+//! The copy kernel `a(:) = b(:)` reads one stream and writes another.  Two
+//! experiments use it:
+//!
+//! * **Volume per iteration vs. thread count** (Fig. 6): with one thread the
+//!   write misses force a write-allocate (16 read bytes per 8-byte update);
+//!   with enough threads SpecI2M claims the destination lines (ITOM) and
+//!   the read volume drops to the source stream alone.
+//! * **Read-to-write ratio vs. halo size** (Figs. 8, 11): the arrays are
+//!   copied in batches of `inner` elements separated by an untouched halo of
+//!   0–17 elements, mimicking the rows of a decomposed grid.  Unaligned
+//!   halos create partial cache lines that defeat the evasion; short inner
+//!   dimensions defeat it even for aligned halos.
+
+use clover_cachesim::patterns::RowSweep;
+use clover_cachesim::{AccessKind, NodeSim, SimConfig};
+use clover_machine::Machine;
+
+/// One point of the Fig. 6 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyVolumePoint {
+    /// Number of active threads.
+    pub threads: usize,
+    /// Read bytes per iteration (one iteration updates one double).
+    pub read_bytes_per_it: f64,
+    /// Write bytes per iteration.
+    pub write_bytes_per_it: f64,
+    /// SpecI2M (ITOM) bytes per iteration.
+    pub itom_bytes_per_it: f64,
+}
+
+/// One point of the Fig. 8 / Fig. 11 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyHaloPoint {
+    /// Inner dimension (elements per batch).
+    pub inner: usize,
+    /// Halo size in elements.
+    pub halo: usize,
+    /// Whether the hardware prefetchers were enabled.
+    pub prefetchers: bool,
+    /// Memory read volume / write volume.
+    pub ratio: f64,
+}
+
+/// Elements copied per thread in the volume experiment.
+const COPY_ELEMENTS: u64 = 32 * 1024;
+/// Rows swept per thread in the halo experiment.
+const HALO_ROWS: u64 = 96;
+
+/// Fig. 6: read/write/ITOM volume per iteration of the copy kernel as a
+/// function of the thread count.
+pub fn copy_volume_per_iteration(machine: &Machine, threads: usize) -> CopyVolumePoint {
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), threads));
+    let report = sim.run_spmd(|rank, core| {
+        let base = (rank as u64 + 1) << 40;
+        for i in 0..COPY_ELEMENTS {
+            core.load(base + i * 8, 8);
+            core.store(base + (1 << 30) + i * 8, 8);
+        }
+    });
+    let iterations = (threads as u64 * COPY_ELEMENTS) as f64;
+    CopyVolumePoint {
+        threads,
+        read_bytes_per_it: report.total.read_bytes() / iterations,
+        write_bytes_per_it: report.total.write_bytes() / iterations,
+        itom_bytes_per_it: report.total.itom_bytes() / iterations,
+    }
+}
+
+/// Figs. 8/11: read-to-write ratio of the copy kernel for a given inner
+/// dimension and halo size on the *full node* of `machine`.
+pub fn copy_halo_ratio(
+    machine: &Machine,
+    inner: usize,
+    halo: usize,
+    prefetchers: bool,
+) -> CopyHaloPoint {
+    let ranks = machine.total_cores();
+    let mut config = SimConfig::new(machine.clone(), ranks);
+    if !prefetchers {
+        config = config.without_prefetchers();
+    }
+    let sim = NodeSim::new(config);
+    let report = sim.run_spmd(|rank, core| {
+        let base = (rank as u64 + 1) << 40;
+        let src = RowSweep {
+            base,
+            inner: inner as u64,
+            halo: halo as u64,
+            rows: HALO_ROWS,
+            kind: AccessKind::Load,
+        };
+        let dst = RowSweep {
+            base: base + (1 << 32),
+            inner: inner as u64,
+            halo: halo as u64,
+            rows: HALO_ROWS,
+            kind: AccessKind::Store,
+        };
+        // Interleave row by row like the patched TheBandwidthBenchmark copy.
+        for row in 0..HALO_ROWS {
+            for i in 0..inner as u64 {
+                core.load(src.addr(row, i), 8);
+                core.store(dst.addr(row, i), 8);
+            }
+        }
+    });
+    CopyHaloPoint {
+        inner,
+        halo,
+        prefetchers,
+        ratio: report.total.read_bytes() / report.total.write_bytes().max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::icelake_sp_8360y;
+
+    #[test]
+    fn single_thread_copy_needs_write_allocates() {
+        // Fig. 6: one thread → 16 read bytes and 8 write bytes per update.
+        let m = icelake_sp_8360y();
+        let p = copy_volume_per_iteration(&m, 1);
+        assert!((p.read_bytes_per_it - 16.0).abs() < 1.5, "read {}", p.read_bytes_per_it);
+        assert!((p.write_bytes_per_it - 8.0).abs() < 0.8, "write {}", p.write_bytes_per_it);
+        assert!(p.itom_bytes_per_it < 1.0);
+    }
+
+    #[test]
+    fn seventeen_threads_evade_most_write_allocates() {
+        // Fig. 6: with 17 active threads the WAs are almost fully evaded.
+        let m = icelake_sp_8360y();
+        let p = copy_volume_per_iteration(&m, 17);
+        assert!(p.read_bytes_per_it < 11.0, "read {}", p.read_bytes_per_it);
+        assert!(p.itom_bytes_per_it > 4.0, "itom {}", p.itom_bytes_per_it);
+    }
+
+    #[test]
+    fn read_volume_decreases_monotonically_with_threads_in_first_domain() {
+        let m = icelake_sp_8360y();
+        let reads: Vec<f64> = [1usize, 4, 9, 17]
+            .iter()
+            .map(|&t| copy_volume_per_iteration(&m, t).read_bytes_per_it)
+            .collect();
+        for w in reads.windows(2) {
+            assert!(w[1] <= w[0] + 0.2, "read volume should not rise: {reads:?}");
+        }
+    }
+
+    #[test]
+    fn short_inner_dimension_has_higher_ratio() {
+        // Fig. 8: batches of 216 elements average a ratio of ~1.35, batches
+        // of 1920 drop to ~1.04.
+        let m = icelake_sp_8360y();
+        let short = copy_halo_ratio(&m, 216, 5, true);
+        let long = copy_halo_ratio(&m, 1920, 5, true);
+        assert!(short.ratio > long.ratio + 0.08, "short {} vs long {}", short.ratio, long.ratio);
+        assert!(long.ratio < 1.35, "long-row ratio {}", long.ratio);
+    }
+
+    #[test]
+    fn aligned_halo_beats_unaligned_halo_for_216() {
+        // Fig. 8: halo sizes that keep rows cache-line aligned (0, 8, 16)
+        // evade significantly more than unaligned ones.
+        let m = icelake_sp_8360y();
+        let aligned = copy_halo_ratio(&m, 216, 8, true);
+        let unaligned = copy_halo_ratio(&m, 216, 3, true);
+        assert!(
+            aligned.ratio < unaligned.ratio,
+            "aligned {} vs unaligned {}",
+            aligned.ratio,
+            unaligned.ratio
+        );
+    }
+
+    #[test]
+    fn prefetchers_off_increases_the_ratio() {
+        let m = icelake_sp_8360y();
+        let on = copy_halo_ratio(&m, 216, 3, true);
+        let off = copy_halo_ratio(&m, 216, 3, false);
+        assert!(off.ratio > on.ratio, "PF off {} vs on {}", off.ratio, on.ratio);
+        assert!(!off.prefetchers && on.prefetchers);
+    }
+
+    #[test]
+    fn ratio_stays_between_one_and_two() {
+        let m = icelake_sp_8360y();
+        for inner in [216usize, 530, 1920] {
+            for halo in [0usize, 5, 16] {
+                let p = copy_halo_ratio(&m, inner, halo, true);
+                assert!(
+                    (0.95..=2.1).contains(&p.ratio),
+                    "inner={inner} halo={halo}: ratio {}",
+                    p.ratio
+                );
+            }
+        }
+    }
+}

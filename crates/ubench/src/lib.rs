@@ -1,0 +1,23 @@
+//! `clover-ubench` — the microbenchmarks of the paper.
+//!
+//! Three families of kernels characterise the SpecI2M write-allocate
+//! evasion feature:
+//!
+//! * [`store`] — pure store kernels with 1–3 independent streams, normal or
+//!   non-temporal, measuring the *store ratio* (actual memory traffic over
+//!   explicitly initiated traffic) as a function of the core count
+//!   (Figs. 5, 9, 10),
+//! * [`copy`] — the array-copy kernel `a(:) = b(:)`, measuring the per-
+//!   iteration read/write/SpecI2M volumes versus thread count (Fig. 6) and
+//!   the read-to-write ratio versus halo size and inner dimension
+//!   (Figs. 8, 11),
+//! * [`native`] — the same kernels executed natively on the host CPU (with
+//!   genuine non-temporal stores via `std::arch` where available), used by
+//!   the Criterion benches so `cargo bench` also measures real hardware.
+
+pub mod copy;
+pub mod native;
+pub mod store;
+
+pub use copy::{copy_halo_ratio, copy_volume_per_iteration, CopyHaloPoint, CopyVolumePoint};
+pub use store::{store_ratio, store_ratio_sweep, StoreKind, StoreRatioPoint};

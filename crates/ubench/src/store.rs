@@ -1,0 +1,177 @@
+//! Store-ratio microbenchmarks (Figs. 5, 9, 10).
+//!
+//! Each core stores a fixed data volume into one, two or three independent
+//! streams using either normal or non-temporal stores.  The *store ratio* is
+//! the actual memory traffic (read + write at the memory controllers)
+//! divided by the explicitly initiated store volume: 2.0 means every store
+//! needs a write-allocate, 1.0 means all write-allocates are evaded.
+
+use clover_cachesim::{NodeSim, SimConfig};
+use clover_machine::Machine;
+
+/// Store flavour used by the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Normal (temporal) AVX-512 stores — `store_avx512` in likwid-bench.
+    Normal,
+    /// Non-temporal stores — `store_mem_avx512` in likwid-bench.
+    NonTemporal,
+}
+
+/// One point of a store-ratio sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreRatioPoint {
+    /// Number of active cores.
+    pub cores: usize,
+    /// Number of independent store streams per core.
+    pub streams: usize,
+    /// Store flavour.
+    pub kind: StoreKind,
+    /// Actual traffic / initiated store volume.
+    pub ratio: f64,
+}
+
+/// Doubles stored per stream per core in the simulated benchmark.  The real
+/// benchmark stores 10 GB; the simulator only needs enough elements for the
+/// evasion statistics to converge, which keeps the sweep fast.
+const ELEMENTS_PER_STREAM: u64 = 32 * 1024;
+
+/// Measure the store ratio for `cores` active cores, `streams` store streams
+/// per core and the given store kind.
+pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreKind) -> f64 {
+    assert!((1..=3).contains(&streams), "the paper uses 1-3 store streams");
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
+    let report = sim.run_spmd(|rank, core| {
+        let rank_base = (rank as u64 + 1) << 40;
+        for i in 0..ELEMENTS_PER_STREAM {
+            for s in 0..streams as u64 {
+                // Streams live far apart so they form independent write
+                // streams (identical to the likwid-bench store kernels).
+                let addr = rank_base + (s << 30) + i * 8;
+                match kind {
+                    StoreKind::Normal => core.store(addr, 8),
+                    StoreKind::NonTemporal => core.store_nt(addr, 8),
+                }
+            }
+        }
+    });
+    let initiated = (cores as u64 * streams as u64 * ELEMENTS_PER_STREAM * 8) as f64;
+    report.total_bytes() / initiated
+}
+
+/// Sweep the store ratio over core counts `1..=max_cores`.
+pub fn store_ratio_sweep(
+    machine: &Machine,
+    max_cores: usize,
+    streams: usize,
+    kind: StoreKind,
+) -> Vec<StoreRatioPoint> {
+    (1..=max_cores)
+        .map(|cores| StoreRatioPoint {
+            cores,
+            streams,
+            kind,
+            ratio: store_ratio(machine, cores, streams, kind),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::{icelake_sp_8360y, sapphire_rapids_8480};
+
+    #[test]
+    fn serial_normal_stores_have_ratio_two() {
+        let m = icelake_sp_8360y();
+        for streams in 1..=3 {
+            let r = store_ratio(&m, 1, streams, StoreKind::Normal);
+            assert!((1.95..=2.05).contains(&r), "streams={streams}: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn serial_nt_stores_have_ratio_one() {
+        let m = icelake_sp_8360y();
+        let r = store_ratio(&m, 1, 1, StoreKind::NonTemporal);
+        assert!((0.99..=1.06).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn icx_socket_ratio_drops_close_to_one() {
+        // Fig. 5: best ratio ≈ 1.06 at a full socket (36 cores).
+        let m = icelake_sp_8360y();
+        let r = store_ratio(&m, 36, 1, StoreKind::Normal);
+        assert!((1.0..=1.25).contains(&r), "socket ratio {r}");
+    }
+
+    #[test]
+    fn icx_full_node_ratio_lands_in_the_paper_band() {
+        // Fig. 5: 1.2–1.25 at the full node.
+        let m = icelake_sp_8360y();
+        let r = store_ratio(&m, 72, 1, StoreKind::Normal);
+        assert!((1.12..=1.35).contains(&r), "full-node ratio {r}");
+    }
+
+    #[test]
+    fn more_streams_are_worse_on_icx() {
+        let m = icelake_sp_8360y();
+        let r1 = store_ratio(&m, 36, 1, StoreKind::Normal);
+        let r3 = store_ratio(&m, 36, 3, StoreKind::Normal);
+        assert!(r3 > r1, "3 streams ({r3}) must be worse than 1 ({r1})");
+    }
+
+    #[test]
+    fn nt_ratio_rises_slightly_with_core_count() {
+        // Fig. 5: NT ratio rises from 1.0 to ~1.16-1.17 at the full node.
+        let m = icelake_sp_8360y();
+        let serial = store_ratio(&m, 1, 1, StoreKind::NonTemporal);
+        let node = store_ratio(&m, 72, 1, StoreKind::NonTemporal);
+        assert!(node > serial);
+        assert!((1.10..=1.25).contains(&node), "full-node NT ratio {node}");
+    }
+
+    #[test]
+    fn new_domain_worsens_the_ratio_before_recovering() {
+        // Fig. 5: the ratio rises again when a new ccNUMA domain is touched.
+        let m = icelake_sp_8360y();
+        let r18 = store_ratio(&m, 18, 1, StoreKind::Normal);
+        let r20 = store_ratio(&m, 20, 1, StoreKind::Normal);
+        let r36 = store_ratio(&m, 36, 1, StoreKind::Normal);
+        assert!(r20 > r18, "touching domain 1 must worsen the ratio: {r18} -> {r20}");
+        assert!(r36 < r20, "filling domain 1 must recover: {r20} -> {r36}");
+    }
+
+    #[test]
+    fn spr_evades_only_about_half_of_the_write_allocates() {
+        // Fig. 10: best case ≈ 50 % of WAs evaded on the SPR 8480+ socket.
+        let m = sapphire_rapids_8480();
+        let r = store_ratio(&m, 56, 1, StoreKind::Normal);
+        assert!((1.35..=1.65).contains(&r), "SPR socket ratio {r}");
+    }
+
+    #[test]
+    fn spr_needs_many_cores_before_speci2m_helps() {
+        // Fig. 10: no benefit below ~18 cores.
+        let m = sapphire_rapids_8480();
+        let r12 = store_ratio(&m, 12, 1, StoreKind::Normal);
+        let r40 = store_ratio(&m, 40, 1, StoreKind::Normal);
+        assert!(r12 > 1.9, "12 cores: ratio {r12}");
+        assert!(r40 < 1.8, "40 cores: ratio {r40}");
+    }
+
+    #[test]
+    fn sweep_returns_one_point_per_core_count() {
+        let m = icelake_sp_8360y();
+        let sweep = store_ratio_sweep(&m, 4, 1, StoreKind::Normal);
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.iter().enumerate().all(|(i, p)| p.cores == i + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-3 store streams")]
+    fn invalid_stream_count_panics() {
+        let m = icelake_sp_8360y();
+        let _ = store_ratio(&m, 1, 4, StoreKind::Normal);
+    }
+}

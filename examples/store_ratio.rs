@@ -1,0 +1,33 @@
+//! Store-ratio microbenchmark (Fig. 5): how much of the write-allocate
+//! traffic SpecI2M and non-temporal stores avoid as the core count grows.
+//!
+//! ```text
+//! cargo run --release --example store_ratio
+//! ```
+
+use cloverleaf_wa::machine::{icelake_sp_8360y, sapphire_rapids_8480};
+use cloverleaf_wa::ubench::{store_ratio, StoreKind};
+
+fn main() {
+    let icx = icelake_sp_8360y();
+    let spr = sapphire_rapids_8480();
+
+    println!("Ice Lake SP (8360Y), one store stream:");
+    println!("cores   normal     NT");
+    for cores in [1usize, 4, 9, 18, 24, 36, 54, 72] {
+        let normal = store_ratio(&icx, cores, 1, StoreKind::Normal);
+        let nt = store_ratio(&icx, cores, 1, StoreKind::NonTemporal);
+        println!("{cores:>5}   {normal:>6.3}   {nt:>6.3}");
+    }
+
+    println!("\nSapphire Rapids (8480+), one store stream:");
+    println!("cores   normal     NT");
+    for cores in [1usize, 12, 28, 56, 84, 112] {
+        let normal = store_ratio(&spr, cores, 1, StoreKind::Normal);
+        let nt = store_ratio(&spr, cores, 1, StoreKind::NonTemporal);
+        println!("{cores:>5}   {normal:>6.3}   {nt:>6.3}");
+    }
+
+    println!("\nA ratio of 2.0 means every store triggers a write-allocate;");
+    println!("1.0 means all write-allocates are evaded (the NT-store ideal).");
+}

@@ -1,0 +1,30 @@
+//! `cloverleaf-wa` — umbrella crate of the CloverLeaf write-allocate-evasion
+//! study.
+//!
+//! This crate re-exports the member crates of the workspace so downstream
+//! users can depend on a single package:
+//!
+//! * [`machine`] — machine descriptions (Ice Lake SP, Sapphire Rapids) and
+//!   SpecI2M parameter sets,
+//! * [`cachesim`] — the cache-hierarchy / memory-traffic simulator with the
+//!   SpecI2M write-allocate-evasion engine,
+//! * [`simpi`] — the in-process message-passing substrate,
+//! * [`stencil`] — loop descriptors, layer conditions and code-balance
+//!   bounds (Table I),
+//! * [`core`] — traffic, scaling, MPI and optimization models (the paper's
+//!   analyses),
+//! * [`leaf`] — the CloverLeaf hydrodynamics mini-app port,
+//! * [`perfmon`] — region markers and row-sampled loop measurements,
+//! * [`ubench`] — the store/copy microbenchmarks.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-reproduction comparison of every table and figure.
+
+pub use clover_cachesim as cachesim;
+pub use clover_core as core;
+pub use clover_leaf as leaf;
+pub use clover_machine as machine;
+pub use clover_perfmon as perfmon;
+pub use clover_simpi as simpi;
+pub use clover_stencil as stencil;
+pub use clover_ubench as ubench;

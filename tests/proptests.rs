@@ -1,0 +1,92 @@
+//! Property-based tests on the core data structures and invariants.
+
+use cloverleaf_wa::cachesim::{CoreSim, MemCounters, WriteCoalescer};
+use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use cloverleaf_wa::core::decomp::{is_prime, prime_factors, Decomposition};
+use cloverleaf_wa::machine::icelake_sp_8360y;
+use cloverleaf_wa::stencil::{cloverleaf_loops, CodeBalance};
+use proptest::prelude::*;
+
+proptest! {
+    /// Prime factorisation multiplies back to the original number and every
+    /// factor is prime.
+    #[test]
+    fn prime_factors_multiply_back(n in 1usize..20_000) {
+        let factors = prime_factors(n);
+        let product: usize = factors.iter().product();
+        prop_assert_eq!(product.max(1), n.max(1));
+        for f in factors {
+            prop_assert!(is_prime(f));
+        }
+    }
+
+    /// Any decomposition conserves cells and keeps chunk sizes within one
+    /// cell of each other.
+    #[test]
+    fn decomposition_conserves_cells(ranks in 1usize..=144, grid in 64usize..4096) {
+        let d = Decomposition::new(ranks, grid, grid);
+        prop_assert_eq!(d.ranks_x * d.ranks_y, ranks);
+        let sum_x: usize = (0..d.ranks_x).map(|r| d.local_inner(r)).sum();
+        prop_assert_eq!(sum_x, grid);
+        let sizes: Vec<usize> = (0..ranks).map(|r| d.local_inner(r)).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+        if is_prime(ranks) && ranks > 1 {
+            prop_assert!(d.is_one_dimensional());
+        }
+    }
+
+    /// The four code-balance bounds of any catalogue loop are ordered
+    /// min ≤ LCF,WA ≤ max and min ≤ LCB ≤ max.
+    #[test]
+    fn code_balance_bounds_are_ordered(idx in 0usize..22) {
+        let spec = &cloverleaf_loops()[idx];
+        let b = CodeBalance::from_spec(spec);
+        prop_assert!(b.min <= b.lcf_wa + 1e-12);
+        prop_assert!(b.lcf_wa <= b.max + 1e-12);
+        prop_assert!(b.min <= b.lcb + 1e-12);
+        prop_assert!(b.lcb <= b.max + 1e-12);
+    }
+
+    /// The write coalescer never reports a streak longer than the number of
+    /// lines written and classifies fully covered lines as full.
+    #[test]
+    fn coalescer_streaks_are_bounded(rows in 1u64..20, inner in 8u64..512, gap in 0u64..16) {
+        let mut c = WriteCoalescer::new(8);
+        let mut finalized = Vec::new();
+        for row in 0..rows {
+            let base = row * (inner + gap) * 8;
+            for i in 0..inner {
+                finalized.extend(c.store(base + i * 8, 8));
+            }
+        }
+        finalized.extend(c.flush());
+        let total_lines = finalized.len() as f64;
+        for line in &finalized {
+            prop_assert!(line.streak_estimate <= total_lines);
+            prop_assert!(line.streak_estimate >= 0.0);
+        }
+    }
+
+    /// For any sequential store pattern the simulator's memory counters are
+    /// physically sensible: writes cover at least the stored bytes, reads
+    /// never exceed two lines per written line (WA + speculation), and the
+    /// ITOM count never exceeds the written lines.
+    #[test]
+    fn store_traffic_is_bounded(elements in 64u64..4096, ranks in prop::sample::select(vec![1usize, 9, 18, 36, 72])) {
+        let machine = icelake_sp_8360y();
+        let ctx = OccupancyContext::compact(&machine, ranks);
+        let mut core = CoreSim::new(&machine, ctx, CoreSimOptions::default());
+        for i in 0..elements {
+            core.store(i * 8, 8);
+        }
+        let c: MemCounters = core.flush();
+        let stored_lines = (elements as f64 * 8.0 / 64.0).ceil();
+        prop_assert!(c.write_lines >= stored_lines - 1.0);
+        prop_assert!(c.write_lines <= stored_lines + 2.0);
+        prop_assert!(c.read_lines <= 2.0 * stored_lines + 2.0);
+        prop_assert!(c.itom_lines <= stored_lines + 1.0);
+        prop_assert!(c.itom_lines >= 0.0);
+    }
+}
