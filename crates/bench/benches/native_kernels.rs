@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use clover_leaf::{SimConfig, Simulation};
-use clover_ubench::copy::{copy_halo_ratio, CopyHaloPoint};
 use clover_machine::icelake_sp_8360y;
+use clover_ubench::copy::{copy_halo_ratio, CopyHaloPoint};
 
 /// One full timestep of the hydro mini-app on a small grid.
 fn hydro_step(c: &mut Criterion) {
@@ -30,7 +30,9 @@ fn native_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_store");
     g.sample_size(10);
     g.throughput(Throughput::Bytes((n * 8) as u64));
-    g.bench_function("plain", |b| b.iter(|| clover_ubench::native::store_plain(&mut buf, 1.0)));
+    g.bench_function("plain", |b| {
+        b.iter(|| clover_ubench::native::store_plain(&mut buf, 1.0))
+    });
     g.bench_function("nontemporal", |b| {
         b.iter(|| clover_ubench::native::store_nontemporal(&mut buf, 2.0))
     });
@@ -50,9 +52,15 @@ fn native_copy_halo(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("plain", inner), &inner, |b, &inner| {
             b.iter(|| clover_ubench::native::copy_with_halo(&mut dst, &src, inner, 5, rows, false))
         });
-        g.bench_with_input(BenchmarkId::new("nontemporal", inner), &inner, |b, &inner| {
-            b.iter(|| clover_ubench::native::copy_with_halo(&mut dst, &src, inner, 5, rows, true))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nontemporal", inner),
+            &inner,
+            |b, &inner| {
+                b.iter(|| {
+                    clover_ubench::native::copy_with_halo(&mut dst, &src, inner, 5, rows, true)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -69,5 +77,11 @@ fn simulated_copy_halo_reference(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, hydro_step, native_store, native_copy_halo, simulated_copy_halo_reference);
+criterion_group!(
+    benches,
+    hydro_step,
+    native_store,
+    native_copy_halo,
+    simulated_copy_halo_reference
+);
 criterion_main!(benches);

@@ -37,9 +37,11 @@ fn fig5_store_ratio(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_store_ratio");
     g.sample_size(10);
     for cores in [1usize, 18, 72] {
-        g.bench_with_input(BenchmarkId::new("normal_1stream", cores), &cores, |b, &cores| {
-            b.iter(|| store_ratio(&machine, cores, 1, StoreKind::Normal))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("normal_1stream", cores),
+            &cores,
+            |b, &cores| b.iter(|| store_ratio(&machine, cores, 1, StoreKind::Normal)),
+        );
     }
     g.finish();
 }
@@ -50,9 +52,11 @@ fn fig8_copy_halo(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_copy_halo");
     g.sample_size(10);
     for inner in [216usize, 1920] {
-        g.bench_with_input(BenchmarkId::new("halo5_pf_on", inner), &inner, |b, &inner| {
-            b.iter(|| copy_halo_ratio(&machine, inner, 5, true))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("halo5_pf_on", inner),
+            &inner,
+            |b, &inner| b.iter(|| copy_halo_ratio(&machine, inner, 5, true)),
+        );
     }
     g.finish();
 }
@@ -67,7 +71,11 @@ fn table1_loop_measurement(c: &mut Criterion) {
     g.sample_size(10);
     for rows in [8usize, 32] {
         g.bench_with_input(BenchmarkId::new("am04_rows", rows), &rows, |b, &rows| {
-            let cfg = MeasureConfig { local_inner: 1920, rows, ..MeasureConfig::single_rank() };
+            let cfg = MeasureConfig {
+                local_inner: 1920,
+                rows,
+                ..MeasureConfig::single_rank()
+            };
             b.iter(|| measure_loop(&machine, &spec, &cfg))
         });
     }

@@ -10,14 +10,29 @@
 //!
 //! Output is CSV-like text on stdout, one block per experiment.
 
+use std::io::{ErrorKind, Write};
+
 use clover_bench::{run_experiment, EXPERIMENTS};
+
+/// Write to stdout, exiting quietly if the reader went away (`figures all |
+/// head` must not panic with a broken-pipe backtrace).
+fn emit(out: &mut impl Write, text: std::fmt::Arguments<'_>) {
+    if let Err(e) = out.write_fmt(text) {
+        if e.kind() == ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed printing to stdout: {e}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
     if args.is_empty() || args[0] == "list" {
-        println!("available experiments:");
+        emit(&mut out, format_args!("available experiments:\n"));
         for e in EXPERIMENTS {
-            println!("  {e}");
+            emit(&mut out, format_args!("  {e}\n"));
         }
         return;
     }
@@ -29,8 +44,7 @@ fn main() {
     for name in requested {
         match run_experiment(name) {
             Some(output) => {
-                println!("==== {name} ====");
-                println!("{output}");
+                emit(&mut out, format_args!("==== {name} ====\n{output}\n"));
             }
             None => {
                 eprintln!("unknown experiment '{name}'; run `figures list`");

@@ -5,19 +5,19 @@
 //! `figures` binary dispatches on the experiment name; the Criterion benches
 //! under `benches/` measure the native kernels and the simulator itself.
 
+use clover_core::decomp::Decomposition;
+use clover_core::TINY_GRID;
 use clover_core::{
     hotspot_profile, CommModel, OptimizationPlan, ScalingModel, TrafficModel, TrafficOptions,
 };
-use clover_core::decomp::Decomposition;
-use clover_core::TINY_GRID;
 use clover_machine::{icelake_sp_8360y, sapphire_rapids_8470, sapphire_rapids_8480, Machine};
 use clover_stencil::{cloverleaf_loops, CodeBalance, PAPER_MEASURED_SINGLE_CORE};
 use clover_ubench::{copy_halo_ratio, copy_volume_per_iteration, store_ratio, StoreKind};
 
 /// All experiment identifiers the harness knows about.
 pub const EXPERIMENTS: [&str; 12] = [
-    "listing2", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11",
+    "listing2", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11",
 ];
 
 /// Generate the output of one experiment.  Unknown names return `None`.
@@ -113,8 +113,11 @@ pub fn fig3() -> String {
     let loops: Vec<String> = cloverleaf_loops().iter().map(|l| l.name.clone()).collect();
     let mut out = format!("ranks,{}\n", loops.join(","));
     for p in model.sweep(72, TrafficOptions::original) {
-        let balances: Vec<String> =
-            p.loop_balances.iter().map(|(_, b)| format!("{b:.2}")).collect();
+        let balances: Vec<String> = p
+            .loop_balances
+            .iter()
+            .map(|(_, b)| format!("{b:.2}"))
+            .collect();
         out.push_str(&format!("{},{}\n", p.ranks, balances.join(",")));
     }
     out
@@ -140,7 +143,10 @@ fn store_ratio_figure(machine: &Machine, step: usize) -> String {
         let row: Vec<String> = (1..=3)
             .map(|s| format!("{:.3}", store_ratio(machine, cores, s, StoreKind::Normal)))
             .chain((1..=3).map(|s| {
-                format!("{:.3}", store_ratio(machine, cores, s, StoreKind::NonTemporal))
+                format!(
+                    "{:.3}",
+                    store_ratio(machine, cores, s, StoreKind::NonTemporal)
+                )
             }))
             .collect();
         out.push_str(&format!("{},{}\n", cores, row.join(",")));
@@ -178,8 +184,9 @@ pub fn fig7() -> String {
     let mut out = String::from("loop,prediction_min,prediction,original,optimized\n");
     for (spec, advice) in cloverleaf_loops().iter().zip(&plan.loops) {
         let bounds = CodeBalance::from_spec(spec);
-        let refined =
-            model.predict_loop(spec, &TrafficOptions::original(72), &decomp).code_balance();
+        let refined = model
+            .predict_loop(spec, &TrafficOptions::original(72), &decomp)
+            .code_balance();
         out.push_str(&format!(
             "{},{},{:.2},{:.2},{:.2}\n",
             spec.name, bounds.min, refined, advice.original_balance, advice.optimized_balance
@@ -200,11 +207,17 @@ fn copy_halo_figure(machine: &Machine, with_pf_off: bool) -> String {
     for halo in 0..=17usize {
         let mut cells = Vec::new();
         for &inner in &[216usize, 530, 1920] {
-            cells.push(format!("{:.3}", copy_halo_ratio(machine, inner, halo, true).ratio));
+            cells.push(format!(
+                "{:.3}",
+                copy_halo_ratio(machine, inner, halo, true).ratio
+            ));
         }
         if with_pf_off {
             for &inner in &[216usize, 530, 1920] {
-                cells.push(format!("{:.3}", copy_halo_ratio(machine, inner, halo, false).ratio));
+                cells.push(format!(
+                    "{:.3}",
+                    copy_halo_ratio(machine, inner, halo, false).ratio
+                ));
             }
         } else {
             cells.extend(["".into(), "".into(), "".into()]);
@@ -276,7 +289,9 @@ mod tests {
         let f = fig7();
         assert!(f.contains("average improvement"));
         assert_eq!(
-            f.lines().filter(|l| !l.starts_with('#') && !l.starts_with("loop")).count(),
+            f.lines()
+                .filter(|l| !l.starts_with('#') && !l.starts_with("loop"))
+                .count(),
             22
         );
     }

@@ -37,17 +37,29 @@ pub struct Access {
 impl Access {
     /// Convenience constructor for an 8-byte (double precision) load.
     pub fn load8(addr: u64) -> Self {
-        Self { addr, bytes: 8, kind: AccessKind::Load }
+        Self {
+            addr,
+            bytes: 8,
+            kind: AccessKind::Load,
+        }
     }
 
     /// Convenience constructor for an 8-byte (double precision) store.
     pub fn store8(addr: u64) -> Self {
-        Self { addr, bytes: 8, kind: AccessKind::Store }
+        Self {
+            addr,
+            bytes: 8,
+            kind: AccessKind::Store,
+        }
     }
 
     /// Convenience constructor for an 8-byte non-temporal store.
     pub fn store8_nt(addr: u64) -> Self {
-        Self { addr, bytes: 8, kind: AccessKind::StoreNT }
+        Self {
+            addr,
+            bytes: 8,
+            kind: AccessKind::StoreNT,
+        }
     }
 
     /// First cache line touched by this access.
@@ -93,7 +105,11 @@ mod tests {
 
     #[test]
     fn access_straddling_lines() {
-        let a = Access { addr: 60, bytes: 8, kind: AccessKind::Load };
+        let a = Access {
+            addr: 60,
+            bytes: 8,
+            kind: AccessKind::Load,
+        };
         assert_eq!(a.first_line(), 0);
         assert_eq!(a.last_line(), 1);
         assert_eq!(a.lines().count(), 2);
@@ -110,7 +126,11 @@ mod tests {
 
     #[test]
     fn zero_length_access_touches_one_line() {
-        let a = Access { addr: 100, bytes: 0, kind: AccessKind::Load };
+        let a = Access {
+            addr: 100,
+            bytes: 0,
+            kind: AccessKind::Load,
+        };
         assert_eq!(a.lines().count(), 1);
     }
 }

@@ -95,7 +95,9 @@ impl SetAssocCache {
 
     /// Probe for a line without modifying LRU state or counters.
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_index(line)].iter().any(|l| l.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|l| l.line == line)
     }
 
     /// Access (touch) a line: returns `Hit` and refreshes LRU if present,
@@ -139,11 +141,18 @@ impl SetAssocCache {
                 .min_by_key(|(_, l)| l.lru)
                 .expect("non-empty set");
             let victim = set.swap_remove(idx);
-            Some(Eviction { line: victim.line, dirty: victim.dirty })
+            Some(Eviction {
+                line: victim.line,
+                dirty: victim.dirty,
+            })
         } else {
             None
         };
-        set.push(CacheLine { line, dirty, lru: stamp });
+        set.push(CacheLine {
+            line,
+            dirty,
+            lru: stamp,
+        });
         evicted
     }
 
@@ -194,7 +203,11 @@ impl<V> LruTable<V> {
     /// Create a table holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { capacity, stamp: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            stamp: 0,
+            entries: HashMap::new(),
+        }
     }
 
     /// Get a mutable reference to the value for `key`, refreshing its LRU
@@ -329,7 +342,10 @@ mod tests {
         // 54 MiB, 12-way: 884736 lines; sets rounded to power of two.
         let c = SetAssocCache::new(54 * 1024 * 1024, 12);
         let lines = c.capacity_lines();
-        assert!(lines >= 800_000, "capacity must be preserved approximately, got {lines}");
+        assert!(
+            lines >= 800_000,
+            "capacity must be preserved approximately, got {lines}"
+        );
     }
 
     #[test]

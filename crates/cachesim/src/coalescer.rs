@@ -94,7 +94,11 @@ impl WriteCoalescer {
     /// streams (the hardware store buffer can only follow a handful).
     pub fn new(max_streams: usize) -> Self {
         assert!(max_streams > 0);
-        Self { streams: Vec::new(), max_streams, stamp: 0 }
+        Self {
+            streams: Vec::new(),
+            max_streams,
+            stamp: 0,
+        }
     }
 
     /// Number of store streams currently open.
@@ -205,7 +209,11 @@ impl WriteCoalescer {
 
     fn finalize_stream(s: &WriteStream, active: usize) -> FinalizedLine {
         let full = s.full();
-        let streak = if full { s.current_streak + 1 } else { s.current_streak };
+        let streak = if full {
+            s.current_streak + 1
+        } else {
+            s.current_streak
+        };
         FinalizedLine {
             line: s.line,
             full,
@@ -265,7 +273,7 @@ mod tests {
         let mut c = WriteCoalescer::new(4);
         // Fill line 0 fully, then skip half of line 1, continue on line 2.
         store_doubles(&mut c, 0, 8); // line 0 complete, line cursor at 0
-        // Write only the first 4 doubles of line 1.
+                                     // Write only the first 4 doubles of line 1.
         store_doubles(&mut c, 64, 4);
         // Jump to line 2: a new store at line 2 advances stream, finalizing
         // line 1 as partial.
@@ -288,7 +296,10 @@ mod tests {
             all.extend(store_doubles(&mut c, base, row_elems));
         }
         all.extend(c.flush());
-        assert!(all.iter().any(|l| !l.full), "expect partial lines at row boundaries");
+        assert!(
+            all.iter().any(|l| !l.full),
+            "expect partial lines at row boundaries"
+        );
         assert!(all.iter().any(|l| l.full), "interior lines are still full");
     }
 
@@ -326,7 +337,7 @@ mod tests {
         // report the previous row's length, not the small running count.
         let mut c = WriteCoalescer::new(4);
         let mut fin = store_doubles(&mut c, 0, 64); // row 0: lines 0..8
-        // Jump to a new row far away (same stream cannot continue).
+                                                    // Jump to a new row far away (same stream cannot continue).
         fin.extend(store_doubles(&mut c, 1 << 16, 64));
         fin.extend(c.flush());
         // Find finalized lines belonging to the second row.

@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn byte_conversions() {
-        let c = MemCounters { read_lines: 2.0, write_lines: 1.0, ..Default::default() };
+        let c = MemCounters {
+            read_lines: 2.0,
+            write_lines: 1.0,
+            ..Default::default()
+        };
         assert_eq!(c.read_bytes(), 128.0);
         assert_eq!(c.write_bytes(), 64.0);
         assert_eq!(c.total_bytes(), 192.0);
@@ -115,16 +119,33 @@ mod tests {
 
     #[test]
     fn ratio_handles_zero_writes() {
-        let c = MemCounters { read_lines: 5.0, ..Default::default() };
+        let c = MemCounters {
+            read_lines: 5.0,
+            ..Default::default()
+        };
         assert!(c.read_write_ratio().is_infinite());
-        let c2 = MemCounters { read_lines: 3.0, write_lines: 2.0, ..Default::default() };
+        let c2 = MemCounters {
+            read_lines: 3.0,
+            write_lines: 2.0,
+            ..Default::default()
+        };
         assert!((c2.read_write_ratio() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn merge_and_scale() {
-        let mut a = MemCounters { read_lines: 1.0, write_lines: 2.0, itom_lines: 0.5, ..Default::default() };
-        let b = MemCounters { read_lines: 3.0, write_lines: 1.0, itom_lines: 0.5, ..Default::default() };
+        let mut a = MemCounters {
+            read_lines: 1.0,
+            write_lines: 2.0,
+            itom_lines: 0.5,
+            ..Default::default()
+        };
+        let b = MemCounters {
+            read_lines: 3.0,
+            write_lines: 1.0,
+            itom_lines: 0.5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.read_lines, 4.0);
         assert_eq!(a.itom_lines, 1.0);
@@ -134,8 +155,16 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let early = MemCounters { read_lines: 1.0, write_lines: 1.0, ..Default::default() };
-        let late = MemCounters { read_lines: 4.0, write_lines: 1.5, ..Default::default() };
+        let early = MemCounters {
+            read_lines: 1.0,
+            write_lines: 1.0,
+            ..Default::default()
+        };
+        let late = MemCounters {
+            read_lines: 4.0,
+            write_lines: 1.5,
+            ..Default::default()
+        };
         let d = late.delta(&early);
         assert_eq!(d.read_lines, 3.0);
         assert_eq!(d.write_lines, 0.5);

@@ -29,7 +29,12 @@ pub struct SimConfig {
 impl SimConfig {
     /// Default configuration: all features on, `ranks` ranks on `machine`.
     pub fn new(machine: Machine, ranks: usize) -> Self {
-        Self { machine, ranks, speci2m_enabled: true, prefetchers: PrefetcherConfig::enabled() }
+        Self {
+            machine,
+            ranks,
+            speci2m_enabled: true,
+            prefetchers: PrefetcherConfig::enabled(),
+        }
     }
 
     /// Disable SpecI2M (models clearing the MSR bit).
@@ -149,7 +154,12 @@ impl NodeSim {
             first_rank_of_domain += count;
         }
 
-        NodeSimReport { ranks: self.config.ranks, total, per_rank, cores_per_domain }
+        NodeSimReport {
+            ranks: self.config.ranks,
+            total,
+            per_rank,
+            cores_per_domain,
+        }
     }
 
     /// Run an SPMD kernel simulating *every* rank individually.  Exact but
@@ -182,7 +192,12 @@ impl NodeSim {
                 rank += 1;
             }
         }
-        NodeSimReport { ranks: self.config.ranks, total, per_rank, cores_per_domain }
+        NodeSimReport {
+            ranks: self.config.ranks,
+            total,
+            per_rank,
+            cores_per_domain,
+        }
     }
 }
 
@@ -224,7 +239,10 @@ mod tests {
         let serial = ratio(1);
         let saturated = ratio(18);
         assert!(serial > 1.9, "serial store ratio ≈ 2, got {serial}");
-        assert!(saturated < 1.3, "saturated store ratio must drop, got {saturated}");
+        assert!(
+            saturated < 1.3,
+            "saturated store ratio must drop, got {saturated}"
+        );
     }
 
     #[test]
@@ -246,7 +264,10 @@ mod tests {
         let sim = NodeSim::new(SimConfig::new(m, 36).without_speci2m());
         let rep = sim.run_spmd(store_kernel(4096));
         let ratio = rep.total_bytes() / rep.total.write_bytes();
-        assert!(ratio > 1.95, "without SpecI2M all stores write-allocate, got {ratio}");
+        assert!(
+            ratio > 1.95,
+            "without SpecI2M all stores write-allocate, got {ratio}"
+        );
     }
 
     #[test]

@@ -158,17 +158,29 @@ impl CoreSim {
 
     /// Feed a load of `bytes` bytes at `addr`.
     pub fn load(&mut self, addr: u64, bytes: u32) {
-        self.access(Access { addr, bytes, kind: AccessKind::Load });
+        self.access(Access {
+            addr,
+            bytes,
+            kind: AccessKind::Load,
+        });
     }
 
     /// Feed a store of `bytes` bytes at `addr`.
     pub fn store(&mut self, addr: u64, bytes: u32) {
-        self.access(Access { addr, bytes, kind: AccessKind::Store });
+        self.access(Access {
+            addr,
+            bytes,
+            kind: AccessKind::Store,
+        });
     }
 
     /// Feed a non-temporal store of `bytes` bytes at `addr`.
     pub fn store_nt(&mut self, addr: u64, bytes: u32) {
-        self.access(Access { addr, bytes, kind: AccessKind::StoreNT });
+        self.access(Access {
+            addr,
+            bytes,
+            kind: AccessKind::StoreNT,
+        });
     }
 
     /// Finalize pending store streams and flush dirty cache lines to memory.
@@ -360,13 +372,24 @@ mod tests {
     use clover_machine::icelake_sp_8360y;
 
     fn serial_core(machine: &Machine) -> CoreSim {
-        CoreSim::new(machine, OccupancyContext::serial(machine), CoreSimOptions::default())
+        CoreSim::new(
+            machine,
+            OccupancyContext::serial(machine),
+            CoreSimOptions::default(),
+        )
     }
 
     fn loaded_core(machine: &Machine) -> CoreSim {
         // Full node: every domain saturated.
         let ctx = OccupancyContext::compact(machine, machine.total_cores());
-        CoreSim::new(machine, ctx, CoreSimOptions { l3_sharers: 36, ..Default::default() })
+        CoreSim::new(
+            machine,
+            ctx,
+            CoreSimOptions {
+                l3_sharers: 36,
+                ..Default::default()
+            },
+        )
     }
 
     /// Stream `n` doubles: load from `src`, store to `dst`.
@@ -407,8 +430,16 @@ mod tests {
         let lines = (n / 8) as f64;
         // Serial: SpecI2M inactive → every store line needs a write-allocate.
         // Read = source + WA ≈ 2 lines/iteration-line, write = 1.
-        assert!(c.write_allocate_lines > 0.95 * lines, "WA = {}", c.write_allocate_lines);
-        assert!((c.read_lines / lines - 2.0).abs() < 0.15, "reads/line = {}", c.read_lines / lines);
+        assert!(
+            c.write_allocate_lines > 0.95 * lines,
+            "WA = {}",
+            c.write_allocate_lines
+        );
+        assert!(
+            (c.read_lines / lines - 2.0).abs() < 0.15,
+            "reads/line = {}",
+            c.read_lines / lines
+        );
         assert!((c.write_lines / lines - 1.0).abs() < 0.05);
         assert!(c.itom_lines < 0.05 * lines);
     }
@@ -422,7 +453,12 @@ mod tests {
         let c = core.flush();
         let lines = (n / 8) as f64;
         // Under full-node load SpecI2M claims most store lines via ITOM.
-        assert!(c.itom_lines > 0.6 * lines, "itom = {} of {}", c.itom_lines, lines);
+        assert!(
+            c.itom_lines > 0.6 * lines,
+            "itom = {} of {}",
+            c.itom_lines,
+            lines
+        );
         assert!(c.read_lines / lines < 1.5);
         // The read/write ratio approaches 1 (paper Fig. 6 / Fig. 8).
         assert!(c.read_write_ratio() < 1.5);
@@ -435,14 +471,21 @@ mod tests {
         let mut core = CoreSim::new(
             &m,
             ctx,
-            CoreSimOptions { speci2m_enabled: false, l3_sharers: 36, ..Default::default() },
+            CoreSimOptions {
+                speci2m_enabled: false,
+                l3_sharers: 36,
+                ..Default::default()
+            },
         );
         let n = 8 * 4096u64;
         copy_kernel(&mut core, 0, 1 << 30, n, false);
         let c = core.flush();
         let lines = (n / 8) as f64;
         assert!(c.itom_lines < 1e-9);
-        assert!(c.read_lines / lines > 1.9, "without SpecI2M every store needs a WA");
+        assert!(
+            c.read_lines / lines > 1.9,
+            "without SpecI2M every store needs a WA"
+        );
     }
 
     #[test]
@@ -454,7 +497,11 @@ mod tests {
         let c = core.flush();
         let lines = (n / 8) as f64;
         // NT stores: read only the source, write the destination once.
-        assert!((c.read_lines / lines - 1.0).abs() < 0.1, "reads/line = {}", c.read_lines / lines);
+        assert!(
+            (c.read_lines / lines - 1.0).abs() < 0.1,
+            "reads/line = {}",
+            c.read_lines / lines
+        );
         assert!((c.write_lines / lines - 1.0).abs() < 0.05);
         assert_eq!(c.write_allocate_lines, 0.0);
     }
@@ -513,7 +560,10 @@ mod tests {
             core.store(i * 8, 8);
         }
         let c = core.flush();
-        assert_eq!(c.read_lines, after_loads.read_lines, "stores hit in cache: no extra reads");
+        assert_eq!(
+            c.read_lines, after_loads.read_lines,
+            "stores hit in cache: no extra reads"
+        );
         assert!(c.write_lines >= 8.0, "dirty lines must be written back");
     }
 
@@ -526,7 +576,10 @@ mod tests {
         }
         let c1 = core.flush();
         let c2 = core.flush();
-        assert_eq!(c1.write_lines, c2.write_lines, "second flush must not add writes");
+        assert_eq!(
+            c1.write_lines, c2.write_lines,
+            "second flush must not add writes"
+        );
     }
 
     #[test]
@@ -534,7 +587,15 @@ mod tests {
         let m = icelake_sp_8360y();
         let mk = |pf: PrefetcherConfig| {
             let ctx = OccupancyContext::compact(&m, m.total_cores());
-            CoreSim::new(&m, ctx, CoreSimOptions { prefetchers: pf, l3_sharers: 36, ..Default::default() })
+            CoreSim::new(
+                &m,
+                ctx,
+                CoreSimOptions {
+                    prefetchers: pf,
+                    l3_sharers: 36,
+                    ..Default::default()
+                },
+            )
         };
         let run = |core: &mut CoreSim| {
             for row in 0..64u64 {

@@ -173,7 +173,11 @@ mod tests {
     #[test]
     fn array_sweep_load_volume() {
         let mut core = serial_core();
-        let sweep = ArraySweep { base: 0, elements: 8192, kind: AccessKind::Load };
+        let sweep = ArraySweep {
+            base: 0,
+            elements: 8192,
+            kind: AccessKind::Load,
+        };
         sweep.drive(&mut core);
         let c = core.flush();
         let expected_lines = 8192.0 / 8.0;
@@ -184,7 +188,13 @@ mod tests {
 
     #[test]
     fn row_sweep_addressing() {
-        let r = RowSweep { base: 1000, inner: 216, halo: 5, rows: 3, kind: AccessKind::Store };
+        let r = RowSweep {
+            base: 1000,
+            inner: 216,
+            halo: 5,
+            rows: 3,
+            kind: AccessKind::Store,
+        };
         assert_eq!(r.stride_elements(), 221);
         assert_eq!(r.addr(0, 0), 1000);
         assert_eq!(r.addr(1, 0), 1000 + 221 * 8);
@@ -194,7 +204,13 @@ mod tests {
     #[test]
     fn row_sweep_store_generates_writes() {
         let mut core = serial_core();
-        let r = RowSweep { base: 0, inner: 216, halo: 5, rows: 8, kind: AccessKind::Store };
+        let r = RowSweep {
+            base: 0,
+            inner: 216,
+            halo: 5,
+            rows: 8,
+            kind: AccessKind::Store,
+        };
         r.drive(&mut core);
         let c = core.flush();
         let touched_lines = r.touched_bytes() as f64 / 64.0;
@@ -210,8 +226,16 @@ mod tests {
         let stride = 2048u64;
         let sweep = StencilRowSweep {
             operands: vec![
-                StencilOperand { base: 1 << 30, offsets: vec![(0, 0)], kind: AccessKind::Load },
-                StencilOperand { base: 1 << 31, offsets: vec![(0, 0)], kind: AccessKind::Store },
+                StencilOperand {
+                    base: 1 << 30,
+                    offsets: vec![(0, 0)],
+                    kind: AccessKind::Load,
+                },
+                StencilOperand {
+                    base: 1 << 31,
+                    offsets: vec![(0, 0)],
+                    kind: AccessKind::Store,
+                },
             ],
             row_stride: stride,
             i0: 0,
@@ -224,7 +248,10 @@ mod tests {
         let it = sweep.iterations() as f64;
         // Per iteration: 8 B read (b) + 8 B WA (a, serial) + 8 B write (a).
         let bytes_per_it = c.total_bytes() / it;
-        assert!((bytes_per_it - 24.0).abs() < 2.0, "bytes/it = {bytes_per_it}");
+        assert!(
+            (bytes_per_it - 24.0).abs() < 2.0,
+            "bytes/it = {bytes_per_it}"
+        );
     }
 
     #[test]
@@ -240,7 +267,11 @@ mod tests {
                     offsets: vec![(0, 1), (-1, 0), (1, 0), (0, -1)],
                     kind: AccessKind::Load,
                 },
-                StencilOperand { base: 1 << 31, offsets: vec![(0, 0)], kind: AccessKind::Store },
+                StencilOperand {
+                    base: 1 << 31,
+                    offsets: vec![(0, 0)],
+                    kind: AccessKind::Store,
+                },
             ],
             row_stride: stride,
             i0: 1,
@@ -254,7 +285,10 @@ mod tests {
         // Layer condition fulfilled: x read once (8 B/it) + WA (8) + write (8)
         // ≈ 24 B/it (plus halo rows overhead).
         let bytes_per_it = c.total_bytes() / it;
-        assert!(bytes_per_it < 30.0, "LC satisfied should give ~24-26 B/it, got {bytes_per_it}");
+        assert!(
+            bytes_per_it < 30.0,
+            "LC satisfied should give ~24-26 B/it, got {bytes_per_it}"
+        );
     }
 
     #[test]

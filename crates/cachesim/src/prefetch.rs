@@ -98,7 +98,10 @@ pub struct StreamerPrefetcher {
 impl StreamerPrefetcher {
     /// Create a streamer with the given lookahead distance (lines).
     pub fn new(distance: u64) -> Self {
-        Self { streams: LruTable::new(16), distance }
+        Self {
+            streams: LruTable::new(16),
+            distance,
+        }
     }
 
     /// Inform the prefetcher about a demand read miss at `line`.  Returns the
@@ -131,7 +134,11 @@ impl StreamerPrefetcher {
         } else {
             self.streams.insert(
                 page,
-                StreamState { last_line: line, ascending_hits: 0, prefetched_up_to: line },
+                StreamState {
+                    last_line: line,
+                    ascending_hits: 0,
+                    prefetched_up_to: line,
+                },
             );
             Vec::new()
         }
@@ -156,7 +163,10 @@ mod tests {
         assert!(p.on_demand_miss(100).is_empty());
         assert!(p.on_demand_miss(101).is_empty());
         let pf = p.on_demand_miss(102);
-        assert!(!pf.is_empty(), "third sequential miss should trigger prefetch");
+        assert!(
+            !pf.is_empty(),
+            "third sequential miss should trigger prefetch"
+        );
         assert!(pf.iter().all(|&l| l > 102));
     }
 
@@ -167,7 +177,10 @@ mod tests {
         p.on_demand_miss(page_last - 2);
         p.on_demand_miss(page_last - 1);
         let pf = p.on_demand_miss(page_last);
-        assert!(pf.is_empty(), "prefetch must stop at the page boundary, got {pf:?}");
+        assert!(
+            pf.is_empty(),
+            "prefetch must stop at the page boundary, got {pf:?}"
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@ use clover_core::decomp::Decomposition;
 use clover_simpi::{Comm, World};
 
 use crate::chunk::Chunk;
-use crate::halo::{exchange_advection, exchange_eos, exchange_primary, serial_boundaries, RankGrid};
+use crate::halo::{
+    exchange_advection, exchange_eos, exchange_primary, serial_boundaries, RankGrid,
+};
 use crate::kernels;
 
 /// Configuration of one simulation run.
@@ -67,7 +69,11 @@ impl Simulation {
     /// Build the simulation for one rank of a `ranks`-rank run.
     pub fn new(config: &SimConfig, rank: usize, ranks: usize) -> Self {
         let decomp = Decomposition::new(ranks, config.grid_x, config.grid_y);
-        let grid = RankGrid { rank, ranks_x: decomp.ranks_x, ranks_y: decomp.ranks_y };
+        let grid = RankGrid {
+            rank,
+            ranks_x: decomp.ranks_x,
+            ranks_y: decomp.ranks_y,
+        };
         let nx = decomp.local_inner(rank);
         let ny = decomp.local_outer(rank);
         let dx = config.length_x / config.grid_x as f64;
@@ -75,13 +81,20 @@ impl Simulation {
         let mut chunk = Chunk::new(nx, ny, dx, dy);
         // Global offsets: sum of the chunk sizes of the ranks before us.
         chunk.offset_x = (0..grid.rx()).map(|r| decomp.local_inner(r)).sum();
-        chunk.offset_y = (0..grid.ry()).map(|r| decomp.local_outer(r * decomp.ranks_x)).sum();
+        chunk.offset_y = (0..grid.ry())
+            .map(|r| decomp.local_outer(r * decomp.ranks_x))
+            .sum();
         chunk.at_left = grid.rx() == 0;
         chunk.at_right = grid.rx() + 1 == decomp.ranks_x;
         chunk.at_bottom = grid.ry() == 0;
         chunk.at_top = grid.ry() + 1 == decomp.ranks_y;
         chunk.initialise_two_state(config.grid_x, config.grid_y);
-        Self { chunk, grid, config: config.clone(), dt: 0.0 }
+        Self {
+            chunk,
+            grid,
+            config: config.clone(),
+            dt: 0.0,
+        }
     }
 
     /// Execute one timestep.  `comm` is `None` for a serial run.
@@ -150,7 +163,13 @@ impl Simulation {
             sim.step(None);
         }
         let (mass, internal_energy, kinetic_energy) = sim.local_summary();
-        RunSummary { mass, internal_energy, kinetic_energy, dt: sim.dt, steps: config.steps }
+        RunSummary {
+            mass,
+            internal_energy,
+            kinetic_energy,
+            dt: sim.dt,
+            steps: config.steps,
+        }
     }
 
     /// Run a complete parallel simulation on `ranks` in-process ranks and
@@ -195,7 +214,10 @@ mod tests {
     fn the_energy_source_drives_a_shock() {
         // After a few steps the hot corner must have produced kinetic energy.
         let summary = Simulation::run_serial(&SimConfig::small(24, 5));
-        assert!(summary.kinetic_energy > 0.0, "the two-state problem must start moving");
+        assert!(
+            summary.kinetic_energy > 0.0,
+            "the two-state problem must start moving"
+        );
     }
 
     #[test]
@@ -234,8 +256,8 @@ mod tests {
         let config = SimConfig::small(30, 3);
         let serial = Simulation::run_serial(&config);
         let par = Simulation::run_parallel(&config, 5);
-        let rel = (par.internal_energy - serial.internal_energy).abs()
-            / serial.internal_energy.abs();
+        let rel =
+            (par.internal_energy - serial.internal_energy).abs() / serial.internal_energy.abs();
         assert!(rel < 1e-6, "prime decomposition diverges: {rel}");
     }
 

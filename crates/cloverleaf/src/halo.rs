@@ -57,7 +57,13 @@ impl RankGrid {
 /// zero-gradient boundaries on the physical edges.
 ///
 /// Every rank must call this collectively with the same `tag`.
-pub fn exchange_field(comm: &mut Comm, grid: &RankGrid, chunk_bounds: (bool, bool, bool, bool), field: &mut Field2D, tag: u32) {
+pub fn exchange_field(
+    comm: &mut Comm,
+    grid: &RankGrid,
+    chunk_bounds: (bool, bool, bool, bool),
+    field: &mut Field2D,
+    tag: u32,
+) {
     let h = HALO as isize;
     // X direction: send interior columns, receive into halo columns.
     if let Some(left) = grid.left() {
@@ -67,7 +73,11 @@ pub fn exchange_field(comm: &mut Comm, grid: &RankGrid, chunk_bounds: (bool, boo
     }
     if let Some(right) = grid.right() {
         for d in 0..h {
-            comm.send(right, tag * 8 + 4 + d as u32, &field.pack_column(field.nx() as isize - 1 - d));
+            comm.send(
+                right,
+                tag * 8 + 4 + d as u32,
+                &field.pack_column(field.nx() as isize - 1 - d),
+            );
         }
     }
     if let Some(right) = grid.right() {
@@ -92,7 +102,11 @@ pub fn exchange_field(comm: &mut Comm, grid: &RankGrid, chunk_bounds: (bool, boo
     }
     if let Some(top) = grid.top() {
         for d in 0..h {
-            comm.send(top, tag * 8 + 4 + d as u32, &field.pack_row(field.ny() as isize - 1 - d));
+            comm.send(
+                top,
+                tag * 8 + 4 + d as u32,
+                &field.pack_row(field.ny() as isize - 1 - d),
+            );
         }
     }
     if let Some(top) = grid.top() {
@@ -173,14 +187,22 @@ mod tests {
 
     #[test]
     fn rank_grid_neighbours() {
-        let g = RankGrid { rank: 4, ranks_x: 3, ranks_y: 2 };
+        let g = RankGrid {
+            rank: 4,
+            ranks_x: 3,
+            ranks_y: 2,
+        };
         assert_eq!(g.rx(), 1);
         assert_eq!(g.ry(), 1);
         assert_eq!(g.left(), Some(3));
         assert_eq!(g.right(), Some(5));
         assert_eq!(g.bottom(), Some(1));
         assert_eq!(g.top(), None);
-        let corner = RankGrid { rank: 0, ranks_x: 3, ranks_y: 2 };
+        let corner = RankGrid {
+            rank: 0,
+            ranks_x: 3,
+            ranks_y: 2,
+        };
         assert_eq!(corner.left(), None);
         assert_eq!(corner.bottom(), None);
     }
@@ -189,7 +211,11 @@ mod tests {
     fn two_rank_exchange_transfers_interior_columns() {
         let results = World::run(2, |mut comm| {
             let rank = comm.rank();
-            let grid = RankGrid { rank, ranks_x: 2, ranks_y: 1 };
+            let grid = RankGrid {
+                rank,
+                ranks_x: 2,
+                ranks_y: 1,
+            };
             let mut field = Field2D::new(4, 3, HALO);
             for k in 0..3isize {
                 for i in 0..4isize {
@@ -211,7 +237,11 @@ mod tests {
     fn physical_boundaries_are_zero_gradient_after_exchange() {
         let results = World::run(2, |mut comm| {
             let rank = comm.rank();
-            let grid = RankGrid { rank, ranks_x: 2, ranks_y: 1 };
+            let grid = RankGrid {
+                rank,
+                ranks_x: 2,
+                ranks_y: 1,
+            };
             let mut field = Field2D::new(4, 3, HALO);
             field.fill(0.0);
             for k in 0..3isize {

@@ -226,7 +226,9 @@ pub fn advec_mom(chunk: &mut Chunk, sweep_x: bool, x_component: bool) {
     }
     for k in 0..chunk.ny as isize {
         for i in 0..chunk.nx as isize {
-            chunk.node_mass_pre.set(i, k, chunk.density1.get(i, k) * vol);
+            chunk
+                .node_mass_pre
+                .set(i, k, chunk.density1.get(i, k) * vol);
         }
     }
     if sweep_x {
@@ -247,7 +249,11 @@ pub fn advec_mom(chunk: &mut Chunk, sweep_x: bool, x_component: bool) {
                 let mass = chunk.node_mass_pre.get(i, k).max(1e-12);
                 let dmom = chunk.mom_flux.get(i, k) - chunk.mom_flux.get(i + 1, k);
                 let dm = chunk.node_flux.get(i, k) - chunk.node_flux.get(i + 1, k);
-                let vel_old = if x_component { chunk.xvel1.get(i, k) } else { chunk.yvel1.get(i, k) };
+                let vel_old = if x_component {
+                    chunk.xvel1.get(i, k)
+                } else {
+                    chunk.yvel1.get(i, k)
+                };
                 let mass_new = (mass + dm).max(1e-12);
                 let vel_new = (mass * vel_old + dmom) / mass_new;
                 if x_component {
@@ -275,7 +281,11 @@ pub fn advec_mom(chunk: &mut Chunk, sweep_x: bool, x_component: bool) {
                 let mass = chunk.node_mass_pre.get(i, k).max(1e-12);
                 let dmom = chunk.mom_flux.get(i, k) - chunk.mom_flux.get(i, k + 1);
                 let dm = chunk.node_flux.get(i, k) - chunk.node_flux.get(i, k + 1);
-                let vel_old = if x_component { chunk.xvel1.get(i, k) } else { chunk.yvel1.get(i, k) };
+                let vel_old = if x_component {
+                    chunk.xvel1.get(i, k)
+                } else {
+                    chunk.yvel1.get(i, k)
+                };
                 let mass_new = (mass + dm).max(1e-12);
                 let vel_new = (mass * vel_old + dmom) / mass_new;
                 if x_component {
@@ -345,7 +355,10 @@ mod tests {
         reset_field(&mut c);
         for k in 0..8isize {
             for i in 0..8isize {
-                assert!((c.density0.get(i, k) - 0.5).abs() < 1e-12, "density changed");
+                assert!(
+                    (c.density0.get(i, k) - 0.5).abs() < 1e-12,
+                    "density changed"
+                );
                 assert!((c.energy0.get(i, k) - 2.0).abs() < 1e-12, "energy changed");
                 assert!(c.xvel0.get(i, k).abs() < 1e-12, "velocity appeared");
             }

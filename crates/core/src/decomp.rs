@@ -64,7 +64,13 @@ impl Decomposition {
                 ry = ranks;
             }
         }
-        Self { ranks, ranks_x: rx, ranks_y: ry, grid_x, grid_y }
+        Self {
+            ranks,
+            ranks_x: rx,
+            ranks_y: ry,
+            grid_x,
+            grid_y,
+        }
     }
 
     /// True if the rank count is prime (and > 2 ranks), i.e. the grid is cut
@@ -89,7 +95,10 @@ impl Decomposition {
     /// Smallest local inner extent over all ranks — the quantity that
     /// controls SpecI2M streak lengths.
     pub fn min_local_inner(&self) -> usize {
-        (0..self.ranks_x).map(|rx| chunk_size(self.grid_x, self.ranks_x, rx)).min().unwrap_or(0)
+        (0..self.ranks_x)
+            .map(|rx| chunk_size(self.grid_x, self.ranks_x, rx))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Typical (median) local inner extent.
@@ -235,7 +244,12 @@ mod tests {
     fn non_prime_counts_stay_close_to_square() {
         let d = Decomposition::new(72, G, G);
         assert_eq!(d.ranks_x * d.ranks_y, 72);
-        assert!(d.ranks_x >= 8 && d.ranks_x <= 9, "72 = 8×9 or 9×8, got {}×{}", d.ranks_x, d.ranks_y);
+        assert!(
+            d.ranks_x >= 8 && d.ranks_x <= 9,
+            "72 = 8×9 or 9×8, got {}×{}",
+            d.ranks_x,
+            d.ranks_y
+        );
         let d = Decomposition::new(36, G, G);
         assert_eq!(d.ranks_x * d.ranks_y, 36);
         assert_eq!(d.ranks_x.max(d.ranks_y), 6);

@@ -74,7 +74,9 @@ impl CommModel {
     pub fn shares(&self, ranks: usize) -> MpiShare {
         let decomp = Decomposition::new(ranks, TINY_GRID, TINY_GRID);
         let scaling = ScalingModel::new(self.machine.clone());
-        let step_time = scaling.point(ranks, &TrafficOptions::original(ranks)).time_per_step;
+        let step_time = scaling
+            .point(ranks, &TrafficOptions::original(ranks))
+            .time_per_step;
 
         // Worst-case rank: interior rank with the most neighbours.
         let rank = if ranks > 1 { ranks / 2 } else { 0 };
@@ -84,8 +86,8 @@ impl CommModel {
         // One exchange: post isends (latency each), then wait for the
         // transfers to complete (bytes / bandwidth + latency).
         let isend_time = self.exchanges_per_step * neighbours * self.latency;
-        let waitall_time = self.exchanges_per_step
-            * (halo_bytes / self.p2p_bandwidth + neighbours * self.latency);
+        let waitall_time =
+            self.exchanges_per_step * (halo_bytes / self.p2p_bandwidth + neighbours * self.latency);
         // Reductions: log2(p) stages of one latency each.
         let stages = (ranks.max(2) as f64).log2().ceil();
         let allreduce_time = self.allreduces_per_step * 2.0 * stages * self.latency
@@ -149,8 +151,18 @@ mod tests {
     fn mpi_share_is_only_a_few_percent() {
         // Fig. 4's y-axis starts at 94 %: MPI never exceeds ~6 % of runtime.
         for s in model().figure4_points() {
-            assert!(s.serial > 0.90, "ranks={}: serial share {}", s.ranks, s.serial);
-            assert!(s.mpi_total() < 0.10, "ranks={}: MPI share {}", s.ranks, s.mpi_total());
+            assert!(
+                s.serial > 0.90,
+                "ranks={}: serial share {}",
+                s.ranks,
+                s.serial
+            );
+            assert!(
+                s.mpi_total() < 0.10,
+                "ranks={}: MPI share {}",
+                s.ranks,
+                s.mpi_total()
+            );
         }
     }
 

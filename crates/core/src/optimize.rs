@@ -108,7 +108,10 @@ impl OptimizationPlan {
 
     /// Largest relative improvement of any loop.
     pub fn max_improvement(&self) -> f64 {
-        self.loops.iter().map(|l| l.improvement()).fold(0.0, f64::max)
+        self.loops
+            .iter()
+            .map(|l| l.improvement())
+            .fold(0.0, f64::max)
     }
 
     /// Loops that need the manual restructuring.
@@ -146,7 +149,11 @@ mod tests {
         assert_eq!(p.restructured_loops(), vec!["ac01", "ac05"]);
         for name in ["ac01", "ac05"] {
             let advice = p.loops.iter().find(|l| l.name == name).unwrap();
-            assert!(advice.improvement() > 0.15, "{name}: {}", advice.improvement());
+            assert!(
+                advice.improvement() > 0.15,
+                "{name}: {}",
+                advice.improvement()
+            );
         }
     }
 
@@ -155,7 +162,11 @@ mod tests {
         let p = plan();
         for name in ["am04", "am06", "am08", "am10"] {
             let advice = p.loops.iter().find(|l| l.name == name).unwrap();
-            assert_eq!(advice.optimization, LoopOptimization::NonTemporalStores, "{name}");
+            assert_eq!(
+                advice.optimization,
+                LoopOptimization::NonTemporalStores,
+                "{name}"
+            );
         }
     }
 

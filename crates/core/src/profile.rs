@@ -65,15 +65,23 @@ pub fn hotspot_profile(machine: &Machine, ranks: usize) -> Vec<ProfileEntry> {
     let hotspot_share = 1.0 - other_total;
 
     let mut entries = vec![
-        ProfileEntry { name: "advec_mom_kernel".into(), share: hotspot_share * mom / hotspot_total },
-        ProfileEntry { name: "advec_cell_kernel".into(), share: hotspot_share * cell / hotspot_total },
-        ProfileEntry { name: "pdv_kernel".into(), share: hotspot_share * pdv / hotspot_total },
+        ProfileEntry {
+            name: "advec_mom_kernel".into(),
+            share: hotspot_share * mom / hotspot_total,
+        },
+        ProfileEntry {
+            name: "advec_cell_kernel".into(),
+            share: hotspot_share * cell / hotspot_total,
+        },
+        ProfileEntry {
+            name: "pdv_kernel".into(),
+            share: hotspot_share * pdv / hotspot_total,
+        },
     ];
-    entries.extend(
-        OTHER_KERNELS
-            .iter()
-            .map(|(n, s)| ProfileEntry { name: (*n).to_string(), share: *s }),
-    );
+    entries.extend(OTHER_KERNELS.iter().map(|(n, s)| ProfileEntry {
+        name: (*n).to_string(),
+        share: *s,
+    }));
     entries.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap());
     entries
 }
@@ -83,7 +91,10 @@ pub fn hotspot_share(profile: &[ProfileEntry]) -> f64 {
     profile
         .iter()
         .filter(|e| {
-            matches!(e.name.as_str(), "advec_mom_kernel" | "advec_cell_kernel" | "pdv_kernel")
+            matches!(
+                e.name.as_str(),
+                "advec_mom_kernel" | "advec_cell_kernel" | "pdv_kernel"
+            )
         })
         .map(|e| e.share)
         .sum()
@@ -106,7 +117,10 @@ mod tests {
         for ranks in [1usize, 18, 37, 72] {
             let p = hotspot_profile(&icelake_sp_8360y(), ranks);
             let share = hotspot_share(&p);
-            assert!((0.66..=0.72).contains(&share), "ranks={ranks}: hotspot share {share}");
+            assert!(
+                (0.66..=0.72).contains(&share),
+                "ranks={ranks}: hotspot share {share}"
+            );
         }
     }
 
@@ -114,7 +128,11 @@ mod tests {
     fn advec_mom_is_the_top_function() {
         let p = hotspot_profile(&icelake_sp_8360y(), 72);
         assert_eq!(p[0].name, "advec_mom_kernel");
-        assert!(p[0].share > 0.30 && p[0].share < 0.42, "advec_mom share {}", p[0].share);
+        assert!(
+            p[0].share > 0.30 && p[0].share < 0.42,
+            "advec_mom share {}",
+            p[0].share
+        );
         // advec_cell second, pdv third — same ordering as Listing 2.
         assert_eq!(p[1].name, "advec_cell_kernel");
         assert_eq!(p[2].name, "pdv_kernel");

@@ -50,7 +50,11 @@ impl ScalingModel {
     /// Model for the Tiny working set on `machine`.
     pub fn new(machine: Machine) -> Self {
         let traffic = TrafficModel::new(machine.clone());
-        Self { machine, traffic, grid: TINY_GRID }
+        Self {
+            machine,
+            traffic,
+            grid: TINY_GRID,
+        }
     }
 
     /// Use a different (e.g. scaled-down) square grid.
@@ -113,15 +117,23 @@ impl ScalingModel {
             speedup: 0.0, // filled in by `sweep`
             memory_bandwidth: volume_per_step / time_per_step,
             volume_per_step,
-            loop_balances: loops.iter().map(|l| (l.name.clone(), l.code_balance())).collect(),
+            loop_balances: loops
+                .iter()
+                .map(|l| (l.name.clone(), l.code_balance()))
+                .collect(),
         }
     }
 
     /// Evaluate a full sweep over 1..=`max_ranks` ranks and fill in
     /// speedups relative to the single-rank point.
-    pub fn sweep(&self, max_ranks: usize, opts_for: impl Fn(usize) -> TrafficOptions) -> Vec<ScalingPoint> {
-        let mut points: Vec<ScalingPoint> =
-            (1..=max_ranks).map(|r| self.point(r, &opts_for(r))).collect();
+    pub fn sweep(
+        &self,
+        max_ranks: usize,
+        opts_for: impl Fn(usize) -> TrafficOptions,
+    ) -> Vec<ScalingPoint> {
+        let mut points: Vec<ScalingPoint> = (1..=max_ranks)
+            .map(|r| self.point(r, &opts_for(r)))
+            .collect();
         let t1 = points[0].time_per_step;
         for p in &mut points {
             p.speedup = t1 / p.time_per_step;
@@ -149,7 +161,11 @@ mod tests {
     fn speedup_is_one_for_one_rank_and_grows() {
         let points = sweep_to_72();
         assert!((points[0].speedup - 1.0).abs() < 1e-12);
-        assert!(points[71].speedup > 10.0, "full node speedup = {}", points[71].speedup);
+        assert!(
+            points[71].speedup > 10.0,
+            "full node speedup = {}",
+            points[71].speedup
+        );
         assert!(points[17].speedup > points[8].speedup);
     }
 

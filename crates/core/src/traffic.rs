@@ -50,17 +50,29 @@ pub struct TrafficOptions {
 impl TrafficOptions {
     /// Original code on `ranks` ranks with the layer condition satisfied.
     pub fn original(ranks: usize) -> Self {
-        Self { variant: CodeVariant::Original, ranks, layer_condition_ok: true }
+        Self {
+            variant: CodeVariant::Original,
+            ranks,
+            layer_condition_ok: true,
+        }
     }
 
     /// Optimized code (NT stores + restructuring) on `ranks` ranks.
     pub fn optimized(ranks: usize) -> Self {
-        Self { variant: CodeVariant::Optimized, ranks, layer_condition_ok: true }
+        Self {
+            variant: CodeVariant::Optimized,
+            ranks,
+            layer_condition_ok: true,
+        }
     }
 
     /// Original code with SpecI2M disabled.
     pub fn speci2m_off(ranks: usize) -> Self {
-        Self { variant: CodeVariant::SpecI2MOff, ranks, layer_condition_ok: true }
+        Self {
+            variant: CodeVariant::SpecI2MOff,
+            ranks,
+            layer_condition_ok: true,
+        }
     }
 }
 
@@ -146,7 +158,11 @@ impl TrafficModel {
         let local_inner = decomp.typical_local_inner().max(1);
         let elem = 8.0;
 
-        let rd_base = if opts.layer_condition_ok { spec.rd_lcf() } else { spec.rd_lcb() } as f64;
+        let rd_base = if opts.layer_condition_ok {
+            spec.rd_lcf()
+        } else {
+            spec.rd_lcb()
+        } as f64;
         let wr = spec.wr() as f64;
         let mut evadable = spec.evadable_write_streams() as f64;
 
@@ -179,8 +195,16 @@ impl TrafficModel {
             evadable -= 1.0;
         }
 
-        let evasion = if blocked { 0.0 } else { params.evasion_fraction(&ctx) };
-        let spec_read = if blocked { 0.0 } else { params.speculative_read_fraction(&ctx) };
+        let evasion = if blocked {
+            0.0
+        } else {
+            params.evasion_fraction(&ctx)
+        };
+        let spec_read = if blocked {
+            0.0
+        } else {
+            params.speculative_read_fraction(&ctx)
+        };
         let nt_flush = params.nt_partial_flush_fraction(
             ctx.domain_utilization,
             ctx.active_domains,
@@ -221,9 +245,9 @@ impl TrafficModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TINY_GRID;
     use clover_machine::icelake_sp_8360y;
     use clover_stencil::loop_by_name;
-    use crate::TINY_GRID;
 
     fn model() -> TrafficModel {
         TrafficModel::new(icelake_sp_8360y())
@@ -241,7 +265,13 @@ mod tests {
         for spec in clover_stencil::cloverleaf_loops() {
             let t = m.predict_loop(&spec, &TrafficOptions::original(1), &decomp(1));
             let rel = (t.code_balance() - t.bounds.lcf_wa).abs() / t.bounds.lcf_wa;
-            assert!(rel < 0.03, "{}: predicted {} vs LCF,WA {}", spec.name, t.code_balance(), t.bounds.lcf_wa);
+            assert!(
+                rel < 0.03,
+                "{}: predicted {} vs LCF,WA {}",
+                spec.name,
+                t.code_balance(),
+                t.bounds.lcf_wa
+            );
         }
     }
 
@@ -273,11 +303,22 @@ mod tests {
         let m = model();
         let spec = loop_by_name("am04").unwrap();
         let balance = |ranks: usize| {
-            m.predict_loop(&spec, &TrafficOptions::original(ranks), &decomp(ranks)).code_balance()
+            m.predict_loop(&spec, &TrafficOptions::original(ranks), &decomp(ranks))
+                .code_balance()
         };
         // 71 is prime (216-element rows); 72 decomposes 8×9 (1920-element rows).
-        assert!(balance(71) > balance(72) * 1.05, "71: {} vs 72: {}", balance(71), balance(72));
-        assert!(balance(37) > balance(36) * 1.04, "37: {} vs 36: {}", balance(37), balance(36));
+        assert!(
+            balance(71) > balance(72) * 1.05,
+            "71: {} vs 72: {}",
+            balance(71),
+            balance(72)
+        );
+        assert!(
+            balance(37) > balance(36) * 1.04,
+            "37: {} vs 36: {}",
+            balance(37),
+            balance(36)
+        );
     }
 
     #[test]
@@ -305,8 +346,14 @@ mod tests {
             let spec = loop_by_name(name).unwrap();
             let orig = m.predict_loop(&spec, &TrafficOptions::original(72), &decomp(72));
             let opt = m.predict_loop(&spec, &TrafficOptions::optimized(72), &decomp(72));
-            assert_eq!(orig.evasion_fraction, 0.0, "{name} blocked in original code");
-            assert!(opt.code_balance() < orig.code_balance(), "{name} must improve when optimized");
+            assert_eq!(
+                orig.evasion_fraction, 0.0,
+                "{name} blocked in original code"
+            );
+            assert!(
+                opt.code_balance() < orig.code_balance(),
+                "{name} must improve when optimized"
+            );
         }
     }
 
@@ -327,7 +374,10 @@ mod tests {
         let max = rel_impr.iter().cloned().fold(f64::MIN, f64::max);
         assert!(avg > 0.02 && avg < 0.12, "average improvement {avg}");
         assert!(max > 0.10 && max < 0.30, "max improvement {max}");
-        assert!(rel_impr.iter().all(|&r| r > -1e-9), "optimization must never hurt");
+        assert!(
+            rel_impr.iter().all(|&r| r > -1e-9),
+            "optimization must never hurt"
+        );
     }
 
     #[test]
@@ -338,7 +388,9 @@ mod tests {
         let machine = icelake_sp_8360y();
         let bw_per_rank = machine.domain_bandwidth() / 18.0;
         let mem_time = t.code_balance() / bw_per_rank;
-        assert!((t.time_per_iteration(bw_per_rank, machine.core_peak_flops()) - mem_time).abs() < 1e-15);
+        assert!(
+            (t.time_per_iteration(bw_per_rank, machine.core_peak_flops()) - mem_time).abs() < 1e-15
+        );
     }
 
     #[test]

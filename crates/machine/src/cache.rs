@@ -7,7 +7,9 @@
 pub const CACHE_LINE_BYTES: usize = 64;
 
 /// Identifies a level in the cache hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum CacheLevel {
     /// Private level-1 data cache.
     L1,

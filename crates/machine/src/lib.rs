@@ -96,7 +96,10 @@ impl Machine {
                 break;
             }
             let used = remaining.min(per_domain);
-            bw += self.bandwidth.curve.bandwidth(used, self.bandwidth.domain_saturated_bw);
+            bw += self
+                .bandwidth
+                .curve
+                .bandwidth(used, self.bandwidth.domain_saturated_bw);
             remaining -= used;
         }
         bw

@@ -54,7 +54,13 @@ fn spr_caches(l3_sharers: usize) -> MemoryHierarchySpec {
     MemoryHierarchySpec {
         l1: CacheSpec::new(CacheLevel::L1, 48 * 1024, 12, CACHE_LINE_BYTES, false),
         l2: CacheSpec::new(CacheLevel::L2, 2048 * 1024, 16, CACHE_LINE_BYTES, false),
-        l3: CacheSpec::new(CacheLevel::L3, 105 * 1024 * 1024, 12, CACHE_LINE_BYTES, true),
+        l3: CacheSpec::new(
+            CacheLevel::L3,
+            105 * 1024 * 1024,
+            12,
+            CACHE_LINE_BYTES,
+            true,
+        ),
         l3_sharers,
     }
 }
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn preset_ids_unique() {
-        let ids: Vec<String> = MachinePreset::all().iter().map(|p| p.machine().id).collect();
+        let ids: Vec<String> = MachinePreset::all()
+            .iter()
+            .map(|p| p.machine().id)
+            .collect();
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();

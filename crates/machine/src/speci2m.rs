@@ -200,7 +200,12 @@ impl SpecI2MParams {
 
     /// Fraction of non-temporal stores that nevertheless cause a read
     /// (partial write-combine-buffer flush) at the given utilisation.
-    pub fn nt_partial_flush_fraction(&self, domain_utilization: f64, active_domains: usize, total_domains: usize) -> f64 {
+    pub fn nt_partial_flush_fraction(
+        &self,
+        domain_utilization: f64,
+        active_domains: usize,
+        total_domains: usize,
+    ) -> f64 {
         let u = domain_utilization.clamp(0.0, 1.0);
         let pop = if total_domains <= 1 {
             1.0
@@ -254,7 +259,10 @@ mod tests {
     fn icx_saturated_domain_evasion_is_high() {
         let p = icelake_sp_8360y();
         let f = p.speci2m.evasion_fraction(&ctx(1.0, 1, 1, 2000.0));
-        assert!(f > 0.9, "saturated single-domain evasion should exceed 90 %, got {f}");
+        assert!(
+            f > 0.9,
+            "saturated single-domain evasion should exceed 90 %, got {f}"
+        );
     }
 
     #[test]
@@ -284,7 +292,10 @@ mod tests {
         let short = p.evasion_fraction(&ctx(1.0, 4, 1, 27.0)); // 216 doubles
         let long = p.evasion_fraction(&ctx(1.0, 4, 1, 240.0)); // 1920 doubles
         assert!(short < long);
-        assert!(long - short > 0.15, "short loops must lose noticeably: {short} vs {long}");
+        assert!(
+            long - short > 0.15,
+            "short loops must lose noticeably: {short} vs {long}"
+        );
     }
 
     #[test]
@@ -310,7 +321,9 @@ mod tests {
 
     #[test]
     fn stream_response_clamps_index() {
-        let r = StreamCountResponse { factors: vec![1.0, 0.9, 0.8] };
+        let r = StreamCountResponse {
+            factors: vec![1.0, 0.9, 0.8],
+        };
         assert_eq!(r.factor(0), 1.0);
         assert_eq!(r.factor(1), 1.0);
         assert_eq!(r.factor(3), 0.8);
@@ -331,7 +344,10 @@ mod tests {
     fn nt_partial_flush_band_on_icx() {
         let p = icelake_sp_8360y().speci2m;
         let at_node = p.nt_partial_flush_fraction(1.0, 4, 4);
-        assert!((0.12..=0.20).contains(&at_node), "NT flush fraction = {at_node}");
+        assert!(
+            (0.12..=0.20).contains(&at_node),
+            "NT flush fraction = {at_node}"
+        );
         assert!(p.nt_partial_flush_fraction(0.05, 1, 4) < 0.02);
     }
 }

@@ -39,7 +39,11 @@ impl Topology {
                 let id = s * domains_per_socket + d;
                 let cores = (next_core..next_core + cores_per_domain).collect();
                 next_core += cores_per_domain;
-                domains.push(CcNumaDomain { id, socket: s, cores });
+                domains.push(CcNumaDomain {
+                    id,
+                    socket: s,
+                    cores,
+                });
             }
         }
         Self { sockets, domains }

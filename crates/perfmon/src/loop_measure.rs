@@ -8,10 +8,10 @@
 //! reports the measured code balance.  The same module powers the
 //! row-sampling ablation bench referenced in `DESIGN.md`.
 
-use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, CoreSim, MemCounters};
 use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
 use clover_cachesim::PrefetcherConfig;
+use clover_cachesim::{AccessKind, CoreSim, MemCounters};
 use clover_machine::Machine;
 use clover_stencil::{AccessMode, LoopSpec};
 
@@ -92,8 +92,8 @@ pub fn measure_loop(machine: &Machine, spec: &LoopSpec, cfg: &MeasureConfig) -> 
     let ctx = OccupancyContext::compact(machine, cfg.ranks);
     let per_domain = machine.topology.active_cores_per_domain(cfg.ranks);
     let busiest = per_domain.iter().copied().max().unwrap_or(1);
-    let sharers = (busiest * machine.topology.domains_per_socket())
-        .clamp(1, machine.caches.l3_sharers);
+    let sharers =
+        (busiest * machine.topology.domains_per_socket()).clamp(1, machine.caches.l3_sharers);
     let mut core = CoreSim::new(
         machine,
         ctx,
@@ -129,8 +129,11 @@ pub fn measure_loop(machine: &Machine, spec: &LoopSpec, cfg: &MeasureConfig) -> 
                 }
             }
         };
-        let offsets: Vec<(i64, i64)> =
-            arr.offsets.iter().map(|&(di, dk)| (di as i64, dk as i64)).collect();
+        let offsets: Vec<(i64, i64)> = arr
+            .offsets
+            .iter()
+            .map(|&(di, dk)| (di as i64, dk as i64))
+            .collect();
         // Read-modify-write arrays are both loaded and stored at the centre.
         if arr.mode == AccessMode::ReadWrite {
             operands.push(StencilOperand {
@@ -139,7 +142,11 @@ pub fn measure_loop(machine: &Machine, spec: &LoopSpec, cfg: &MeasureConfig) -> 
                 kind: AccessKind::Load,
             });
         }
-        operands.push(StencilOperand { base, offsets, kind });
+        operands.push(StencilOperand {
+            base,
+            offsets,
+            kind,
+        });
     }
 
     let sweep = StencilRowSweep {
@@ -170,7 +177,10 @@ mod tests {
         // Table I: single-core measurement of am04 is ~24 byte/it.
         let m = icelake_sp_8360y();
         let spec = loop_by_name("am04").unwrap();
-        let cfg = MeasureConfig { local_inner: 3840, ..MeasureConfig::single_rank() };
+        let cfg = MeasureConfig {
+            local_inner: 3840,
+            ..MeasureConfig::single_rank()
+        };
         let meas = measure_loop(&m, &spec, &cfg);
         let b = meas.bytes_per_iteration();
         assert!((21.0..=27.0).contains(&b), "measured {b} byte/it");
@@ -183,7 +193,10 @@ mod tests {
         let serial = measure_loop(
             &m,
             &spec,
-            &MeasureConfig { local_inner: 3840, ..MeasureConfig::single_rank() },
+            &MeasureConfig {
+                local_inner: 3840,
+                ..MeasureConfig::single_rank()
+            },
         );
         let node = measure_loop(&m, &spec, &MeasureConfig::full_node(72, 1920));
         assert!(
@@ -199,7 +212,14 @@ mod tests {
         let m = icelake_sp_8360y();
         let spec = loop_by_name("am04").unwrap();
         let node = measure_loop(&m, &spec, &MeasureConfig::full_node(72, 1920));
-        let prime = measure_loop(&m, &spec, &MeasureConfig { rows: 48, ..MeasureConfig::full_node(71, 216) });
+        let prime = measure_loop(
+            &m,
+            &spec,
+            &MeasureConfig {
+                rows: 48,
+                ..MeasureConfig::full_node(71, 216)
+            },
+        );
         assert!(
             prime.bytes_per_iteration() > node.bytes_per_iteration() * 1.03,
             "prime {} vs node {}",
@@ -212,9 +232,19 @@ mod tests {
     fn nt_stores_lower_the_balance_of_evadable_loops() {
         let m = icelake_sp_8360y();
         let spec = loop_by_name("am08").unwrap();
-        let base_cfg = MeasureConfig { local_inner: 3840, ..MeasureConfig::single_rank() };
+        let base_cfg = MeasureConfig {
+            local_inner: 3840,
+            ..MeasureConfig::single_rank()
+        };
         let plain = measure_loop(&m, &spec, &base_cfg);
-        let nt = measure_loop(&m, &spec, &MeasureConfig { nt_stores: true, ..base_cfg });
+        let nt = measure_loop(
+            &m,
+            &spec,
+            &MeasureConfig {
+                nt_stores: true,
+                ..base_cfg
+            },
+        );
         assert!(
             nt.bytes_per_iteration() < plain.bytes_per_iteration() - 3.0,
             "nt {} vs plain {}",
@@ -231,12 +261,20 @@ mod tests {
         let spec = loop_by_name("ac03").unwrap();
         let bounds = CodeBalance::from_spec(&spec);
         for cfg in [
-            MeasureConfig { local_inner: 3840, ..MeasureConfig::single_rank() },
+            MeasureConfig {
+                local_inner: 3840,
+                ..MeasureConfig::single_rank()
+            },
             MeasureConfig::full_node(72, 1920),
         ] {
             let meas = measure_loop(&m, &spec, &cfg);
             let rel = (meas.bytes_per_iteration() - bounds.min).abs() / bounds.min;
-            assert!(rel < 0.12, "measured {} vs bound {}", meas.bytes_per_iteration(), bounds.min);
+            assert!(
+                rel < 0.12,
+                "measured {} vs bound {}",
+                meas.bytes_per_iteration(),
+                bounds.min
+            );
         }
     }
 
@@ -244,7 +282,11 @@ mod tests {
     fn measurement_reports_iteration_count() {
         let m = icelake_sp_8360y();
         let spec = loop_by_name("am04").unwrap();
-        let cfg = MeasureConfig { local_inner: 512, rows: 8, ..MeasureConfig::single_rank() };
+        let cfg = MeasureConfig {
+            local_inner: 512,
+            rows: 8,
+            ..MeasureConfig::single_rank()
+        };
         let meas = measure_loop(&m, &spec, &cfg);
         assert_eq!(meas.iterations, 512.0 * 8.0);
         assert!(meas.read_bytes_per_iteration() > 0.0);

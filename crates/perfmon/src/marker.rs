@@ -48,7 +48,8 @@ impl PerfMonitor {
 
     /// Start a region, snapshotting the current counters.
     pub fn start(&mut self, name: &str, counters: MemCounters) {
-        self.open.insert(name.to_string(), (counters, Instant::now()));
+        self.open
+            .insert(name.to_string(), (counters, Instant::now()));
     }
 
     /// Stop a region, attributing the counter delta since `start`.
@@ -96,7 +97,11 @@ mod tests {
     use super::*;
 
     fn counters(read: f64, write: f64) -> MemCounters {
-        MemCounters { read_lines: read, write_lines: write, ..Default::default() }
+        MemCounters {
+            read_lines: read,
+            write_lines: write,
+            ..Default::default()
+        }
     }
 
     #[test]

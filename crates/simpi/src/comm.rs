@@ -83,7 +83,11 @@ impl Comm {
         assert!(dest < self.size, "invalid destination rank {dest}");
         let t0 = Instant::now();
         self.senders[dest]
-            .send(Message { src: self.rank, tag, data: data.to_vec() })
+            .send(Message {
+                src: self.rank,
+                tag,
+                data: data.to_vec(),
+            })
             .expect("receiver alive");
         self.timers.add(MpiOp::Isend, t0.elapsed());
     }
@@ -279,8 +283,7 @@ mod tests {
     fn sendrecv_pairs() {
         let results = World::run(2, |mut comm| {
             let partner = 1 - comm.rank();
-            let data =
-                comm.sendrecv(partner, 0, &[comm.rank() as f64 * 5.0], partner, 0);
+            let data = comm.sendrecv(partner, 0, &[comm.rank() as f64 * 5.0], partner, 0);
             data[0]
         });
         assert_eq!(results, vec![5.0, 0.0]);

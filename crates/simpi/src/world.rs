@@ -55,7 +55,10 @@ impl World {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank result"))
+            .collect()
     }
 
     /// Like [`World::run`] but additionally returns the communication time

@@ -134,7 +134,13 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let b = CodeBalance { min: 0.0, lcf_wa: 0.0, lcb: 0.0, max: 0.0, flops: 0.0 };
+        let b = CodeBalance {
+            min: 0.0,
+            lcf_wa: 0.0,
+            lcb: 0.0,
+            max: 0.0,
+            flops: 0.0,
+        };
         assert_eq!(b.intensity(0.0), 0.0);
         assert!(b.byte_per_flop_min().is_infinite());
         assert!(CodeBalance::roofline_iterations_per_s(0.0, 1.0).is_infinite());

@@ -30,17 +30,29 @@ pub struct ArrayAccess {
 impl ArrayAccess {
     /// A read-only operand.
     pub fn read(name: &str, offsets: &[(i32, i32)]) -> Self {
-        Self { name: name.to_string(), mode: AccessMode::Read, offsets: offsets.to_vec() }
+        Self {
+            name: name.to_string(),
+            mode: AccessMode::Read,
+            offsets: offsets.to_vec(),
+        }
     }
 
     /// A write-only operand accessed at the centre point.
     pub fn write(name: &str) -> Self {
-        Self { name: name.to_string(), mode: AccessMode::Write, offsets: vec![(0, 0)] }
+        Self {
+            name: name.to_string(),
+            mode: AccessMode::Write,
+            offsets: vec![(0, 0)],
+        }
     }
 
     /// A read-modify-write operand accessed at the centre point.
     pub fn read_write(name: &str) -> Self {
-        Self { name: name.to_string(), mode: AccessMode::ReadWrite, offsets: vec![(0, 0)] }
+        Self {
+            name: name.to_string(),
+            mode: AccessMode::ReadWrite,
+            offsets: vec![(0, 0)],
+        }
     }
 
     /// Number of distinct grid rows (`dk` values) touched by the reads of

@@ -124,8 +124,16 @@ mod tests {
         // Fig. 6: one thread → 16 read bytes and 8 write bytes per update.
         let m = icelake_sp_8360y();
         let p = copy_volume_per_iteration(&m, 1);
-        assert!((p.read_bytes_per_it - 16.0).abs() < 1.5, "read {}", p.read_bytes_per_it);
-        assert!((p.write_bytes_per_it - 8.0).abs() < 0.8, "write {}", p.write_bytes_per_it);
+        assert!(
+            (p.read_bytes_per_it - 16.0).abs() < 1.5,
+            "read {}",
+            p.read_bytes_per_it
+        );
+        assert!(
+            (p.write_bytes_per_it - 8.0).abs() < 0.8,
+            "write {}",
+            p.write_bytes_per_it
+        );
         assert!(p.itom_bytes_per_it < 1.0);
     }
 
@@ -157,7 +165,12 @@ mod tests {
         let m = icelake_sp_8360y();
         let short = copy_halo_ratio(&m, 216, 5, true);
         let long = copy_halo_ratio(&m, 1920, 5, true);
-        assert!(short.ratio > long.ratio + 0.08, "short {} vs long {}", short.ratio, long.ratio);
+        assert!(
+            short.ratio > long.ratio + 0.08,
+            "short {} vs long {}",
+            short.ratio,
+            long.ratio
+        );
         assert!(long.ratio < 1.35, "long-row ratio {}", long.ratio);
     }
 
@@ -181,7 +194,12 @@ mod tests {
         let m = icelake_sp_8360y();
         let on = copy_halo_ratio(&m, 216, 3, true);
         let off = copy_halo_ratio(&m, 216, 3, false);
-        assert!(off.ratio > on.ratio, "PF off {} vs on {}", off.ratio, on.ratio);
+        assert!(
+            off.ratio > on.ratio,
+            "PF off {} vs on {}",
+            off.ratio,
+            on.ratio
+        );
         assert!(!off.prefetchers && on.prefetchers);
     }
 

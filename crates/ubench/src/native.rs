@@ -170,7 +170,9 @@ mod tests {
         for row in 0..rows {
             let start = row * (inner + halo);
             assert!(dst[start..start + inner].iter().all(|&x| x == 7.0));
-            assert!(dst[start + inner..start + inner + halo].iter().all(|&x| x == -1.0));
+            assert!(dst[start + inner..start + inner + halo]
+                .iter()
+                .all(|&x| x == -1.0));
         }
     }
 

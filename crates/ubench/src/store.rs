@@ -39,7 +39,10 @@ const ELEMENTS_PER_STREAM: u64 = 32 * 1024;
 /// Measure the store ratio for `cores` active cores, `streams` store streams
 /// per core and the given store kind.
 pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreKind) -> f64 {
-    assert!((1..=3).contains(&streams), "the paper uses 1-3 store streams");
+    assert!(
+        (1..=3).contains(&streams),
+        "the paper uses 1-3 store streams"
+    );
     let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
     let report = sim.run_spmd(|rank, core| {
         let rank_base = (rank as u64 + 1) << 40;
@@ -138,7 +141,10 @@ mod tests {
         let r18 = store_ratio(&m, 18, 1, StoreKind::Normal);
         let r20 = store_ratio(&m, 20, 1, StoreKind::Normal);
         let r36 = store_ratio(&m, 36, 1, StoreKind::Normal);
-        assert!(r20 > r18, "touching domain 1 must worsen the ratio: {r18} -> {r20}");
+        assert!(
+            r20 > r18,
+            "touching domain 1 must worsen the ratio: {r18} -> {r20}"
+        );
         assert!(r36 < r20, "filling domain 1 must recover: {r20} -> {r36}");
     }
 

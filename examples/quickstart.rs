@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cloverleaf_wa::core::{hotspot_profile, TrafficModel, TrafficOptions};
 use cloverleaf_wa::core::decomp::Decomposition;
 use cloverleaf_wa::core::TINY_GRID;
+use cloverleaf_wa::core::{hotspot_profile, TrafficModel, TrafficOptions};
 use cloverleaf_wa::leaf::{SimConfig, Simulation};
 use cloverleaf_wa::machine::icelake_sp_8360y;
 use cloverleaf_wa::stencil::cloverleaf_loops;
@@ -18,7 +18,10 @@ fn main() {
     let config = SimConfig::small(64, 10);
     let serial = Simulation::run_serial(&config);
     let parallel = Simulation::run_parallel(&config, 4);
-    println!("CloverLeaf {}x{} grid, {} steps", config.grid_x, config.grid_y, config.steps);
+    println!(
+        "CloverLeaf {}x{} grid, {} steps",
+        config.grid_x, config.grid_y, config.steps
+    );
     println!(
         "  serial   : mass {:.6}  internal {:.6}  kinetic {:.6}",
         serial.mass, serial.internal_energy, serial.kinetic_energy

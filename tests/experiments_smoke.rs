@@ -1,0 +1,42 @@
+//! Smoke test of the figure/table regeneration harness: every experiment
+//! the `figures` binary advertises must produce non-empty output, and
+//! unknown names must be rejected.
+
+use clover_bench::{run_experiment, EXPERIMENTS};
+
+#[test]
+fn every_experiment_produces_output() {
+    assert_eq!(EXPERIMENTS.len(), 12);
+    for name in EXPERIMENTS {
+        let out = run_experiment(name)
+            .unwrap_or_else(|| panic!("experiment {name} missing from the dispatcher"));
+        assert!(
+            !out.trim().is_empty(),
+            "experiment {name} produced empty output"
+        );
+        // Every generator emits a header line plus at least one data row.
+        assert!(
+            out.lines().count() >= 2,
+            "experiment {name} produced fewer than 2 lines"
+        );
+    }
+}
+
+#[test]
+fn experiment_list_matches_paper_artifacts() {
+    let expected = [
+        "listing2", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11",
+    ];
+    assert_eq!(EXPERIMENTS, expected);
+}
+
+#[test]
+fn unknown_experiments_return_none() {
+    for name in ["fig99", "table2", "", "Table1", "fig"] {
+        assert!(
+            run_experiment(name).is_none(),
+            "unexpected output for {name:?}"
+        );
+    }
+}

@@ -20,7 +20,11 @@ fn model_and_simulator_agree_on_single_core_balance() {
     let opts = TrafficOptions::original(1);
     // A shortened inner dimension keeps the simulation cheap; the layer
     // condition is still satisfied, so the balance is representative.
-    let cfg = MeasureConfig { local_inner: 2048, rows: 10, ..MeasureConfig::single_rank() };
+    let cfg = MeasureConfig {
+        local_inner: 2048,
+        rows: 10,
+        ..MeasureConfig::single_rank()
+    };
     for spec in cloverleaf_loops() {
         let predicted = model.predict_loop(&spec, &opts, &decomp).code_balance();
         let measured = measure_loop(&machine, &spec, &cfg).bytes_per_iteration();
@@ -39,7 +43,11 @@ fn model_and_simulator_agree_on_single_core_balance() {
 fn am04_single_core_measurement_matches_paper_value() {
     let machine = icelake_sp_8360y();
     let spec = loop_by_name("am04").unwrap();
-    let cfg = MeasureConfig { local_inner: 3840, rows: 12, ..MeasureConfig::single_rank() };
+    let cfg = MeasureConfig {
+        local_inner: 3840,
+        rows: 12,
+        ..MeasureConfig::single_rank()
+    };
     let measured = measure_loop(&machine, &spec, &cfg).bytes_per_iteration();
     // Paper: 24.05 byte/it.
     assert!((measured - 24.05).abs() < 2.5, "measured {measured}");
@@ -78,7 +86,10 @@ fn speci2m_off_flattens_the_code_balance() {
         p.loop_balances.iter().map(|(_, b)| b).sum::<f64>() / p.loop_balances.len() as f64
     };
     let spread = avg(71) / avg(72);
-    assert!(spread < 1.05, "without SpecI2M the prime effect must shrink, spread {spread}");
+    assert!(
+        spread < 1.05,
+        "without SpecI2M the prime effect must shrink, spread {spread}"
+    );
     // And the overall level matches the single-core value.
     assert!((avg(72) - avg(1)).abs() / avg(1) < 0.05);
 }

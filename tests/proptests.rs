@@ -1,7 +1,7 @@
 //! Property-based tests on the core data structures and invariants.
 
-use cloverleaf_wa::cachesim::{CoreSim, MemCounters, WriteCoalescer};
 use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use cloverleaf_wa::cachesim::{CoreSim, MemCounters, WriteCoalescer};
 use cloverleaf_wa::core::decomp::{is_prime, prime_factors, Decomposition};
 use cloverleaf_wa::machine::icelake_sp_8360y;
 use cloverleaf_wa::stencil::{cloverleaf_loops, CodeBalance};

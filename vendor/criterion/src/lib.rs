@@ -1,0 +1,230 @@
+//! Offline subset of `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `criterion_group!`/
+//! `criterion_main!` — with a simple wall-clock timer: each benchmark is
+//! warmed up once, then timed over `sample_size` iterations, and one line of
+//! `name: time/iter [throughput]` is printed.  Good enough for smoke-level
+//! comparisons; swap in the real crate for statistics (see
+//! `vendor/README.md`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+/// Declared per-iteration data volume, reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, samples: usize, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / samples.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.2} GiB/s", b as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("{name}: {:.3} ms/iter{rate}", per_iter * 1e3);
+}
+
+/// Collection of benchmarks; entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.samples(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples(),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&id.into().0, b.samples, b.elapsed, None);
+        self
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    // Tie the group to its Criterion like the real API does.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare the per-iteration data volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into().0),
+            b.samples,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.0),
+            b.samples,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Define `pub fn $name()` running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("plain", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("upto", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::from("x").0, "x");
+    }
+}

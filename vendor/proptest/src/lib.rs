@@ -1,0 +1,206 @@
+//! Offline subset of `proptest`.
+//!
+//! Supports the surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`
+//!   items with plain identifier arguments,
+//! * integer range strategies (`lo..hi`, `lo..=hi`) and
+//!   [`sample::select`] over a `Vec`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! The runner is deterministic: every test function derives its RNG seed
+//! from its own name, runs [`test_runner::CASES`] cases, and always includes
+//! both boundary values of each strategy, so failures reproduce exactly.
+//! There is no shrinking — the boundary-first schedule keeps counterexamples
+//! small in practice.
+
+pub mod test_runner {
+    /// Number of cases each property runs.
+    pub const CASES: usize = 64;
+
+    /// SplitMix64 — small, fast, deterministic.
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Self {
+            Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Seed derived from the test name (FNV-1a) so each property gets a
+    /// stable, distinct case sequence.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of test-case values.  `case` 0 and 1 are the boundaries;
+    /// later cases draw from `rng`.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, case: usize, rng: &mut Rng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, case: usize, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u64;
+                    match case {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => self.start + (rng.next_u64() % width) as $t,
+                    }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, case: usize, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // Width may overflow the type for full-domain ranges;
+                    // u128 arithmetic keeps the modulus exact.
+                    let width = (hi as u128) - (lo as u128) + 1;
+                    match case {
+                        0 => lo,
+                        1 => hi,
+                        _ => lo + ((rng.next_u64() as u128 % width) as $t),
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize);
+
+    /// Strategy choosing uniformly from a fixed set of options.
+    pub struct Select<T>(pub(crate) Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, case: usize, rng: &mut Rng) -> T {
+            assert!(!self.0.is_empty(), "select over empty set");
+            let idx = match case {
+                0 => 0,
+                1 => self.0.len() - 1,
+                _ => rng.next_u64() as usize % self.0.len(),
+            };
+            self.0[idx].clone()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// Strategy yielding one of the given options per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop::*` for the paths the tests use.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Run each enclosed `#[test] fn name(arg in strategy, ...)` item as a
+/// property over [`test_runner::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __seed = $crate::test_runner::seed_from_name(stringify!($name));
+                let mut __rng = $crate::test_runner::Rng::new(__seed);
+                for __case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), __case, &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay within bounds and hit both ends.
+        #[test]
+        fn ranges_are_in_bounds(x in 3usize..10, y in 1u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=5).contains(&y));
+        }
+
+        #[test]
+        fn select_yields_members(v in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&v));
+        }
+    }
+
+    #[test]
+    fn boundaries_come_first() {
+        let mut rng = crate::test_runner::Rng::new(1);
+        assert_eq!(Strategy::sample(&(5usize..9), 0, &mut rng), 5);
+        assert_eq!(Strategy::sample(&(5usize..9), 1, &mut rng), 8);
+        assert_eq!(Strategy::sample(&(5usize..=9), 1, &mut rng), 9);
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = crate::test_runner::Rng::new(42);
+        let mut b = crate::test_runner::Rng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline subset of `serde`: the two trait names and their derive macros.
+//!
+//! The derives expand to nothing (see `vendor/serde_derive`), which is fine
+//! because nothing in the workspace takes `T: Serialize` bounds yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

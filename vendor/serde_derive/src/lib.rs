@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives (offline subset of `serde_derive`).
+//!
+//! The workspace only uses the derives as markers on plain-data structs — no
+//! code serializes anything yet — so expanding to nothing is sufficient.  A
+//! future PR that actually needs (de)serialization swaps this for the real
+//! crate (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
