@@ -1,18 +1,28 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, optionally checking them
+//! against the digitised paper data.
 //!
 //! Usage:
 //!
 //! ```text
 //! figures <experiment> [...]     # e.g. figures table1 fig2 fig5
-//! figures all                    # everything (takes a few minutes)
+//! figures all                    # everything (takes a few seconds)
 //! figures list                   # show the available experiment names
+//! figures --check all            # diff against the paper; non-zero exit
+//!                                # when any cell is out of tolerance
+//! figures --json fig5 fig6       # machine-readable artifact dump
+//! figures --delta-table all      # markdown delta table (EXPERIMENTS.md)
+//! figures --perturb 10 --check all   # sanity check of the harness: a 10%
+//!                                    # model error must make --check fail
 //! ```
 //!
-//! Output is CSV-like text on stdout, one block per experiment.
+//! Experiment names must be unique, known, and not mixed with `all`.
+//! Exit codes: 0 success, 1 out-of-tolerance cells, 2 usage errors.
 
 use std::io::{ErrorKind, Write};
+use std::process::ExitCode;
 
-use clover_bench::{run_experiment, EXPERIMENTS};
+use clover_bench::{check_experiment, delta_table, run_artifact, EXPERIMENTS};
+use clover_golden::check_artifact;
 
 /// Write to stdout, exiting quietly if the reader went away (`figures all |
 /// head` must not panic with a broken-pipe backtrace).
@@ -25,31 +35,224 @@ fn emit(out: &mut impl Write, text: std::fmt::Arguments<'_>) {
     }
 }
 
-fn main() {
+/// Like [`emit`], but survive a broken pipe: returns `false` so the caller
+/// can stop printing yet keep computing.  `--check` uses this because its
+/// exit code is load-bearing — `figures --check all | head` must still exit
+/// 1 when a later artifact is out of tolerance.
+fn try_emit(out: &mut impl Write, text: std::fmt::Arguments<'_>) -> bool {
+    match out.write_fmt(text) {
+        Ok(()) => true,
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => false,
+        Err(e) => panic!("failed printing to stdout: {e}"),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("figures: {message}");
+    eprintln!("run `figures list` for the available experiments");
+    ExitCode::from(2)
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    check: bool,
+    json: bool,
+    delta: bool,
+    perturb: Option<f64>,
+    names: Vec<String>,
+}
+
+/// Split flags from experiment names; flags may appear anywhere.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--delta-table" => opts.delta = true,
+            "--perturb" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--perturb needs a percentage argument".to_string())?;
+                let pct: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--perturb: '{value}' is not a number"))?;
+                opts.perturb = Some(1.0 + pct / 100.0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    if opts.json && (opts.check || opts.delta) {
+        return Err("--json cannot be combined with --check or --delta-table".to_string());
+    }
+    if opts.delta && (opts.check || opts.perturb.is_some()) {
+        // The delta table documents the *committed* model; silently
+        // ignoring --check/--perturb here would mislead.
+        return Err("--delta-table cannot be combined with --check or --perturb".to_string());
+    }
+    Ok(opts)
+}
+
+/// Resolve the positional names to a validated experiment list.
+fn resolve_names(names: &[String]) -> Result<Vec<&'static str>, String> {
+    if names.iter().any(|n| n == "all") {
+        if names.len() > 1 {
+            return Err(
+                "'all' already includes every experiment; drop the explicit names".to_string(),
+            );
+        }
+        return Ok(EXPERIMENTS.to_vec());
+    }
+    let mut resolved = Vec::new();
+    let mut unknown = Vec::new();
+    for name in names {
+        match EXPERIMENTS.iter().find(|e| *e == name) {
+            Some(e) => {
+                if resolved.contains(e) {
+                    return Err(format!("duplicate experiment name '{name}'"));
+                }
+                resolved.push(*e);
+            }
+            None => unknown.push(name.as_str()),
+        }
+    }
+    if !unknown.is_empty() {
+        return Err(format!("unknown experiment(s): {}", unknown.join(", ")));
+    }
+    Ok(resolved)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    if args.is_empty() || args[0] == "list" {
+
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => return usage_error(&message),
+    };
+    let flags_used = opts.check || opts.json || opts.delta || opts.perturb.is_some();
+    if opts.names.is_empty() || opts.names[0] == "list" {
+        // A flag without names must not silently degrade to `list`/exit 0:
+        // `figures --check` (forgotten `all`) would green-light CI while
+        // checking nothing.
+        if flags_used {
+            return usage_error("flags require experiment names (e.g. `--check all`)");
+        }
+        if opts.names.len() > 1 {
+            return usage_error("'list' takes no further names");
+        }
         emit(&mut out, format_args!("available experiments:\n"));
         for e in EXPERIMENTS {
             emit(&mut out, format_args!("  {e}\n"));
         }
-        return;
+        return ExitCode::SUCCESS;
     }
-    let requested: Vec<&str> = if args[0] == "all" {
-        EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
+    let requested = match resolve_names(&opts.names) {
+        Ok(requested) => requested,
+        Err(message) => return usage_error(&message),
     };
+
+    if opts.delta {
+        // The delta table always spans all 12 artifacts; restricting it
+        // would silently produce an incomplete EXPERIMENTS.md section.
+        if requested.len() != EXPERIMENTS.len() {
+            return usage_error("--delta-table requires 'all'");
+        }
+        emit(&mut out, format_args!("{}", delta_table()));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    let mut pipe_gone = false;
+    let mut json_blocks = Vec::new();
     for name in requested {
-        match run_experiment(name) {
-            Some(output) => {
-                emit(&mut out, format_args!("==== {name} ====\n{output}\n"));
+        if opts.check {
+            let report = match opts.perturb {
+                None => check_experiment(name).expect("validated name"),
+                Some(factor) => {
+                    let mut artifact = run_artifact(name).expect("validated name");
+                    artifact.perturb(factor);
+                    check_artifact(&artifact, clover_golden::golden(name).expect("golden data"))
+                }
+            };
+            failed |= !report.passed();
+            if !pipe_gone {
+                pipe_gone = !try_emit(&mut out, format_args!("{}", report.render_text(false)));
             }
-            None => {
-                eprintln!("unknown experiment '{name}'; run `figures list`");
-                std::process::exit(1);
+        } else {
+            let mut artifact = run_artifact(name).expect("validated name");
+            if let Some(factor) = opts.perturb {
+                artifact.perturb(factor);
+            }
+            if opts.json {
+                json_blocks.push(artifact.to_json());
+            } else {
+                emit(
+                    &mut out,
+                    format_args!("==== {name} ====\n{}\n", artifact.to_csv()),
+                );
             }
         }
+    }
+    if opts.json {
+        emit(&mut out, format_args!("[{}]\n", json_blocks.join(",")));
+    }
+    if failed {
+        eprintln!("figures: at least one artifact is out of tolerance of the paper data");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_names_parse_in_any_order() {
+        let opts = parse_args(&args(&["fig2", "--check", "table1"])).unwrap();
+        assert!(opts.check && !opts.json);
+        assert_eq!(opts.names, vec!["fig2", "table1"]);
+        let opts = parse_args(&args(&["--perturb", "10", "all"])).unwrap();
+        assert_eq!(opts.perturb, Some(1.10));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--perturb"])).is_err());
+        assert!(parse_args(&args(&["--perturb", "ten"])).is_err());
+        assert!(parse_args(&args(&["--json", "--check", "all"])).is_err());
+        assert!(parse_args(&args(&["--delta-table", "--check", "all"])).is_err());
+        assert!(parse_args(&args(&["--delta-table", "--perturb", "10", "all"])).is_err());
+    }
+
+    #[test]
+    fn all_mixed_with_names_is_rejected() {
+        assert!(resolve_names(&args(&["all", "fig2"])).is_err());
+        assert_eq!(
+            resolve_names(&args(&["all"])).unwrap(),
+            EXPERIMENTS.to_vec()
+        );
+    }
+
+    #[test]
+    fn duplicates_and_unknowns_are_rejected() {
+        assert!(resolve_names(&args(&["fig2", "fig2"])).is_err());
+        let err = resolve_names(&args(&["fig2", "fig99", "table9"])).unwrap_err();
+        assert!(err.contains("fig99") && err.contains("table9"));
+        assert_eq!(
+            resolve_names(&args(&["fig2", "table1"])).unwrap(),
+            vec!["fig2", "table1"]
+        );
     }
 }

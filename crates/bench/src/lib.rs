@@ -1,15 +1,18 @@
 //! `clover-bench` — the figure/table regeneration harness.
 //!
 //! Every table and figure of the paper's evaluation has a generator here
-//! that prints the corresponding rows/series as CSV-like text.  The
-//! `figures` binary dispatches on the experiment name; the Criterion benches
-//! under `benches/` measure the native kernels and the simulator itself.
+//! that produces a typed [`Artifact`] (named, unit-annotated columns); the
+//! CSV text the `figures` binary prints and its `--json` dump are renderings
+//! of that structure.  `figures --check` diffs each artifact against the
+//! digitised paper data in `clover-golden`; the Criterion benches under
+//! `benches/` measure the native kernels and the simulator itself.
 
 use clover_core::decomp::Decomposition;
 use clover_core::TINY_GRID;
 use clover_core::{
     hotspot_profile, CommModel, OptimizationPlan, ScalingModel, TrafficModel, TrafficOptions,
 };
+use clover_golden::{check_artifact, golden, markdown_delta_table, Artifact, Cell, DiffReport};
 use clover_machine::{icelake_sp_8360y, sapphire_rapids_8470, sapphire_rapids_8480, Machine};
 use clover_stencil::{cloverleaf_loops, CodeBalance, PAPER_MEASURED_SINGLE_CORE};
 use clover_ubench::{copy_halo_ratio, copy_volume_per_iteration, store_ratio, StoreKind};
@@ -20,8 +23,9 @@ pub const EXPERIMENTS: [&str; 12] = [
     "fig11",
 ];
 
-/// Generate the output of one experiment.  Unknown names return `None`.
-pub fn run_experiment(name: &str) -> Option<String> {
+/// Generate the typed artifact of one experiment.  Unknown names return
+/// `None`.
+pub fn run_artifact(name: &str) -> Option<Artifact> {
     match name {
         "listing2" => Some(listing2()),
         "table1" => Some(table1()),
@@ -39,29 +43,72 @@ pub fn run_experiment(name: &str) -> Option<String> {
     }
 }
 
+/// Generate the CSV rendering of one experiment (the historical interface).
+pub fn run_experiment(name: &str) -> Option<String> {
+    run_artifact(name).map(|a| a.to_csv())
+}
+
+/// Diff one experiment against the digitised paper data.  `None` for
+/// unknown names.
+pub fn check_experiment(name: &str) -> Option<DiffReport> {
+    let artifact = run_artifact(name)?;
+    let golden = golden(name)?;
+    Some(check_artifact(&artifact, golden))
+}
+
+/// Generate the paper-vs-reproduction delta table for `EXPERIMENTS.md` by
+/// running and checking all 12 experiments.
+pub fn delta_table() -> String {
+    let entries: Vec<_> = EXPERIMENTS
+        .iter()
+        .map(|name| {
+            let golden = golden(name).expect("every experiment has golden data");
+            let artifact = run_artifact(name).expect("every experiment runs");
+            (check_artifact(&artifact, golden), golden)
+        })
+        .collect();
+    markdown_delta_table(&entries)
+}
+
 fn icx() -> Machine {
     icelake_sp_8360y()
 }
 
 /// Listing 2: the hotspot runtime profile at 72 ranks.
-pub fn listing2() -> String {
-    let mut out = String::from("function,share_percent\n");
+pub fn listing2() -> Artifact {
+    let mut a = Artifact::new("listing2", "hotspot runtime profile at 72 ranks")
+        .column("function", None)
+        .num_column("share_percent", Some("%"), 2);
     for e in hotspot_profile(&icx(), 72) {
-        out.push_str(&format!("{},{:.2}\n", e.name, e.share * 100.0));
+        a.push_row(vec![e.name.into(), (e.share * 100.0).into()]);
     }
-    out
+    a
 }
 
 /// Table I: per-loop model inputs, code-balance bounds and the predicted
 /// single-core balance, next to the paper's measured value.
-pub fn table1() -> String {
+pub fn table1() -> Artifact {
     let machine = icx();
     let model = TrafficModel::new(machine);
     let decomp = Decomposition::new(1, TINY_GRID, TINY_GRID);
     let opts = TrafficOptions::original(1);
-    let mut out = String::from(
-        "loop,arrays,rd_lcf,rd_lcb,wr,rd_and_wr,flops,min,lcf_wa,lcb,max,predicted_1core,paper_measured_1core\n",
-    );
+    let mut a = Artifact::new(
+        "table1",
+        "per-loop model inputs, code-balance bounds and single-core balances",
+    )
+    .column("loop", None)
+    .column("arrays", None)
+    .column("rd_lcf", None)
+    .column("rd_lcb", None)
+    .column("wr", None)
+    .column("rd_and_wr", None)
+    .column("flops", Some("flop/it"))
+    .column("min", Some("byte/it"))
+    .column("lcf_wa", Some("byte/it"))
+    .column("lcb", Some("byte/it"))
+    .column("max", Some("byte/it"))
+    .num_column("predicted_1core", Some("byte/it"), 2)
+    .num_column("paper_measured_1core", Some("byte/it"), 2);
     for spec in cloverleaf_loops() {
         let b = CodeBalance::from_spec(&spec);
         let t = model.predict_loop(&spec, &opts, &decomp);
@@ -70,184 +117,260 @@ pub fn table1() -> String {
             .find(|(n, _)| *n == spec.name)
             .map(|(_, v)| *v)
             .unwrap_or(f64::NAN);
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.2},{:.2}\n",
-            spec.name,
-            spec.array_count(),
-            spec.rd_lcf(),
-            spec.rd_lcb(),
-            spec.wr(),
-            spec.rd_and_wr(),
-            spec.flops,
-            b.min,
-            b.lcf_wa,
-            b.lcb,
-            b.max,
-            t.code_balance(),
-            paper
-        ));
+        a.push_row(vec![
+            spec.name.clone().into(),
+            spec.array_count().into(),
+            spec.rd_lcf().into(),
+            spec.rd_lcb().into(),
+            spec.wr().into(),
+            spec.rd_and_wr().into(),
+            spec.flops.into(),
+            (b.min as i64).into(),
+            (b.lcf_wa as i64).into(),
+            (b.lcb as i64).into(),
+            (b.max as i64).into(),
+            t.code_balance().into(),
+            paper.into(),
+        ]);
     }
-    out
+    a
 }
 
 /// Fig. 2: speedup and memory bandwidth versus rank count.
-pub fn fig2() -> String {
+pub fn fig2() -> Artifact {
     let model = ScalingModel::new(icx());
-    let mut out = String::from("ranks,prime,local_inner,speedup,bandwidth_gbs\n");
+    let mut a = Artifact::new("fig2", "speedup and memory bandwidth vs. rank count")
+        .column("ranks", None)
+        .column("prime", None)
+        .column("local_inner", Some("cells"))
+        .num_column("speedup", None, 3)
+        .num_column("bandwidth_gbs", Some("GB/s"), 1);
     for p in model.sweep(72, TrafficOptions::original) {
-        out.push_str(&format!(
-            "{},{},{},{:.3},{:.1}\n",
-            p.ranks,
-            p.prime as u8,
-            p.local_inner,
-            p.speedup,
-            p.memory_bandwidth / 1e9
-        ));
+        a.push_row(vec![
+            p.ranks.into(),
+            (p.prime as i64).into(),
+            p.local_inner.into(),
+            p.speedup.into(),
+            (p.memory_bandwidth / 1e9).into(),
+        ]);
     }
-    out
+    a
 }
 
 /// Fig. 3: per-loop code balance versus rank count.
-pub fn fig3() -> String {
+pub fn fig3() -> Artifact {
     let model = ScalingModel::new(icx());
-    let loops: Vec<String> = cloverleaf_loops().iter().map(|l| l.name.clone()).collect();
-    let mut out = format!("ranks,{}\n", loops.join(","));
-    for p in model.sweep(72, TrafficOptions::original) {
-        let balances: Vec<String> = p
-            .loop_balances
-            .iter()
-            .map(|(_, b)| format!("{b:.2}"))
-            .collect();
-        out.push_str(&format!("{},{}\n", p.ranks, balances.join(",")));
+    let mut a = Artifact::new("fig3", "per-loop code balance vs. rank count").column("ranks", None);
+    for l in cloverleaf_loops() {
+        a = a.num_column(&l.name, Some("byte/it"), 2);
     }
-    out
+    for p in model.sweep(72, TrafficOptions::original) {
+        let mut row: Vec<Cell> = vec![p.ranks.into()];
+        row.extend(p.loop_balances.iter().map(|(_, b)| Cell::Num(*b)));
+        a.push_row(row);
+    }
+    a
 }
 
 /// Fig. 4: relative MPI time breakdown for the paper's rank counts.
-pub fn fig4() -> String {
+pub fn fig4() -> Artifact {
     let model = CommModel::new(icx());
-    let mut out = String::from("ranks,serial,waitall,allreduce,isend,reduce,barrier\n");
+    let mut a = Artifact::new("fig4", "relative MPI time breakdown")
+        .column("ranks", None)
+        .num_column("serial", None, 4)
+        .num_column("waitall", None, 4)
+        .num_column("allreduce", None, 4)
+        .num_column("isend", None, 4)
+        .num_column("reduce", None, 4)
+        .num_column("barrier", None, 4);
     for s in model.figure4_points() {
-        out.push_str(&format!(
-            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            s.ranks, s.serial, s.waitall, s.allreduce, s.isend, s.reduce, s.barrier
-        ));
+        a.push_row(vec![
+            s.ranks.into(),
+            s.serial.into(),
+            s.waitall.into(),
+            s.allreduce.into(),
+            s.isend.into(),
+            s.reduce.into(),
+            s.barrier.into(),
+        ]);
     }
-    out
+    a
 }
 
-fn store_ratio_figure(machine: &Machine, step: usize) -> String {
-    let mut out = String::from("cores,st1,st2,st3,stnt1,stnt2,stnt3\n");
+/// One store-ratio row: normal stores with 1–3 streams, then NT stores.
+fn store_ratio_cells(machine: &Machine, cores: usize) -> Vec<Cell> {
+    (1..=3)
+        .map(|s| store_ratio(machine, cores, s, StoreKind::Normal))
+        .chain((1..=3).map(|s| store_ratio(machine, cores, s, StoreKind::NonTemporal)))
+        .map(Cell::Num)
+        .collect()
+}
+
+fn store_ratio_columns(a: Artifact) -> Artifact {
+    a.num_column("st1", None, 3)
+        .num_column("st2", None, 3)
+        .num_column("st3", None, 3)
+        .num_column("stnt1", None, 3)
+        .num_column("stnt2", None, 3)
+        .num_column("stnt3", None, 3)
+}
+
+fn store_ratio_figure(a: &mut Artifact, machine: &Machine, step: usize, extra: Option<&str>) {
     let mut cores = 1;
     while cores <= machine.total_cores() {
-        let row: Vec<String> = (1..=3)
-            .map(|s| format!("{:.3}", store_ratio(machine, cores, s, StoreKind::Normal)))
-            .chain((1..=3).map(|s| {
-                format!(
-                    "{:.3}",
-                    store_ratio(machine, cores, s, StoreKind::NonTemporal)
-                )
-            }))
-            .collect();
-        out.push_str(&format!("{},{}\n", cores, row.join(",")));
+        let mut row: Vec<Cell> = Vec::new();
+        if let Some(label) = extra {
+            row.push(label.into());
+        }
+        row.push(cores.into());
+        row.extend(store_ratio_cells(machine, cores));
+        a.push_row(row);
         cores += step;
     }
-    out
 }
 
 /// Fig. 5: store ratios on Ice Lake SP.
-pub fn fig5() -> String {
-    store_ratio_figure(&icx(), 3)
+pub fn fig5() -> Artifact {
+    let mut a = store_ratio_columns(
+        Artifact::new("fig5", "store ratios on Ice Lake SP").column("cores", None),
+    );
+    store_ratio_figure(&mut a, &icx(), 3, None);
+    a
 }
 
 /// Fig. 6: copy-kernel data volume per iteration versus thread count.
-pub fn fig6() -> String {
+pub fn fig6() -> Artifact {
     let machine = icx();
-    let mut out = String::from("threads,read_bytes_per_it,write_bytes_per_it,itom_bytes_per_it\n");
+    let mut a = Artifact::new(
+        "fig6",
+        "copy-kernel data volume per iteration vs. thread count",
+    )
+    .column("threads", None)
+    .num_column("read_bytes_per_it", Some("byte/it"), 2)
+    .num_column("write_bytes_per_it", Some("byte/it"), 2)
+    .num_column("itom_bytes_per_it", Some("byte/it"), 2);
     for threads in 1..=36 {
         let p = copy_volume_per_iteration(&machine, threads);
-        out.push_str(&format!(
-            "{},{:.2},{:.2},{:.2}\n",
-            p.threads, p.read_bytes_per_it, p.write_bytes_per_it, p.itom_bytes_per_it
-        ));
+        a.push_row(vec![
+            p.threads.into(),
+            p.read_bytes_per_it.into(),
+            p.write_bytes_per_it.into(),
+            p.itom_bytes_per_it.into(),
+        ]);
     }
-    out
+    a
 }
 
 /// Fig. 7: predicted vs. full-node code balance for the original and the
 /// optimized code.
-pub fn fig7() -> String {
+pub fn fig7() -> Artifact {
     let machine = icx();
     let model = TrafficModel::new(machine.clone());
     let decomp = Decomposition::new(72, TINY_GRID, TINY_GRID);
     let plan = OptimizationPlan::build(&machine, 72);
-    let mut out = String::from("loop,prediction_min,prediction,original,optimized\n");
+    let mut a = Artifact::new(
+        "fig7",
+        "predicted vs. full-node code balance, original vs. optimized code",
+    )
+    .column("loop", None)
+    .column("prediction_min", Some("byte/it"))
+    .num_column("prediction", Some("byte/it"), 2)
+    .num_column("original", Some("byte/it"), 2)
+    .num_column("optimized", Some("byte/it"), 2);
     for (spec, advice) in cloverleaf_loops().iter().zip(&plan.loops) {
         let bounds = CodeBalance::from_spec(spec);
         let refined = model
             .predict_loop(spec, &TrafficOptions::original(72), &decomp)
             .code_balance();
-        out.push_str(&format!(
-            "{},{},{:.2},{:.2},{:.2}\n",
-            spec.name, bounds.min, refined, advice.original_balance, advice.optimized_balance
-        ));
+        a.push_row(vec![
+            spec.name.clone().into(),
+            (bounds.min as i64).into(),
+            refined.into(),
+            advice.original_balance.into(),
+            advice.optimized_balance.into(),
+        ]);
     }
-    out.push_str(&format!(
-        "# average improvement {:.1}%, max {:.1}%\n",
+    a.push_note(format!(
+        "average improvement {:.1}%, max {:.1}%",
         plan.average_improvement() * 100.0,
         plan.max_improvement() * 100.0
     ));
-    out
+    a
 }
 
-fn copy_halo_figure(machine: &Machine, with_pf_off: bool) -> String {
-    let mut out = String::from(
-        "halo,inner216,inner530,inner1920,inner216_pfoff,inner530_pfoff,inner1920_pfoff\n",
-    );
+fn copy_halo_figure(a: &mut Artifact, machine: &Machine, with_pf_off: bool) {
     for halo in 0..=17usize {
-        let mut cells = Vec::new();
+        let mut row: Vec<Cell> = vec![halo.into()];
         for &inner in &[216usize, 530, 1920] {
-            cells.push(format!(
-                "{:.3}",
-                copy_halo_ratio(machine, inner, halo, true).ratio
-            ));
+            row.push(copy_halo_ratio(machine, inner, halo, true).ratio.into());
         }
         if with_pf_off {
             for &inner in &[216usize, 530, 1920] {
-                cells.push(format!(
-                    "{:.3}",
-                    copy_halo_ratio(machine, inner, halo, false).ratio
-                ));
+                row.push(copy_halo_ratio(machine, inner, halo, false).ratio.into());
             }
-        } else {
-            cells.extend(["".into(), "".into(), "".into()]);
         }
-        out.push_str(&format!("{},{}\n", halo, cells.join(",")));
+        a.push_row(row);
     }
-    out
+}
+
+fn copy_halo_columns(a: Artifact, with_pf_off: bool) -> Artifact {
+    let mut a = a
+        .column("halo", Some("cells"))
+        .num_column("inner216", None, 3)
+        .num_column("inner530", None, 3)
+        .num_column("inner1920", None, 3);
+    if with_pf_off {
+        a = a
+            .num_column("inner216_pfoff", None, 3)
+            .num_column("inner530_pfoff", None, 3)
+            .num_column("inner1920_pfoff", None, 3);
+    }
+    a
 }
 
 /// Fig. 8: copy read-to-write ratio versus halo size on Ice Lake SP,
 /// prefetchers on and off.
-pub fn fig8() -> String {
-    copy_halo_figure(&icx(), true)
+pub fn fig8() -> Artifact {
+    let mut a = copy_halo_columns(
+        Artifact::new(
+            "fig8",
+            "copy read/write ratio vs. halo size on ICX, PF on/off",
+        ),
+        true,
+    );
+    copy_halo_figure(&mut a, &icx(), true);
+    a
 }
 
 /// Fig. 9: store ratios on the SPR 8470 with SNC on and off.
-pub fn fig9() -> String {
-    let on = store_ratio_figure(&sapphire_rapids_8470(true), 8);
-    let off = store_ratio_figure(&sapphire_rapids_8470(false), 8);
-    format!("# SNC on\n{on}# SNC off\n{off}")
+pub fn fig9() -> Artifact {
+    let mut a = store_ratio_columns(
+        Artifact::new("fig9", "store ratios on SPR 8470, SNC on vs. off")
+            .column("snc", None)
+            .column("cores", None),
+    );
+    store_ratio_figure(&mut a, &sapphire_rapids_8470(true), 8, Some("on"));
+    store_ratio_figure(&mut a, &sapphire_rapids_8470(false), 8, Some("off"));
+    a
 }
 
 /// Fig. 10: store ratios on the SPR 8480+.
-pub fn fig10() -> String {
-    store_ratio_figure(&sapphire_rapids_8480(), 8)
+pub fn fig10() -> Artifact {
+    let mut a = store_ratio_columns(
+        Artifact::new("fig10", "store ratios on SPR 8480+").column("cores", None),
+    );
+    store_ratio_figure(&mut a, &sapphire_rapids_8480(), 8, None);
+    a
 }
 
 /// Fig. 11: copy read-to-write ratio versus halo size on the SPR 8480+.
-pub fn fig11() -> String {
-    copy_halo_figure(&sapphire_rapids_8480(), false)
+pub fn fig11() -> Artifact {
+    let mut a = copy_halo_columns(
+        Artifact::new("fig11", "copy read/write ratio vs. halo size on SPR 8480+"),
+        false,
+    );
+    copy_halo_figure(&mut a, &sapphire_rapids_8480(), false);
+    a
 }
 
 #[cfg(test)]
@@ -265,28 +388,32 @@ mod tests {
     #[test]
     fn unknown_experiment_returns_none() {
         assert!(run_experiment("fig99").is_none());
+        assert!(run_artifact("fig99").is_none());
+        assert!(check_experiment("fig99").is_none());
     }
 
     #[test]
     fn table1_has_22_loop_rows() {
-        let t = table1();
+        let a = table1();
+        assert_eq!(a.rows.len(), 22);
+        let t = a.to_csv();
         assert_eq!(t.lines().count(), 23);
         assert!(t.contains("am04,2,1,2,1,0,4,16,24,24,32"));
     }
 
     #[test]
     fn listing2_totals_to_100_percent() {
-        let total: f64 = listing2()
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').nth(1).unwrap().parse::<f64>().unwrap())
-            .sum();
+        let a = listing2();
+        let idx = a.column_index("share_percent").unwrap();
+        let total: f64 = a.rows.iter().map(|r| r[idx].as_f64().unwrap()).sum();
         assert!((total - 100.0).abs() < 0.5, "total {total}");
     }
 
     #[test]
     fn fig7_reports_improvement_summary() {
-        let f = fig7();
+        let a = fig7();
+        assert_eq!(a.rows.len(), 22);
+        let f = a.to_csv();
         assert!(f.contains("average improvement"));
         assert_eq!(
             f.lines()
@@ -294,5 +421,36 @@ mod tests {
                 .count(),
             22
         );
+    }
+
+    #[test]
+    fn artifacts_carry_units() {
+        let a = table1();
+        let col = &a.columns[a.column_index("predicted_1core").unwrap()];
+        assert_eq!(col.unit.as_deref(), Some("byte/it"));
+    }
+
+    #[test]
+    fn cheap_experiments_pass_their_golden_check() {
+        for name in ["listing2", "table1", "fig4", "fig7"] {
+            let report = check_experiment(name).unwrap();
+            assert!(report.passed(), "{name}:\n{}", report.render_text(false));
+        }
+    }
+
+    #[test]
+    fn perturbed_artifact_fails_its_golden_check() {
+        let mut a = table1();
+        a.perturb(1.10);
+        let report = check_artifact(&a, golden("table1").unwrap());
+        assert!(!report.passed(), "a 10% model error must be caught");
+    }
+
+    #[test]
+    fn json_rendering_roundtrips_shape() {
+        let a = fig4();
+        let json = a.to_json();
+        assert!(json.contains("\"id\":\"fig4\""));
+        assert!(json.contains("\"name\":\"waitall\""));
     }
 }

@@ -183,7 +183,157 @@ pub fn serial_boundaries(chunk: &mut Chunk) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clover_core::decomp::Decomposition;
     use clover_simpi::World;
+
+    /// Cells a rank ships to one x-neighbour per field per exchange.
+    fn x_send_cells(d: &Decomposition, rank: usize) -> usize {
+        HALO * d.local_outer(rank)
+    }
+
+    /// Cells a rank ships to one y-neighbour per field per exchange.
+    fn y_send_cells(d: &Decomposition, rank: usize) -> usize {
+        HALO * d.local_inner(rank)
+    }
+
+    #[test]
+    fn boundary_cell_counts_per_halo_depth() {
+        // The halo ring of an nx × ny field with halo depth h holds
+        // (nx+2h)(ny+2h) − nx·ny = 2h(nx+ny) + 4h² cells; one exchange
+        // fills h columns of ny cells per x-neighbour and h rows of nx
+        // cells per y-neighbour, matching the packed message sizes.
+        for &(nx, ny) in &[(4usize, 3usize), (7, 5), (16, 2), (216, 96)] {
+            for h in 1..=3usize {
+                let field = Field2D::new(nx, ny, h);
+                assert_eq!(field.pack_column(0).len(), ny);
+                assert_eq!(field.pack_row(0).len(), nx);
+                let ring = (nx + 2 * h) * (ny + 2 * h) - nx * ny;
+                assert_eq!(ring, 2 * h * (nx + ny) + 4 * h * h, "nx={nx} ny={ny} h={h}");
+                // A depth-h exchange fills h·ny cells per x side and h·nx
+                // per y side; the 4h² corner cells come from the
+                // physical-boundary fill, not from messages.
+                let exchanged = 2 * h * ny + 2 * h * nx;
+                assert_eq!(ring - exchanged, 4 * h * h);
+            }
+        }
+    }
+
+    #[test]
+    fn send_and_recv_volumes_are_symmetric_across_the_rank_grid() {
+        // Left/right neighbours share the same rank-grid row, so their
+        // outer extents agree; top/bottom neighbours share the same
+        // column, so their inner extents agree.  Every pairwise exchange
+        // is therefore volume-symmetric, for square and prime (1D) rank
+        // counts alike.
+        for ranks in [6usize, 12, 36, 71, 72] {
+            let d = Decomposition::new(ranks, 144, 144);
+            for rank in 0..ranks {
+                let grid = RankGrid {
+                    rank,
+                    ranks_x: d.ranks_x,
+                    ranks_y: d.ranks_y,
+                };
+                for n in [grid.left(), grid.right()].into_iter().flatten() {
+                    assert_eq!(
+                        x_send_cells(&d, rank),
+                        x_send_cells(&d, n),
+                        "ranks={ranks}: x volumes {rank}<->{n}"
+                    );
+                }
+                for n in [grid.bottom(), grid.top()].into_iter().flatten() {
+                    assert_eq!(
+                        y_send_cells(&d, rank),
+                        y_send_cells(&d, n),
+                        "ranks={ranks}: y volumes {rank}<->{n}"
+                    );
+                }
+            }
+            // Volume symmetry of every edge makes the totals match too.
+            let total_sent: usize = (0..ranks)
+                .map(|r| {
+                    let g = RankGrid {
+                        rank: r,
+                        ranks_x: d.ranks_x,
+                        ranks_y: d.ranks_y,
+                    };
+                    [g.left(), g.right()].iter().flatten().count() * x_send_cells(&d, r)
+                        + [g.bottom(), g.top()].iter().flatten().count() * y_send_cells(&d, r)
+                })
+                .sum();
+            let total_received: usize = (0..ranks)
+                .map(|r| {
+                    let g = RankGrid {
+                        rank: r,
+                        ranks_x: d.ranks_x,
+                        ranks_y: d.ranks_y,
+                    };
+                    [g.left(), g.right()]
+                        .iter()
+                        .flatten()
+                        .map(|&n| x_send_cells(&d, n))
+                        .sum::<usize>()
+                        + [g.bottom(), g.top()]
+                            .iter()
+                            .flatten()
+                            .map(|&n| y_send_cells(&d, n))
+                            .sum::<usize>()
+                })
+                .sum();
+            assert_eq!(total_sent, total_received, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn exchanged_halo_values_match_the_neighbours_on_a_3x2_grid() {
+        // Six ranks on a 3 × 2 grid: after one exchange, every halo cell
+        // filled from a neighbour must hold that neighbour's interior
+        // value, to full halo depth in all four directions.
+        let (nx, ny) = (4usize, 3usize);
+        let value = |rank: usize, i: isize, k: isize| (rank * 10_000) as f64 + (k * 100 + i) as f64;
+        let results = World::run(6, move |mut comm| {
+            let rank = comm.rank();
+            let grid = RankGrid {
+                rank,
+                ranks_x: 3,
+                ranks_y: 2,
+            };
+            let mut field = Field2D::new(nx, ny, HALO);
+            for k in 0..ny as isize {
+                for i in 0..nx as isize {
+                    field.set(i, k, value(rank, i, k));
+                }
+            }
+            let bounds = (
+                grid.rx() == 0,
+                grid.rx() == 2,
+                grid.ry() == 0,
+                grid.ry() == 1,
+            );
+            exchange_field(&mut comm, &grid, bounds, &mut field, 3);
+            (grid, field)
+        });
+        let h = HALO as isize;
+        for (grid, field) in &results {
+            for d in 0..h {
+                for k in 0..ny as isize {
+                    if let Some(n) = grid.right() {
+                        assert_eq!(field.get(nx as isize + d, k), value(n, d, k));
+                    }
+                    if let Some(n) = grid.left() {
+                        assert_eq!(field.get(-1 - d, k), value(n, nx as isize - 1 - d, k));
+                    }
+                }
+                for i in 0..nx as isize {
+                    if let Some(n) = grid.top() {
+                        assert_eq!(field.get(i, ny as isize + d), value(n, i, d));
+                    }
+                    if let Some(n) = grid.bottom() {
+                        assert_eq!(field.get(i, -1 - d), value(n, i, ny as isize - 1 - d));
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn rank_grid_neighbours() {

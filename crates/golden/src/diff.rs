@@ -1,0 +1,474 @@
+//! Tolerance-aware diffing of reproduced artifacts against the digitised
+//! paper data.
+//!
+//! Every golden anchor cell gets a [`Verdict`]; an artifact passes when all
+//! of its anchor cells do.  The per-cell deltas are kept so the harness can
+//! print a human-readable report (`figures --check`) and generate the
+//! paper-vs-reproduction delta table in `EXPERIMENTS.md`
+//! ([`markdown_delta_table`]).
+
+use crate::artifact::{Artifact, Cell};
+use crate::data::{GoldenArtifact, GoldenRow, Key};
+
+/// Allowed deviation of a reproduced value from the digitised paper value.
+/// A cell passes when the absolute delta is within `abs` *or* within
+/// `rel * |expected|` — so `abs` covers values near zero and `rel` covers
+/// everything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance in the column's unit.
+    pub abs: f64,
+    /// Relative tolerance as a fraction (0.03 = 3 %).
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// Purely absolute tolerance.
+    pub const fn abs(abs: f64) -> Self {
+        Self { abs, rel: 0.0 }
+    }
+
+    /// Purely relative tolerance (fraction of the expected value).
+    pub const fn rel(rel: f64) -> Self {
+        Self { abs: 0.0, rel }
+    }
+
+    /// Whether `actual` is within tolerance of `expected`.
+    pub fn allows(&self, expected: f64, actual: f64) -> bool {
+        let delta = (actual - expected).abs();
+        delta <= self.abs || delta <= self.rel * expected.abs()
+    }
+
+    /// Compact human-readable rendering (`±3.0%`, `±0.004`, …).
+    pub fn describe(&self) -> String {
+        match (self.abs > 0.0, self.rel > 0.0) {
+            (true, true) => format!("±{} or ±{:.1}%", trim_float(self.abs), self.rel * 100.0),
+            (false, true) => format!("±{:.1}%", self.rel * 100.0),
+            _ => format!("±{}", trim_float(self.abs)),
+        }
+    }
+}
+
+/// Outcome of checking one golden anchor cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Reproduced value within tolerance of the paper value.
+    Pass,
+    /// Reproduced value out of tolerance.
+    Fail,
+    /// No artifact row matched the golden row key.
+    MissingRow,
+    /// The artifact has no column of the expected name.
+    MissingColumn,
+    /// The addressed cell is text/empty where a number was expected.
+    NotNumeric,
+}
+
+/// One checked cell: paper value, reproduced value, delta and verdict.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// Human-readable row key (`"cores=70"`, `"loop=ac01"`, …).
+    pub row: String,
+    /// Column name.
+    pub column: String,
+    /// Digitised paper value.
+    pub expected: f64,
+    /// Reproduced value (`None` when the cell could not be addressed).
+    pub actual: Option<f64>,
+    /// Tolerance the cell was checked against.
+    pub tol: Tolerance,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl CellDiff {
+    /// Signed delta `actual - expected` (0 when the cell is missing).
+    pub fn delta(&self) -> f64 {
+        self.actual.map_or(0.0, |a| a - self.expected)
+    }
+
+    /// Relative delta against the expected value (0 for expected == 0).
+    pub fn rel_delta(&self) -> f64 {
+        if self.expected.abs() > 0.0 {
+            self.delta() / self.expected.abs()
+        } else {
+            0.0
+        }
+    }
+
+    fn render(&self) -> String {
+        match (self.verdict, self.actual) {
+            (Verdict::MissingRow, _) => {
+                format!(
+                    "  [{}] {}: row missing from artifact",
+                    self.row, self.column
+                )
+            }
+            (Verdict::MissingColumn, _) => {
+                format!(
+                    "  [{}] {}: column missing from artifact",
+                    self.row, self.column
+                )
+            }
+            (Verdict::NotNumeric, _) => format!(
+                "  [{}] {}: cell is not numeric (paper {})",
+                self.row, self.column, self.expected
+            ),
+            (v, Some(actual)) => format!(
+                "  [{}] {}: paper {:.4}, reproduced {:.4}, delta {:+.4} ({:+.2}%), tol {} .. {}",
+                self.row,
+                self.column,
+                self.expected,
+                actual,
+                self.delta(),
+                self.rel_delta() * 100.0,
+                self.tol.describe(),
+                if v == Verdict::Pass { "ok" } else { "FAIL" }
+            ),
+            (_, None) => unreachable!("numeric verdicts always carry an actual value"),
+        }
+    }
+}
+
+/// Full diff of one artifact against its golden data.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Experiment identifier.
+    pub id: String,
+    /// Paper reference (`"Fig. 5"`, `"Table I"`, …).
+    pub paper_ref: String,
+    /// Per-cell results, in golden-data order (the first entry is the
+    /// artifact's headline quantity).
+    pub cells: Vec<CellDiff>,
+}
+
+impl DiffReport {
+    /// True when every checked cell passed.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.verdict == Verdict::Pass)
+    }
+
+    /// The cells that did not pass.
+    pub fn failures(&self) -> Vec<&CellDiff> {
+        self.cells
+            .iter()
+            .filter(|c| c.verdict != Verdict::Pass)
+            .collect()
+    }
+
+    /// Largest relative delta over all numerically-checked cells.
+    pub fn max_rel_delta(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.actual.is_some())
+            .map(|c| c.rel_delta().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The headline cell: by convention the first golden anchor, chosen per
+    /// artifact as the quantity the paper's discussion leads with.
+    pub fn headline(&self) -> Option<&CellDiff> {
+        self.cells.first()
+    }
+
+    /// One-line summary (`fig5: 8/8 cells within tolerance …`).
+    pub fn summary(&self) -> String {
+        let total = self.cells.len();
+        let ok = total - self.failures().len();
+        format!(
+            "{}: {}/{} cells within tolerance of {} (max rel delta {:.2}%)",
+            self.id,
+            ok,
+            total,
+            self.paper_ref,
+            self.max_rel_delta() * 100.0
+        )
+    }
+
+    /// Multi-line report: failing cells (or all cells when `verbose`) plus
+    /// the summary line.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            if verbose || cell.verdict != Verdict::Pass {
+                out.push_str(&cell.render());
+                out.push('\n');
+            }
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+}
+
+/// Locate the artifact row matching a golden key.
+fn find_row<'a>(artifact: &'a Artifact, key: &[(&str, Key)]) -> Option<&'a Vec<Cell>> {
+    let indices: Option<Vec<usize>> = key
+        .iter()
+        .map(|(col, _)| artifact.column_index(col))
+        .collect();
+    let indices = indices?;
+    artifact.rows.iter().find(|row| {
+        key.iter().zip(&indices).all(|((_, k), &idx)| match k {
+            Key::Num(n) => row[idx].as_f64() == Some(*n),
+            Key::Text(t) => row[idx].as_text() == Some(*t),
+        })
+    })
+}
+
+fn describe_key(key: &[(&str, Key)]) -> String {
+    key.iter()
+        .map(|(col, k)| match k {
+            Key::Num(n) => format!("{col}={}", trim_float(*n)),
+            Key::Text(t) => format!("{col}={t}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Diff one reproduced artifact against its golden anchor data.
+pub fn check_artifact(artifact: &Artifact, golden: &GoldenArtifact) -> DiffReport {
+    let mut cells = Vec::new();
+    for grow in golden.rows {
+        let GoldenRow { key, checks } = grow;
+        let row = find_row(artifact, key);
+        let row_desc = describe_key(key);
+        for check in *checks {
+            let (actual, verdict) = match row {
+                None => (None, Verdict::MissingRow),
+                Some(row) => match artifact.column_index(check.column) {
+                    None => (None, Verdict::MissingColumn),
+                    Some(idx) => match row[idx].as_f64() {
+                        None => (None, Verdict::NotNumeric),
+                        Some(actual) => {
+                            let v = if check.tol.allows(check.expected, actual) {
+                                Verdict::Pass
+                            } else {
+                                Verdict::Fail
+                            };
+                            (Some(actual), v)
+                        }
+                    },
+                },
+            };
+            cells.push(CellDiff {
+                row: row_desc.clone(),
+                column: check.column.to_string(),
+                expected: check.expected,
+                actual,
+                tol: check.tol,
+                verdict,
+            });
+        }
+    }
+    DiffReport {
+        id: golden.id.to_string(),
+        paper_ref: golden.paper_ref.to_string(),
+        cells,
+    }
+}
+
+/// Render the paper-vs-reproduction delta table for `EXPERIMENTS.md`: one
+/// row per artifact, led by its headline quantity.
+pub fn markdown_delta_table(reports: &[(DiffReport, &GoldenArtifact)]) -> String {
+    let mut out = String::from(
+        "| id | paper artifact | headline quantity | paper | reproduced | tolerance | \
+         max rel Δ | anchors | status |\n\
+         | -- | -------------- | ----------------- | ----- | ---------- | --------- | \
+         --------- | ------- | ------ |\n",
+    );
+    for (report, golden) in reports {
+        let headline = report.headline();
+        let (paper, repro, tol) = match headline {
+            Some(h) => (
+                trim_float(h.expected),
+                h.actual.map_or("—".to_string(), trim_float),
+                h.tol.describe(),
+            ),
+            None => ("—".into(), "—".into(), "—".into()),
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {:.2}% | {} | {} |\n",
+            report.id,
+            report.paper_ref,
+            golden.quantity,
+            paper,
+            repro,
+            tol,
+            report.max_rel_delta() * 100.0,
+            report.cells.len(),
+            if report.passed() { "✓" } else { "✗" }
+        ));
+    }
+    out
+}
+
+/// Format a float with up to 4 decimals, trimming trailing zeros
+/// (`2` instead of `2.0000`, `1.243` instead of `1.2430`).
+fn trim_float(x: f64) -> String {
+    let s = format!("{x:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GoldenCheck;
+
+    fn artifact() -> Artifact {
+        let mut a = Artifact::new("figx", "test")
+            .column("cores", None)
+            .num_column("st1", None, 3);
+        a.push_row(vec![1usize.into(), 2.0f64.into()]);
+        a.push_row(vec![36usize.into(), 1.06f64.into()]);
+        a
+    }
+
+    const KEY1: &[(&str, Key)] = &[("cores", Key::Num(1.0))];
+    const KEY36: &[(&str, Key)] = &[("cores", Key::Num(36.0))];
+
+    fn golden(expected: f64, tol: Tolerance) -> GoldenArtifact {
+        GoldenArtifact {
+            id: "figx",
+            paper_ref: "Fig. X",
+            quantity: "test quantity",
+            rows: Box::leak(Box::new([GoldenRow {
+                key: KEY36,
+                checks: Box::leak(Box::new([GoldenCheck {
+                    column: "st1",
+                    expected,
+                    tol,
+                }])),
+            }])),
+        }
+    }
+
+    #[test]
+    fn tolerance_semantics() {
+        let t = Tolerance { abs: 0.1, rel: 0.0 };
+        assert!(t.allows(1.0, 1.09));
+        assert!(!t.allows(1.0, 1.11));
+        let t = Tolerance::rel(0.05);
+        assert!(t.allows(2.0, 2.09));
+        assert!(!t.allows(2.0, 2.11));
+        // abs covers expected == 0 where rel can never pass.
+        let t = Tolerance {
+            abs: 0.01,
+            rel: 0.05,
+        };
+        assert!(t.allows(0.0, 0.005));
+        assert!(!t.allows(0.0, 0.02));
+    }
+
+    #[test]
+    fn tolerance_describe() {
+        assert_eq!(Tolerance::rel(0.03).describe(), "±3.0%");
+        assert_eq!(Tolerance::abs(0.004).describe(), "±0.004");
+        assert_eq!(
+            Tolerance {
+                abs: 0.01,
+                rel: 0.05
+            }
+            .describe(),
+            "±0.01 or ±5.0%"
+        );
+    }
+
+    #[test]
+    fn in_tolerance_cell_passes() {
+        let report = check_artifact(&artifact(), &golden(1.06, Tolerance::rel(0.03)));
+        assert!(report.passed());
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].verdict, Verdict::Pass);
+        assert!(report.summary().contains("1/1 cells"));
+    }
+
+    #[test]
+    fn out_of_tolerance_cell_fails() {
+        let report = check_artifact(&artifact(), &golden(1.25, Tolerance::rel(0.03)));
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.render_text(false).contains("FAIL"));
+        assert!(report.max_rel_delta() > 0.10);
+    }
+
+    #[test]
+    fn missing_row_and_column_are_reported() {
+        let g = GoldenArtifact {
+            id: "figx",
+            paper_ref: "Fig. X",
+            quantity: "q",
+            rows: Box::leak(Box::new([
+                GoldenRow {
+                    key: Box::leak(Box::new([("cores", Key::Num(99.0))])),
+                    checks: Box::leak(Box::new([GoldenCheck {
+                        column: "st1",
+                        expected: 1.0,
+                        tol: Tolerance::rel(0.1),
+                    }])),
+                },
+                GoldenRow {
+                    key: KEY1,
+                    checks: Box::leak(Box::new([GoldenCheck {
+                        column: "nope",
+                        expected: 1.0,
+                        tol: Tolerance::rel(0.1),
+                    }])),
+                },
+            ])),
+        };
+        let report = check_artifact(&artifact(), &g);
+        assert_eq!(report.cells[0].verdict, Verdict::MissingRow);
+        assert_eq!(report.cells[1].verdict, Verdict::MissingColumn);
+        assert!(!report.passed());
+        let text = report.render_text(true);
+        assert!(text.contains("row missing"));
+        assert!(text.contains("column missing"));
+    }
+
+    #[test]
+    fn text_key_matching() {
+        let mut a = Artifact::new("t", "t")
+            .column("loop", None)
+            .num_column("v", None, 2);
+        a.push_row(vec!["ac01".into(), 48.1f64.into()]);
+        let g = GoldenArtifact {
+            id: "t",
+            paper_ref: "Table I",
+            quantity: "q",
+            rows: Box::leak(Box::new([GoldenRow {
+                key: Box::leak(Box::new([("loop", Key::Text("ac01"))])),
+                checks: Box::leak(Box::new([GoldenCheck {
+                    column: "v",
+                    expected: 48.0,
+                    tol: Tolerance::rel(0.01),
+                }])),
+            }])),
+        };
+        assert!(check_artifact(&a, &g).passed());
+    }
+
+    #[test]
+    fn delta_table_contains_status_markers() {
+        let a = artifact();
+        let pass_g = golden(1.06, Tolerance::rel(0.03));
+        let fail_g = golden(1.30, Tolerance::rel(0.01));
+        let reports = vec![
+            (check_artifact(&a, &pass_g), &pass_g),
+            (check_artifact(&a, &fail_g), &fail_g),
+        ];
+        let md = markdown_delta_table(&reports);
+        assert!(md.contains("| ✓ |"));
+        assert!(md.contains("| ✗ |"));
+        assert!(md.contains("`figx`"));
+        assert!(md.contains("±3.0%"));
+    }
+
+    #[test]
+    fn trim_float_output() {
+        assert_eq!(trim_float(2.0), "2");
+        assert_eq!(trim_float(1.243), "1.243");
+        assert_eq!(trim_float(0.0001), "0.0001");
+    }
+}

@@ -1,0 +1,27 @@
+//! `clover-golden` — paper-fidelity validation.
+//!
+//! The whole argument of the reproduced paper rests on *quantitative*
+//! agreement between the analytic traffic model / simulator and the measured
+//! code balances and store ratios.  This crate makes that agreement a tested
+//! property instead of an eyeballed one:
+//!
+//! * [`artifact`] — the typed result model ([`Artifact`]): every experiment
+//!   produces a table with named, unit-annotated columns instead of an
+//!   opaque string.  CSV and JSON are *views* of the same data.
+//! * [`data`] — the digitised reference values for all 12 paper artifacts
+//!   (Listing 2, Table I, Figs. 2–11), each as a set of anchor rows with
+//!   per-cell tolerances.
+//! * [`diff`] — the tolerance-aware diff engine: per-cell verdicts,
+//!   summary deltas and a markdown delta table for `EXPERIMENTS.md`.
+//!
+//! The `figures --check` mode of `clover-bench` and the tier-1
+//! `tests/golden_fidelity.rs` suite are both thin wrappers around
+//! [`diff::check_artifact`].
+
+pub mod artifact;
+pub mod data;
+pub mod diff;
+
+pub use artifact::{Artifact, Cell, Column};
+pub use data::{golden, golden_artifacts, GoldenArtifact, GoldenCheck, GoldenRow, Key};
+pub use diff::{check_artifact, markdown_delta_table, CellDiff, DiffReport, Tolerance, Verdict};

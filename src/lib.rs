@@ -15,13 +15,16 @@
 //!   analyses),
 //! * [`leaf`] — the CloverLeaf hydrodynamics mini-app port,
 //! * [`perfmon`] — region markers and row-sampled loop measurements,
-//! * [`ubench`] — the store/copy microbenchmarks.
+//! * [`ubench`] — the store/copy microbenchmarks,
+//! * [`golden`] — typed artifacts, the digitised paper reference data and
+//!   the tolerance-aware fidelity diff engine.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-reproduction comparison of every table and figure.
 
 pub use clover_cachesim as cachesim;
 pub use clover_core as core;
+pub use clover_golden as golden;
 pub use clover_leaf as leaf;
 pub use clover_machine as machine;
 pub use clover_perfmon as perfmon;

@@ -1,0 +1,105 @@
+//! Tier-1 paper-fidelity suite: every artifact the harness regenerates must
+//! stay within its declared tolerance of the digitised paper data, the
+//! harness itself must catch deliberate model perturbations, and the delta
+//! table committed to `EXPERIMENTS.md` must match what the current model
+//! produces.
+
+use clover_bench::{check_experiment, run_artifact, EXPERIMENTS};
+use cloverleaf_wa::golden::{
+    check_artifact, golden, golden_artifacts, markdown_delta_table, DiffReport, GoldenArtifact,
+};
+
+const BEGIN_MARKER: &str = "<!-- BEGIN GENERATED DELTA TABLE (figures --delta-table all) -->";
+const END_MARKER: &str = "<!-- END GENERATED DELTA TABLE -->";
+
+/// The expensive part — regenerating all 12 artifacts — happens once; the
+/// tolerance check and the `EXPERIMENTS.md` sync check share the result.
+#[test]
+fn every_artifact_is_within_tolerance_and_the_delta_table_is_in_sync() {
+    let entries: Vec<(DiffReport, &GoldenArtifact)> = EXPERIMENTS
+        .iter()
+        .map(|name| {
+            let report = check_experiment(name)
+                .unwrap_or_else(|| panic!("experiment {name} has no golden data"));
+            (report, golden(name).unwrap())
+        })
+        .collect();
+
+    let mut failures = String::new();
+    for (report, _) in &entries {
+        if !report.passed() {
+            failures.push_str(&report.render_text(false));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "artifacts drifted out of tolerance of the paper:\n{failures}"
+    );
+
+    let generated = markdown_delta_table(&entries);
+    let experiments_md =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md"))
+            .expect("EXPERIMENTS.md is readable");
+    let begin = experiments_md
+        .find(BEGIN_MARKER)
+        .expect("EXPERIMENTS.md contains the delta-table begin marker");
+    let end = experiments_md
+        .find(END_MARKER)
+        .expect("EXPERIMENTS.md contains the delta-table end marker");
+    let committed = experiments_md[begin + BEGIN_MARKER.len()..end].trim();
+    assert_eq!(
+        committed,
+        generated.trim(),
+        "EXPERIMENTS.md delta table is stale; regenerate it with\n\
+         cargo run --release -p clover-bench --bin figures -- --delta-table all"
+    );
+}
+
+#[test]
+fn golden_data_covers_exactly_the_experiment_set() {
+    let ids: Vec<&str> = golden_artifacts().iter().map(|g| g.id).collect();
+    assert_eq!(ids, EXPERIMENTS, "golden data out of step with EXPERIMENTS");
+}
+
+#[test]
+fn a_deliberate_model_perturbation_is_caught() {
+    // +10 % on every modelled value must blow through every artifact's
+    // tolerances; the harness exists to catch exactly this kind of drift.
+    for name in ["listing2", "table1", "fig4", "fig7"] {
+        let mut artifact = run_artifact(name).unwrap();
+        artifact.perturb(1.10);
+        let report = check_artifact(&artifact, golden(name).unwrap());
+        assert!(
+            !report.passed(),
+            "{name}: a 10% perturbation must fail the golden check"
+        );
+    }
+}
+
+#[test]
+fn a_rounding_level_perturbation_is_tolerated() {
+    // 0.1 % is far below every declared tolerance for purely modelled
+    // artifacts: the harness must not be so tight that CSV-level rounding
+    // or harmless refactors trip it.
+    let mut artifact = run_artifact("listing2").unwrap();
+    artifact.perturb(1.001);
+    let report = check_artifact(&artifact, golden("listing2").unwrap());
+    assert!(
+        report.passed(),
+        "0.1% jitter must stay within tolerance:\n{}",
+        report.render_text(true)
+    );
+}
+
+#[test]
+fn headline_cells_lead_the_report() {
+    // Structural convention: the first golden check is the headline the
+    // delta table shows.  Checked on cheap artifacts only; the expensive
+    // ones share the same code path.
+    for name in ["listing2", "table1", "fig4", "fig7"] {
+        let g = golden(name).unwrap();
+        let report = check_experiment(name).unwrap();
+        let headline = report.headline().expect("non-empty report");
+        assert_eq!(headline.column, g.rows[0].checks[0].column, "{name}");
+    }
+}

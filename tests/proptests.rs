@@ -1,11 +1,31 @@
 //! Property-based tests on the core data structures and invariants.
 
 use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
-use cloverleaf_wa::cachesim::{CoreSim, MemCounters, WriteCoalescer};
+use cloverleaf_wa::cachesim::{
+    CoreSim, MemCounters, NodeSim, SetAssocCache, SimConfig, WriteCoalescer, LINE_BYTES,
+};
 use cloverleaf_wa::core::decomp::{is_prime, prime_factors, Decomposition};
-use cloverleaf_wa::machine::icelake_sp_8360y;
+use cloverleaf_wa::machine::{icelake_sp_8360y, Machine};
 use cloverleaf_wa::stencil::{cloverleaf_loops, CodeBalance};
 use proptest::prelude::*;
+
+/// Store-ratio measurement over a small SPMD store kernel, mirroring
+/// `clover_ubench::store_ratio` with a reduced element count so it is cheap
+/// enough for property testing in debug builds.
+fn mini_store_ratio(machine: &Machine, cores: usize, streams: usize) -> f64 {
+    const ELEMENTS: u64 = 2048;
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
+    let report = sim.run_spmd(|rank, core| {
+        let rank_base = (rank as u64 + 1) << 40;
+        for i in 0..ELEMENTS {
+            for s in 0..streams as u64 {
+                core.store(rank_base + (s << 30) + i * 8, 8);
+            }
+        }
+    });
+    let initiated = (cores as u64 * streams as u64 * ELEMENTS * 8) as f64;
+    report.total_bytes() / initiated
+}
 
 proptest! {
     /// Prime factorisation multiplies back to the original number and every
@@ -88,5 +108,85 @@ proptest! {
         prop_assert!(c.read_lines <= 2.0 * stored_lines + 2.0);
         prop_assert!(c.itom_lines <= stored_lines + 1.0);
         prop_assert!(c.itom_lines >= 0.0);
+    }
+
+    /// Cache bookkeeping: every `touch` is either a hit or a miss, so the
+    /// two counters always sum to the number of accesses — for any mix of
+    /// reads, writes, fills and working-set sizes.
+    #[test]
+    fn cache_hits_plus_misses_equal_accesses(
+        accesses in 1usize..2000,
+        span in 1u64..512,
+        capacity_lines in prop::sample::select(vec![8usize, 64, 256]),
+    ) {
+        let mut cache = SetAssocCache::new(capacity_lines * 64, 8);
+        for i in 0..accesses as u64 {
+            // Deterministic but scattered line sequence with re-use.
+            let line = (i.wrapping_mul(2654435761) >> 7) % span;
+            let write = i % 3 == 0;
+            if cache.touch(line, write) == cloverleaf_wa::cachesim::cache::LookupResult::Miss {
+                cache.fill(line, write);
+            }
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses as u64);
+        prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+    }
+
+    /// Memory write traffic is conservative: for a store-only kernel that
+    /// touches every address exactly once, the bytes leaving the hierarchy
+    /// (dirty evictions plus the final flush) equal the distinct cache
+    /// lines stored — never more than what was written.
+    #[test]
+    fn evicted_bytes_never_exceed_written_bytes(
+        rows in 1u64..24,
+        inner in 8u64..400,
+        gap in 0u64..9,
+        nt in prop::sample::select(vec![false, true]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let ctx = OccupancyContext::compact(&machine, 18);
+        let mut core = CoreSim::new(&machine, ctx, CoreSimOptions::default());
+        let mut lines = std::collections::HashSet::new();
+        for row in 0..rows {
+            let base = row * (inner + gap) * 8;
+            for i in 0..inner {
+                let addr = base + i * 8;
+                if nt {
+                    core.store_nt(addr, 8);
+                } else {
+                    core.store(addr, 8);
+                }
+                lines.insert(addr / LINE_BYTES as u64);
+            }
+        }
+        let c: MemCounters = core.flush();
+        let written = lines.len() as f64;
+        prop_assert!(
+            c.write_lines <= written + 0.5,
+            "wrote back {} lines for {} stored lines", c.write_lines, written
+        );
+        prop_assert!(c.write_lines >= written - 0.5);
+    }
+
+    /// More independent store streams per core never improve the store
+    /// ratio: the SpecI2M stream-count response makes evasion harder, so
+    /// the ratio is monotonically non-decreasing in the stream count.
+    #[test]
+    fn store_ratio_is_monotone_in_stream_count(
+        cores in prop::sample::select(vec![1usize, 4, 9, 18, 27, 36]),
+        streams in 1usize..3,
+    ) {
+        let machine = icelake_sp_8360y();
+        let fewer = mini_store_ratio(&machine, cores, streams);
+        let more = mini_store_ratio(&machine, cores, streams + 1);
+        prop_assert!(
+            more >= fewer - 0.02,
+            "cores={}: {} streams -> {:.4}, {} streams -> {:.4}",
+            cores, streams, fewer, streams + 1, more
+        );
+        // Both ends stay physical: between all-write-allocate (2.0)
+        // and full evasion (1.0).
+        prop_assert!((0.98..=2.05).contains(&fewer));
+        prop_assert!((0.98..=2.05).contains(&more));
     }
 }
