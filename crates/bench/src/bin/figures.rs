@@ -13,6 +13,10 @@
 //! figures --delta-table all      # markdown delta table (EXPERIMENTS.md)
 //! figures --perturb 10 --check all   # sanity check of the harness: a 10%
 //!                                    # model error must make --check fail
+//! figures sweep --machine icx-8360y --grid 4000 --ranks 1..72 \
+//!     --stage all [--jobs N] [--json]   # scenario sweep engine: cartesian
+//!                                       # machine × grid × ranks × stage
+//!                                       # plan on N worker threads
 //! ```
 //!
 //! Experiment names must be unique, known, and not mixed with `all`.
@@ -23,6 +27,8 @@ use std::process::ExitCode;
 
 use clover_bench::{check_experiment, delta_table, run_artifact, EXPERIMENTS};
 use clover_golden::check_artifact;
+use clover_machine::preset_names;
+use clover_scenario::{render_block, run_plan, RankRange, Stage, SweepPlan};
 
 /// Write to stdout, exiting quietly if the reader went away (`figures all |
 /// head` must not panic with a broken-pipe backtrace).
@@ -53,6 +59,16 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+fn sweep_usage_error(message: &str) -> ExitCode {
+    eprintln!("figures sweep: {message}");
+    eprintln!(
+        "usage: figures sweep --machine <name> --ranks <A..B> \
+         [--grid <cells>] [--stage original|speci2m-off|optimized|all] \
+         [--jobs <n>] [--json]  (axis flags repeat to span a cartesian plan)"
+    );
+    ExitCode::from(2)
+}
+
 #[derive(Debug, Default)]
 struct Options {
     check: bool,
@@ -78,7 +94,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let pct: f64 = value
                     .parse()
                     .map_err(|_| format!("--perturb: '{value}' is not a number"))?;
-                opts.perturb = Some(1.0 + pct / 100.0);
+                // NaN/inf used to parse fine and silently wreck every
+                // artifact; a percentage of -100 or below flips the scale
+                // factor to zero or negative, which is equally nonsense.
+                if !pct.is_finite() {
+                    return Err(format!("--perturb: '{value}' is not a finite percentage"));
+                }
+                let factor = 1.0 + pct / 100.0;
+                if factor <= 0.0 {
+                    return Err(format!(
+                        "--perturb: {pct}% gives the non-positive scale factor {factor}; \
+                         use a percentage above -100"
+                    ));
+                }
+                opts.perturb = Some(factor);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag '{flag}'"));
@@ -126,10 +155,150 @@ fn resolve_names(names: &[String]) -> Result<Vec<&'static str>, String> {
     Ok(resolved)
 }
 
+/// Options of the `figures sweep` subcommand.
+#[derive(Debug)]
+struct SweepOptions {
+    plan: SweepPlan,
+    jobs: usize,
+    json: bool,
+}
+
+/// Parse the arguments after the `sweep` keyword.  Repeatable axis flags
+/// (`--machine`, `--grid`, `--ranks`, `--stage`) span the cartesian plan;
+/// `--grid` defaults to the Tiny grid and `--stage` to `original`.
+fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
+    let mut plan = SweepPlan::new();
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--machine needs a machine name".to_string())?;
+                let preset = clover_machine::preset_by_name(value).ok_or_else(|| {
+                    format!(
+                        "unknown machine '{value}'; known machines: {}",
+                        preset_names().join(", ")
+                    )
+                })?;
+                if plan.machines.contains(&preset) {
+                    return Err(format!("duplicate machine '{value}'"));
+                }
+                plan.machines.push(preset);
+            }
+            "--grid" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--grid needs a cell count".to_string())?;
+                let grid: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&g| g >= 1)
+                    .ok_or_else(|| format!("--grid: '{value}' is not a positive cell count"))?;
+                if plan.grids.contains(&grid) {
+                    return Err(format!("duplicate grid size {grid}"));
+                }
+                plan.grids.push(grid);
+            }
+            "--ranks" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--ranks needs a range (e.g. 1..72)".to_string())?;
+                let range = RankRange::parse(value)
+                    .ok_or_else(|| format!("--ranks: '{value}' is not a range like 1..72"))?;
+                if plan.rank_ranges.contains(&range) {
+                    return Err(format!("duplicate rank range {range}"));
+                }
+                plan.rank_ranges.push(range);
+            }
+            "--stage" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--stage needs a stage name or 'all'".to_string())?;
+                let stages = Stage::parse(value).ok_or_else(|| {
+                    format!("unknown stage '{value}' (original, speci2m-off, optimized, all)")
+                })?;
+                for stage in stages {
+                    if plan.stages.contains(&stage) {
+                        return Err(format!("duplicate stage '{stage}'"));
+                    }
+                    plan.stages.push(stage);
+                }
+            }
+            "--jobs" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--jobs needs a worker count".to_string())?;
+                if jobs.is_some() {
+                    return Err("--jobs given twice".to_string());
+                }
+                jobs =
+                    Some(
+                        value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs: '{value}' is not a worker count >= 1")
+                        })?,
+                    );
+            }
+            "--json" => json = true,
+            other => {
+                return Err(format!("sweep: unexpected argument '{other}'"));
+            }
+        }
+    }
+    if plan.machines.is_empty() {
+        return Err(format!(
+            "sweep needs at least one --machine; known machines: {}",
+            preset_names().join(", ")
+        ));
+    }
+    if plan.rank_ranges.is_empty() {
+        return Err("sweep needs at least one --ranks range (e.g. --ranks 1..72)".to_string());
+    }
+    if plan.grids.is_empty() {
+        plan.grids.push(clover_core::TINY_GRID);
+    }
+    if plan.stages.is_empty() {
+        plan.stages.push(Stage::Original);
+    }
+    // Every scenario must be evaluable (non-empty range, ranks within the
+    // machine's core count) before any worker starts.
+    plan.validate()?;
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    Ok(SweepOptions { plan, jobs, json })
+}
+
+/// Run the `figures sweep` subcommand.
+fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
+    let opts = match parse_sweep_args(args) {
+        Ok(opts) => opts,
+        Err(message) => return sweep_usage_error(&message),
+    };
+    let artifacts = run_plan(&opts.plan, opts.jobs);
+    if opts.json {
+        let blocks: Vec<String> = artifacts.iter().map(|a| a.to_json()).collect();
+        emit(out, format_args!("[{}]\n", blocks.join(",")));
+    } else {
+        for artifact in &artifacts {
+            emit(out, format_args!("{}", render_block(artifact)));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+
+    if args.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(&args[1..], &mut out);
+    }
 
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
@@ -192,10 +361,7 @@ fn main() -> ExitCode {
             if opts.json {
                 json_blocks.push(artifact.to_json());
             } else {
-                emit(
-                    &mut out,
-                    format_args!("==== {name} ====\n{}\n", artifact.to_csv()),
-                );
+                emit(&mut out, format_args!("{}", render_block(&artifact)));
             }
         }
     }
@@ -234,6 +400,115 @@ mod tests {
         assert!(parse_args(&args(&["--json", "--check", "all"])).is_err());
         assert!(parse_args(&args(&["--delta-table", "--check", "all"])).is_err());
         assert!(parse_args(&args(&["--delta-table", "--perturb", "10", "all"])).is_err());
+    }
+
+    #[test]
+    fn perturb_rejects_non_finite_and_non_positive_factors() {
+        // Regression: NaN/inf parsed successfully and silently wrecked
+        // every artifact; -200% produced a negative scale factor.
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity", "-100", "-200"] {
+            let err = parse_args(&args(&["--perturb", bad, "all"])).unwrap_err();
+            assert!(err.contains("--perturb"), "{bad}: {err}");
+        }
+        let opts = parse_args(&args(&["--perturb", "-50", "all"])).unwrap();
+        assert_eq!(opts.perturb, Some(0.5));
+        let opts = parse_args(&args(&["--perturb", "10", "all"])).unwrap();
+        assert_eq!(opts.perturb, Some(1.10));
+    }
+
+    #[test]
+    fn sweep_args_build_a_validated_plan() {
+        let opts = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--machine",
+            "spr-8480plus",
+            "--grid",
+            "4000",
+            "--ranks",
+            "1..72",
+            "--stage",
+            "all",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.plan.len(), 2 * 1 * 1 * 3);
+        assert_eq!(opts.jobs, 4);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn sweep_defaults_fill_grid_and_stage() {
+        let opts =
+            parse_sweep_args(&args(&["--machine", "icx-8360y", "--ranks", "1..18"])).unwrap();
+        assert_eq!(opts.plan.grids, vec![clover_core::TINY_GRID]);
+        assert_eq!(opts.plan.stages, vec![Stage::Original]);
+        assert!(opts.jobs >= 1);
+    }
+
+    #[test]
+    fn sweep_usage_errors_are_caught_before_any_worker_runs() {
+        // Unknown machine name, listing the registry.
+        let err = parse_sweep_args(&args(&["--machine", "epyc", "--ranks", "1..4"])).unwrap_err();
+        assert!(err.contains("unknown machine") && err.contains("icx-8360y"));
+        // Empty rank range.
+        let err =
+            parse_sweep_args(&args(&["--machine", "icx-8360y", "--ranks", "5..4"])).unwrap_err();
+        assert!(err.contains("empty rank range"));
+        // Rank range beyond the machine's core count.
+        let err =
+            parse_sweep_args(&args(&["--machine", "icx-8360y", "--ranks", "1..104"])).unwrap_err();
+        assert!(err.contains("exceeds"));
+        // Zero grid, zero jobs, bad stage, duplicate stage, missing axes.
+        assert!(parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--grid",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--jobs",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--stage",
+            "turbo"
+        ]))
+        .is_err());
+        assert!(parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--stage",
+            "all",
+            "--stage",
+            "original"
+        ]))
+        .is_err());
+        assert!(parse_sweep_args(&args(&["--ranks", "1..4"])).is_err());
+        assert!(parse_sweep_args(&args(&["--machine", "icx-8360y"])).is_err());
+        assert!(parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "fig2"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -5,7 +5,14 @@
 //! CSV text the `figures` binary prints and its `--json` dump are renderings
 //! of that structure.  `figures --check` diffs each artifact against the
 //! digitised paper data in `clover-golden`; the Criterion benches under
-//! `benches/` measure the native kernels and the simulator itself.
+//! `benches/` measure the native kernels and the simulator itself.  The
+//! [`sweep`] module re-expresses the sweep-shaped experiments (fig7, fig9,
+//! fig10) as canned `clover-scenario` plans evaluated by the parallel
+//! runner, byte-identical to the sequential generators.
+
+pub mod sweep;
+
+pub use sweep::{canned_sweep_plan, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
 
 use clover_core::decomp::Decomposition;
 use clover_core::TINY_GRID;
@@ -215,26 +222,33 @@ fn store_ratio_columns(a: Artifact) -> Artifact {
         .num_column("stnt3", None, 3)
 }
 
-fn store_ratio_figure(a: &mut Artifact, machine: &Machine, step: usize, extra: Option<&str>) {
-    let mut cores = 1;
-    while cores <= machine.total_cores() {
+fn store_ratio_figure(
+    a: &mut Artifact,
+    machine: &Machine,
+    cores: std::ops::RangeInclusive<usize>,
+    step: usize,
+    extra: Option<&str>,
+) {
+    let mut c = *cores.start();
+    while c <= *cores.end() {
         let mut row: Vec<Cell> = Vec::new();
         if let Some(label) = extra {
             row.push(label.into());
         }
-        row.push(cores.into());
-        row.extend(store_ratio_cells(machine, cores));
+        row.push(c.into());
+        row.extend(store_ratio_cells(machine, c));
         a.push_row(row);
-        cores += step;
+        c += step;
     }
 }
 
 /// Fig. 5: store ratios on Ice Lake SP.
 pub fn fig5() -> Artifact {
+    let machine = icx();
     let mut a = store_ratio_columns(
         Artifact::new("fig5", "store ratios on Ice Lake SP").column("cores", None),
     );
-    store_ratio_figure(&mut a, &icx(), 3, None);
+    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 3, None);
     a
 }
 
@@ -349,17 +363,20 @@ pub fn fig9() -> Artifact {
             .column("snc", None)
             .column("cores", None),
     );
-    store_ratio_figure(&mut a, &sapphire_rapids_8470(true), 8, Some("on"));
-    store_ratio_figure(&mut a, &sapphire_rapids_8470(false), 8, Some("off"));
+    let on = sapphire_rapids_8470(true);
+    let off = sapphire_rapids_8470(false);
+    store_ratio_figure(&mut a, &on, 1..=on.total_cores(), 8, Some("on"));
+    store_ratio_figure(&mut a, &off, 1..=off.total_cores(), 8, Some("off"));
     a
 }
 
 /// Fig. 10: store ratios on the SPR 8480+.
 pub fn fig10() -> Artifact {
+    let machine = sapphire_rapids_8480();
     let mut a = store_ratio_columns(
         Artifact::new("fig10", "store ratios on SPR 8480+").column("cores", None),
     );
-    store_ratio_figure(&mut a, &sapphire_rapids_8480(), 8, None);
+    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 8, None);
     a
 }
 

@@ -1,0 +1,225 @@
+//! Canned sweep plans for the paper's own experiments.
+//!
+//! Fig. 7 (per-loop code balance, original vs. optimized), Fig. 9 (store
+//! ratios on SPR 8470, SNC on/off) and Fig. 10 (store ratios on SPR 8480+)
+//! are each the cartesian product of a machine axis and a stage axis — so
+//! they are re-expressed here as [`SweepPlan`]s evaluated by the parallel
+//! scenario runner.  The assembled artifacts are byte-identical to the
+//! sequential generators in the crate root ([`crate::fig7`], [`crate::fig9`],
+//! [`crate::fig10`]), which the tier-1 suite verifies along with the golden
+//! check — the sweep engine regenerates the paper, it does not approximate
+//! it.
+
+use clover_core::decomp::Decomposition;
+use clover_core::{relative_improvement, TrafficModel, TINY_GRID};
+use clover_golden::{Artifact, Cell};
+use clover_machine::MachinePreset;
+use clover_scenario::{run_scenarios_with, RankRange, Scenario, Stage, SweepPlan};
+use clover_stencil::{cloverleaf_loops, CodeBalance};
+
+/// Experiments that have a canned sweep-plan formulation.
+pub const SWEEP_PLAN_EXPERIMENTS: [&str; 3] = ["fig7", "fig9", "fig10"];
+
+/// The canned plan of one experiment; `None` for experiments that are not
+/// sweeps.
+pub fn canned_sweep_plan(name: &str) -> Option<SweepPlan> {
+    match name {
+        // One machine, one rank count, two code stages.
+        "fig7" => Some(
+            SweepPlan::new()
+                .machine(MachinePreset::IceLakeSp8360y)
+                .grid(TINY_GRID)
+                .ranks(RankRange::new(72, 72))
+                .stage(Stage::Original)
+                .stage(Stage::Optimized),
+        ),
+        // Two machine configurations (SNC on/off), full-node core axis.
+        "fig9" => Some(
+            SweepPlan::new()
+                .machine(MachinePreset::SapphireRapids8470 { snc: true })
+                .machine(MachinePreset::SapphireRapids8470 { snc: false })
+                .grid(TINY_GRID)
+                .ranks(RankRange::new(1, 104))
+                .stage(Stage::Original),
+        ),
+        // One machine, full-node core axis.
+        "fig10" => Some(
+            SweepPlan::new()
+                .machine(MachinePreset::SapphireRapids8480)
+                .grid(TINY_GRID)
+                .ranks(RankRange::new(1, 112))
+                .stage(Stage::Original),
+        ),
+        _ => None,
+    }
+}
+
+/// Run the canned plan of `name` on `jobs` worker threads and assemble the
+/// paper artifact.  `None` for experiments without a canned plan.
+pub fn run_canned_sweep(name: &str, jobs: usize) -> Option<Artifact> {
+    let plan = canned_sweep_plan(name)?;
+    let scenarios = plan.expand();
+    Some(match name {
+        "fig7" => {
+            let parts = run_scenarios_with(&scenarios, jobs, loop_balance_scenario);
+            assemble_fig7(&parts)
+        }
+        "fig9" => {
+            let parts = run_scenarios_with(&scenarios, jobs, store_ratio_scenario);
+            let mut a = crate::store_ratio_columns(
+                Artifact::new("fig9", "store ratios on SPR 8470, SNC on vs. off")
+                    .column("snc", None)
+                    .column("cores", None),
+            );
+            for part in parts {
+                a.rows.extend(part.rows);
+            }
+            a
+        }
+        "fig10" => {
+            let parts = run_scenarios_with(&scenarios, jobs, store_ratio_scenario);
+            let mut a = crate::store_ratio_columns(
+                Artifact::new("fig10", "store ratios on SPR 8480+").column("cores", None),
+            );
+            for part in parts {
+                a.rows.extend(part.rows);
+            }
+            a
+        }
+        _ => unreachable!("canned plan without an assembler"),
+    })
+}
+
+/// Per-scenario evaluator of the fig7 plan: the 22 per-loop code balances of
+/// one code stage at the scenario's (single) rank count.
+fn loop_balance_scenario(scenario: &Scenario) -> Artifact {
+    // This evaluator is a single-rank-count table; a wider range in the
+    // plan would be silently mislabeled, so fail loudly instead.
+    assert_eq!(
+        scenario.ranks.start, scenario.ranks.end,
+        "loop-balance scenarios evaluate exactly one rank count"
+    );
+    let machine = scenario.machine.machine();
+    let model = TrafficModel::new(machine);
+    let ranks = scenario.ranks.end;
+    let decomp = Decomposition::new(ranks, scenario.grid, scenario.grid);
+    let opts = scenario.stage.options(ranks);
+    let mut a = Artifact::new(&scenario.id(), &scenario.title())
+        .column("loop", None)
+        .column("min", Some("byte/it"))
+        .num_column("balance", Some("byte/it"), 2);
+    for spec in cloverleaf_loops() {
+        let bounds = CodeBalance::from_spec(&spec);
+        let t = model.predict_loop(&spec, &opts, &decomp);
+        a.push_row(vec![
+            spec.name.clone().into(),
+            (bounds.min as i64).into(),
+            t.code_balance().into(),
+        ]);
+    }
+    a
+}
+
+/// Merge the original- and optimized-stage balance tables into the Fig. 7
+/// artifact (the stage axis expands innermost, so `parts[0]` is original).
+fn assemble_fig7(parts: &[Artifact]) -> Artifact {
+    assert_eq!(parts.len(), 2, "fig7 plan expands to two stages");
+    let (orig, opt) = (&parts[0], &parts[1]);
+    let mut a = Artifact::new(
+        "fig7",
+        "predicted vs. full-node code balance, original vs. optimized code",
+    )
+    .column("loop", None)
+    .column("prediction_min", Some("byte/it"))
+    .num_column("prediction", Some("byte/it"), 2)
+    .num_column("original", Some("byte/it"), 2)
+    .num_column("optimized", Some("byte/it"), 2);
+    let mut improvements = Vec::with_capacity(orig.rows.len());
+    for (o, n) in orig.rows.iter().zip(&opt.rows) {
+        let original = o[2].as_f64().expect("balance cell");
+        let optimized = n[2].as_f64().expect("balance cell");
+        improvements.push(relative_improvement(original, optimized));
+        a.push_row(vec![
+            o[0].clone(),
+            o[1].clone(),
+            Cell::Num(original),
+            Cell::Num(original),
+            Cell::Num(optimized),
+        ]);
+    }
+    let average = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let max = improvements.iter().cloned().fold(0.0, f64::max);
+    a.push_note(format!(
+        "average improvement {:.1}%, max {:.1}%",
+        average * 100.0,
+        max * 100.0
+    ));
+    a
+}
+
+/// Per-scenario evaluator of the fig9/fig10 plans: the store-ratio table of
+/// one machine configuration over its core axis (8-core steps, as in the
+/// paper), with the SNC label column for the 8470.
+fn store_ratio_scenario(scenario: &Scenario) -> Artifact {
+    // The store microbenchmark has no CloverLeaf code stage; a plan asking
+    // for another stage would be silently ignored, so fail loudly instead.
+    // (The grid axis is genuinely meaningless here: the kernels stream
+    // fixed arrays regardless of the scenario grid.)
+    assert_eq!(
+        scenario.stage,
+        Stage::Original,
+        "store-ratio scenarios have no code-stage axis"
+    );
+    let machine = scenario.machine.machine();
+    let label = match scenario.machine {
+        MachinePreset::SapphireRapids8470 { snc } => Some(if snc { "on" } else { "off" }),
+        _ => None,
+    };
+    let mut a = Artifact::new(&scenario.id(), &scenario.title());
+    if label.is_some() {
+        a = a.column("snc", None);
+    }
+    a = crate::store_ratio_columns(a.column("cores", None));
+    crate::store_ratio_figure(&mut a, &machine, scenario.ranks.iter(), 8, label);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_plans_exist_exactly_for_the_sweep_experiments() {
+        for name in SWEEP_PLAN_EXPERIMENTS {
+            assert!(canned_sweep_plan(name).is_some(), "{name}");
+        }
+        assert!(canned_sweep_plan("fig2").is_none());
+        assert!(run_canned_sweep("fig2", 2).is_none());
+    }
+
+    #[test]
+    fn canned_plans_match_the_sequential_generators_byte_for_byte() {
+        for name in SWEEP_PLAN_EXPERIMENTS {
+            let direct = crate::run_artifact(name).unwrap();
+            for jobs in [1, 4] {
+                let swept = run_canned_sweep(name, jobs).unwrap();
+                assert_eq!(direct.to_csv(), swept.to_csv(), "{name} jobs={jobs}");
+                assert_eq!(direct.to_json(), swept.to_json(), "{name} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_plan_expands_snc_on_before_off() {
+        let scenarios = canned_sweep_plan("fig9").unwrap().expand();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(
+            scenarios[0].machine,
+            MachinePreset::SapphireRapids8470 { snc: true }
+        );
+        assert_eq!(
+            scenarios[1].machine,
+            MachinePreset::SapphireRapids8470 { snc: false }
+        );
+    }
+}

@@ -29,10 +29,10 @@ pub mod traffic;
 
 pub use decomp::{Decomposition, TILE_INNER_FULL};
 pub use mpimodel::{CommModel, MpiShare};
-pub use optimize::{LoopOptimization, OptimizationPlan};
+pub use optimize::{relative_improvement, LoopOptimization, OptimizationPlan};
 pub use profile::{hotspot_profile, ProfileEntry};
 pub use scaling::{ScalingModel, ScalingPoint};
-pub use traffic::{LoopTraffic, TrafficModel, TrafficOptions};
+pub use traffic::{CodeVariant, LoopTraffic, TrafficModel, TrafficOptions};
 
 /// The "Tiny" working set of SPEChpc 2021 519.clvleaf_t: a square grid of
 /// 15360×15360 cells run for 400 timesteps.

@@ -47,11 +47,18 @@ pub struct LoopAdvice {
 impl LoopAdvice {
     /// Relative improvement (0..=1).
     pub fn improvement(&self) -> f64 {
-        if self.original_balance <= 0.0 {
-            0.0
-        } else {
-            (self.original_balance - self.optimized_balance) / self.original_balance
-        }
+        relative_improvement(self.original_balance, self.optimized_balance)
+    }
+}
+
+/// Relative code-balance improvement of `optimized` over `original`
+/// (0 for a non-positive original balance).  Shared by [`LoopAdvice`] and
+/// the swept Fig. 7 assembly in `clover-bench` so the two can never drift.
+pub fn relative_improvement(original: f64, optimized: f64) -> f64 {
+    if original <= 0.0 {
+        0.0
+    } else {
+        (original - optimized) / original
     }
 }
 

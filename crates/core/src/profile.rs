@@ -59,30 +59,48 @@ pub fn hotspot_profile(machine: &Machine, ranks: usize) -> Vec<ProfileEntry> {
             _ => pdv += b,
         }
     }
+    assemble_profile(mom, cell, pdv)
+}
+
+/// Assemble and sort the profile from the three hotspot balances.
+///
+/// Degenerate balances must not poison the table: a zero hotspot total
+/// (e.g. a pathological machine description) would divide to NaN, and any
+/// NaN share used to panic the `partial_cmp(..).unwrap()` sort.  The shares
+/// therefore normalise against a guarded denominator and the sort uses the
+/// NaN-safe `f64::total_cmp`.
+fn assemble_profile(mom: f64, cell: f64, pdv: f64) -> Vec<ProfileEntry> {
     let hotspot_total = mom + cell + pdv;
     let other_total: f64 = OTHER_KERNELS.iter().map(|(_, s)| s).sum();
     // Hotspots take (1 - other_total) of the runtime.
     let hotspot_share = 1.0 - other_total;
+    let share_of = |balance: f64| {
+        if hotspot_total > 0.0 && balance.is_finite() {
+            hotspot_share * balance / hotspot_total
+        } else {
+            0.0
+        }
+    };
 
     let mut entries = vec![
         ProfileEntry {
             name: "advec_mom_kernel".into(),
-            share: hotspot_share * mom / hotspot_total,
+            share: share_of(mom),
         },
         ProfileEntry {
             name: "advec_cell_kernel".into(),
-            share: hotspot_share * cell / hotspot_total,
+            share: share_of(cell),
         },
         ProfileEntry {
             name: "pdv_kernel".into(),
-            share: hotspot_share * pdv / hotspot_total,
+            share: share_of(pdv),
         },
     ];
     entries.extend(OTHER_KERNELS.iter().map(|(n, s)| ProfileEntry {
         name: (*n).to_string(),
         share: *s,
     }));
-    entries.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap());
+    entries.sort_by(|a, b| b.share.total_cmp(&a.share));
     entries
 }
 
@@ -143,6 +161,32 @@ mod tests {
         let p = hotspot_profile(&icelake_sp_8360y(), 36);
         for w in p.windows(2) {
             assert!(w[0].share >= w[1].share);
+        }
+    }
+
+    #[test]
+    fn zero_hotspot_total_does_not_panic_or_emit_nan() {
+        // Regression: a zero denominator made the shares NaN and the
+        // `partial_cmp(..).unwrap()` sort panicked on them.
+        let p = assemble_profile(0.0, 0.0, 0.0);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|e| e.share.is_finite()));
+        for w in p.windows(2) {
+            assert!(w[0].share >= w[1].share);
+        }
+        // The hotspot rows collapse to zero share and sort last.
+        assert_eq!(hotspot_share(&p), 0.0);
+    }
+
+    #[test]
+    fn nan_and_infinite_balances_do_not_panic_the_sort() {
+        for degenerate in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let p = assemble_profile(degenerate, 1.0, 1.0);
+            assert_eq!(p.len(), 10);
+            assert!(p.iter().all(|e| e.share.is_finite()), "{degenerate}");
+            for w in p.windows(2) {
+                assert!(w[0].share >= w[1].share);
+            }
         }
     }
 }

@@ -125,18 +125,30 @@ impl ScalingModel {
     }
 
     /// Evaluate a full sweep over 1..=`max_ranks` ranks and fill in
-    /// speedups relative to the single-rank point.
+    /// speedups relative to the single-rank point.  `max_ranks == 0` yields
+    /// an empty sweep instead of panicking.
     pub fn sweep(
         &self,
         max_ranks: usize,
         opts_for: impl Fn(usize) -> TrafficOptions,
     ) -> Vec<ScalingPoint> {
-        let mut points: Vec<ScalingPoint> = (1..=max_ranks)
-            .map(|r| self.point(r, &opts_for(r)))
-            .collect();
-        let t1 = points[0].time_per_step;
+        self.sweep_range(1..=max_ranks, opts_for)
+    }
+
+    /// Evaluate an arbitrary inclusive rank range and fill in speedups
+    /// relative to the *first* point of the range (for `1..=n` that is the
+    /// single-rank baseline).  An empty range yields an empty `Vec`.
+    pub fn sweep_range(
+        &self,
+        ranks: std::ops::RangeInclusive<usize>,
+        opts_for: impl Fn(usize) -> TrafficOptions,
+    ) -> Vec<ScalingPoint> {
+        let mut points: Vec<ScalingPoint> = ranks.map(|r| self.point(r, &opts_for(r))).collect();
+        let Some(t_first) = points.first().map(|p| p.time_per_step) else {
+            return points;
+        };
         for p in &mut points {
-            p.speedup = t1 / p.time_per_step;
+            p.speedup = t_first / p.time_per_step;
         }
         points
     }
@@ -219,6 +231,30 @@ mod tests {
         let point = model.point(72, &TrafficOptions::original(72));
         assert_eq!(point.loop_balances.len(), 22);
         assert_eq!(point.local_inner, 1920);
+    }
+
+    #[test]
+    fn zero_rank_sweep_is_empty_not_a_panic() {
+        // Regression: `sweep(0, …)` used to index `points[0]` out of bounds.
+        let model = ScalingModel::new(icelake_sp_8360y());
+        assert!(model.sweep(0, TrafficOptions::original).is_empty());
+        assert!(model
+            .sweep_range(5..=4, TrafficOptions::original)
+            .is_empty());
+    }
+
+    #[test]
+    fn range_sweep_normalises_to_its_first_point() {
+        let model = ScalingModel::new(icelake_sp_8360y());
+        let full = model.sweep(72, TrafficOptions::original);
+        let partial = model.sweep_range(9..=18, TrafficOptions::original);
+        assert_eq!(partial.len(), 10);
+        assert_eq!(partial[0].ranks, 9);
+        assert!((partial[0].speedup - 1.0).abs() < 1e-12);
+        // Same model points as the full sweep, only the baseline differs.
+        assert!((partial[9].time_per_step - full[17].time_per_step).abs() < 1e-15);
+        let expected = full[8].time_per_step / full[17].time_per_step;
+        assert!((partial[9].speedup - expected).abs() < 1e-12);
     }
 
     #[test]

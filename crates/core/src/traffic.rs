@@ -50,29 +50,36 @@ pub struct TrafficOptions {
 impl TrafficOptions {
     /// Original code on `ranks` ranks with the layer condition satisfied.
     pub fn original(ranks: usize) -> Self {
-        Self {
-            variant: CodeVariant::Original,
-            ranks,
-            layer_condition_ok: true,
-        }
+        Self::for_variant(CodeVariant::Original, ranks)
     }
 
     /// Optimized code (NT stores + restructuring) on `ranks` ranks.
     pub fn optimized(ranks: usize) -> Self {
+        Self::for_variant(CodeVariant::Optimized, ranks)
+    }
+
+    /// Original code with SpecI2M disabled.
+    pub fn speci2m_off(ranks: usize) -> Self {
+        Self::for_variant(CodeVariant::SpecI2MOff, ranks)
+    }
+
+    /// Options for an arbitrary code variant on `ranks` ranks — the hook the
+    /// sweep engine uses to map a scenario stage onto the traffic model.
+    /// The layer condition defaults to satisfied (true for the Tiny working
+    /// set on all evaluated machines).
+    pub fn for_variant(variant: CodeVariant, ranks: usize) -> Self {
         Self {
-            variant: CodeVariant::Optimized,
+            variant,
             ranks,
             layer_condition_ok: true,
         }
     }
 
-    /// Original code with SpecI2M disabled.
-    pub fn speci2m_off(ranks: usize) -> Self {
-        Self {
-            variant: CodeVariant::SpecI2MOff,
-            ranks,
-            layer_condition_ok: true,
-        }
+    /// Override the layer-condition assumption (what-if sweeps on grids too
+    /// large for the caches).
+    pub fn with_layer_condition(mut self, ok: bool) -> Self {
+        self.layer_condition_ok = ok;
+        self
     }
 }
 

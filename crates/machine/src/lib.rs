@@ -27,7 +27,10 @@ pub mod topology;
 
 pub use bandwidth::{BandwidthModel, SaturationCurve};
 pub use cache::{CacheLevel, CacheSpec, MemoryHierarchySpec, CACHE_LINE_BYTES};
-pub use presets::{icelake_sp_8360y, sapphire_rapids_8470, sapphire_rapids_8480, MachinePreset};
+pub use presets::{
+    icelake_sp_8360y, preset_by_name, preset_names, sapphire_rapids_8470, sapphire_rapids_8480,
+    MachinePreset,
+};
 pub use speci2m::{SpecI2MParams, StreamCountResponse};
 pub use topology::{CcNumaDomain, CoreId, DomainId, Pinning, SocketId, Topology};
 

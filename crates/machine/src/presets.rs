@@ -39,6 +39,38 @@ impl MachinePreset {
             MachinePreset::SapphireRapids8480,
         ]
     }
+
+    /// Canonical registry name of this preset: the `Machine::id` it
+    /// materialises to (`"icx-8360y"`, `"spr-8470-sncon"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MachinePreset::IceLakeSp8360y => "icx-8360y",
+            MachinePreset::SapphireRapids8470 { snc: true } => "spr-8470-sncon",
+            MachinePreset::SapphireRapids8470 { snc: false } => "spr-8470-sncoff",
+            MachinePreset::SapphireRapids8480 => "spr-8480plus",
+        }
+    }
+}
+
+/// Canonical names of every registered preset, in registry order.
+pub fn preset_names() -> Vec<&'static str> {
+    MachinePreset::all().iter().map(|p| p.name()).collect()
+}
+
+/// Look a preset up by name.
+///
+/// Accepts the canonical `Machine::id` of each preset plus a few common
+/// shorthands (`"icx"`, `"spr-8470-snc"` for SNC on, `"spr-8480"`).
+/// Unknown names return `None`; callers turn that into a usage error
+/// listing [`preset_names`].
+pub fn preset_by_name(name: &str) -> Option<MachinePreset> {
+    match name {
+        "icx-8360y" | "icx" => Some(MachinePreset::IceLakeSp8360y),
+        "spr-8470-sncon" | "spr-8470-snc" => Some(MachinePreset::SapphireRapids8470 { snc: true }),
+        "spr-8470-sncoff" => Some(MachinePreset::SapphireRapids8470 { snc: false }),
+        "spr-8480plus" | "spr-8480" => Some(MachinePreset::SapphireRapids8480),
+        _ => None,
+    }
 }
 
 fn icx_caches() -> MemoryHierarchySpec {
@@ -205,6 +237,31 @@ mod tests {
         assert!(icx_ramp_4 > 0.0, "ICX should already ramp at 4 cores");
         assert!(spr_ramp_12 == 0.0, "SPR should not ramp at 12 cores");
         assert!(spr_ramp_22 > 0.0, "SPR should ramp at 22 cores");
+    }
+
+    #[test]
+    fn registry_lookup_roundtrips_canonical_names() {
+        for p in MachinePreset::all() {
+            assert_eq!(preset_by_name(p.name()), Some(p));
+            // The registry name is the id the machine prints in CSV output.
+            assert_eq!(p.machine().id, p.name());
+        }
+    }
+
+    #[test]
+    fn registry_accepts_shorthands_and_rejects_unknowns() {
+        assert_eq!(preset_by_name("icx"), Some(MachinePreset::IceLakeSp8360y));
+        assert_eq!(
+            preset_by_name("spr-8470-snc"),
+            Some(MachinePreset::SapphireRapids8470 { snc: true })
+        );
+        assert_eq!(
+            preset_by_name("spr-8480"),
+            Some(MachinePreset::SapphireRapids8480)
+        );
+        assert_eq!(preset_by_name("epyc-9654"), None);
+        assert_eq!(preset_by_name(""), None);
+        assert_eq!(preset_names().len(), 4);
     }
 
     #[test]

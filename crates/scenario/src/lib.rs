@@ -1,0 +1,107 @@
+//! `clover-scenario` — the scenario sweep engine.
+//!
+//! The paper evaluates one code on two machines at one grid size; this crate
+//! turns that fixed setup into an axis-parameterised evaluation engine:
+//!
+//! * [`Scenario`] — one evaluation point: machine preset × grid size × rank
+//!   range × code [`Stage`] (the `TrafficOptions` variant),
+//! * [`SweepPlan`] — a cartesian grid of those axes that expands into a
+//!   deterministic scenario list,
+//! * [`runner`] — a parallel runner that fans scenarios out across
+//!   `crossbeam` scoped worker threads and returns `clover_golden::Artifact`
+//!   tables in deterministic (plan) order, byte-identical to the sequential
+//!   path,
+//! * [`evaluate`] — the default evaluator: the node-level scaling model of
+//!   `clover-core` applied to the scenario's axes.
+//!
+//! `clover-bench` layers canned plans for the paper's own figures on top
+//! (custom evaluators via [`runner::run_scenarios_with`]), and the `figures
+//! sweep` subcommand exposes the engine on the command line.
+
+pub mod plan;
+pub mod runner;
+
+pub use plan::{RankRange, Scenario, Stage, SweepPlan};
+pub use runner::{run_plan, run_scenarios_with};
+
+use clover_core::ScalingModel;
+use clover_golden::Artifact;
+
+/// Render one artifact as the block the `figures` CLI prints (`==== id ====`
+/// header + CSV).  The CLI and the byte-identity tests share this function,
+/// so "byte-identical to the sequential path" is always asserted against
+/// the actual output format.
+pub fn render_block(artifact: &Artifact) -> String {
+    format!("==== {} ====\n{}\n", artifact.id, artifact.to_csv())
+}
+
+/// Default scenario evaluator: the node-level scaling model swept over the
+/// scenario's rank range on its machine, grid and code stage.
+pub fn evaluate(scenario: &Scenario) -> Artifact {
+    let machine = scenario.machine.machine();
+    let model = ScalingModel::new(machine.clone()).with_grid(scenario.grid);
+    let stage = scenario.stage;
+    let mut a = Artifact::new(&scenario.id(), &scenario.title())
+        .column("ranks", None)
+        .column("prime", None)
+        .column("local_inner", Some("cells"))
+        .num_column("time_per_step", Some("ms"), 4)
+        .num_column("speedup", None, 3)
+        .num_column("bandwidth", Some("GB/s"), 1)
+        .num_column("volume_per_step", Some("MB"), 1);
+    for p in model.sweep_range(scenario.ranks.iter(), |r| stage.options(r)) {
+        a.push_row(vec![
+            p.ranks.into(),
+            (p.prime as i64).into(),
+            p.local_inner.into(),
+            (p.time_per_step * 1e3).into(),
+            p.speedup.into(),
+            (p.memory_bandwidth / 1e9).into(),
+            (p.volume_per_step / 1e6).into(),
+        ]);
+    }
+    a.push_note(format!(
+        "machine: {}; grid {g}x{g}; stage: {}",
+        machine.name,
+        stage.name(),
+        g = scenario.grid,
+    ));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::MachinePreset;
+
+    #[test]
+    fn default_evaluator_produces_one_row_per_rank() {
+        let scenario = Scenario {
+            machine: MachinePreset::IceLakeSp8360y,
+            grid: 1920,
+            ranks: RankRange::new(1, 18),
+            stage: Stage::Original,
+        };
+        let a = evaluate(&scenario);
+        assert_eq!(a.rows.len(), 18);
+        assert_eq!(a.id, "sweep-icx-8360y-g1920-r1..18-original");
+        let speedup = a.column_index("speedup").unwrap();
+        assert!((a.rows[0][speedup].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        assert!(a.rows[17][speedup].as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn stages_change_the_artifact() {
+        let mk = |stage| Scenario {
+            machine: MachinePreset::IceLakeSp8360y,
+            grid: 1920,
+            ranks: RankRange::new(18, 18),
+            stage,
+        };
+        let original = evaluate(&mk(Stage::Original));
+        let off = evaluate(&mk(Stage::SpecI2MOff));
+        let volume = original.column_index("volume_per_step").unwrap();
+        // Without write-allocate evasion the memory volume must be larger.
+        assert!(off.rows[0][volume].as_f64().unwrap() > original.rows[0][volume].as_f64().unwrap());
+    }
+}

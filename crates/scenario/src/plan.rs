@@ -1,0 +1,359 @@
+//! Scenario and sweep-plan types.
+
+use std::fmt;
+
+use clover_core::{CodeVariant, TrafficOptions};
+use clover_machine::MachinePreset;
+
+/// Code stage of a scenario: which variant of CloverLeaf the traffic model
+/// evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The unmodified code (hardware SpecI2M where applicable).
+    Original,
+    /// The unmodified code with SpecI2M disabled via the MSR bit.
+    SpecI2MOff,
+    /// The paper's optimized code (NT stores + ac01/ac05 restructuring).
+    Optimized,
+}
+
+impl Stage {
+    /// Every stage, in canonical order.
+    pub fn all() -> Vec<Stage> {
+        vec![Stage::Original, Stage::SpecI2MOff, Stage::Optimized]
+    }
+
+    /// Stable name used in artifact ids and on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Original => "original",
+            Stage::SpecI2MOff => "speci2m-off",
+            Stage::Optimized => "optimized",
+        }
+    }
+
+    /// Parse a `--stage` argument: a stage name or `"all"` (every stage).
+    pub fn parse(s: &str) -> Option<Vec<Stage>> {
+        match s {
+            "all" => Some(Stage::all()),
+            "original" => Some(vec![Stage::Original]),
+            "speci2m-off" => Some(vec![Stage::SpecI2MOff]),
+            "optimized" => Some(vec![Stage::Optimized]),
+            _ => None,
+        }
+    }
+
+    /// The traffic-model code variant this stage maps to.
+    pub fn variant(&self) -> CodeVariant {
+        match self {
+            Stage::Original => CodeVariant::Original,
+            Stage::SpecI2MOff => CodeVariant::SpecI2MOff,
+            Stage::Optimized => CodeVariant::Optimized,
+        }
+    }
+
+    /// Traffic-model options of this stage on `ranks` ranks.
+    pub fn options(&self, ranks: usize) -> TrafficOptions {
+        TrafficOptions::for_variant(self.variant(), ranks)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An inclusive rank range, written `start..end` on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankRange {
+    /// First rank count (inclusive).
+    pub start: usize,
+    /// Last rank count (inclusive).
+    pub end: usize,
+}
+
+impl RankRange {
+    /// Inclusive range from `start` to `end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// Parse `"A..B"` (also accepted: `"A..=B"`); both bounds inclusive.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (a, b) = s.split_once("..")?;
+        let b = b.strip_prefix('=').unwrap_or(b);
+        let start: usize = a.trim().parse().ok()?;
+        let end: usize = b.trim().parse().ok()?;
+        Some(Self { start, end })
+    }
+
+    /// Number of rank counts in the range (0 when empty).
+    pub fn len(&self) -> usize {
+        if self.start > self.end {
+            0
+        } else {
+            self.end - self.start + 1
+        }
+    }
+
+    /// True when the range contains no rank count.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The range as the iterator the scaling model consumes.
+    pub fn iter(&self) -> std::ops::RangeInclusive<usize> {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Display for RankRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// One evaluation point of a sweep: every axis pinned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Machine the scenario runs on.
+    pub machine: MachinePreset,
+    /// Square grid size (cells per dimension).
+    pub grid: usize,
+    /// Rank counts to evaluate.
+    pub ranks: RankRange,
+    /// Code stage.
+    pub stage: Stage,
+}
+
+impl Scenario {
+    /// Stable identifier, used as the artifact id of the default evaluator.
+    pub fn id(&self) -> String {
+        format!(
+            "sweep-{}-g{}-r{}-{}",
+            self.machine.name(),
+            self.grid,
+            self.ranks,
+            self.stage
+        )
+    }
+
+    /// Human-readable artifact title.
+    pub fn title(&self) -> String {
+        format!(
+            "scaling sweep on {}: {g}x{g} grid, ranks {}, {} code",
+            self.machine.name(),
+            self.ranks,
+            self.stage,
+            g = self.grid,
+        )
+    }
+
+    /// Check the scenario is evaluable; the error text is suitable for a
+    /// command-line usage message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid == 0 {
+            return Err(format!("{}: grid size must be >= 1", self.id()));
+        }
+        if self.ranks.is_empty() {
+            return Err(format!(
+                "{}: empty rank range {} (start must be <= end)",
+                self.id(),
+                self.ranks
+            ));
+        }
+        if self.ranks.start == 0 {
+            return Err(format!("{}: rank counts start at 1", self.id()));
+        }
+        let cores = self.machine.machine().total_cores();
+        if self.ranks.end > cores {
+            return Err(format!(
+                "{}: rank range {} exceeds the {} cores of {}",
+                self.id(),
+                self.ranks,
+                cores,
+                self.machine.name()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A cartesian grid of scenarios: every machine × grid × rank range × stage
+/// combination.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepPlan {
+    /// Machine axis.
+    pub machines: Vec<MachinePreset>,
+    /// Grid-size axis.
+    pub grids: Vec<usize>,
+    /// Rank-range axis.
+    pub rank_ranges: Vec<RankRange>,
+    /// Code-stage axis.
+    pub stages: Vec<Stage>,
+}
+
+impl SweepPlan {
+    /// Empty plan; fill the axes with the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a machine to the machine axis.
+    pub fn machine(mut self, preset: MachinePreset) -> Self {
+        self.machines.push(preset);
+        self
+    }
+
+    /// Add a grid size to the grid axis.
+    pub fn grid(mut self, grid: usize) -> Self {
+        self.grids.push(grid);
+        self
+    }
+
+    /// Add a rank range to the rank axis.
+    pub fn ranks(mut self, range: RankRange) -> Self {
+        self.rank_ranges.push(range);
+        self
+    }
+
+    /// Add a code stage to the stage axis.
+    pub fn stage(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Number of scenarios the plan expands to (the product of the axis
+    /// lengths).
+    pub fn len(&self) -> usize {
+        self.machines.len() * self.grids.len() * self.rank_ranges.len() * self.stages.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cartesian product in deterministic order: machines
+    /// outermost, then grids, then rank ranges, stages innermost.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(self.len());
+        for &machine in &self.machines {
+            for &grid in &self.grids {
+                for &ranks in &self.rank_ranges {
+                    for &stage in &self.stages {
+                        scenarios.push(Scenario {
+                            machine,
+                            grid,
+                            ranks,
+                            stage,
+                        });
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Validate every scenario of the plan (first error wins).
+    pub fn validate(&self) -> Result<(), String> {
+        for scenario in self.expand() {
+            scenario.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_range_parses_both_syntaxes() {
+        assert_eq!(RankRange::parse("1..72"), Some(RankRange::new(1, 72)));
+        assert_eq!(RankRange::parse("9..=18"), Some(RankRange::new(9, 18)));
+        assert_eq!(RankRange::parse("7..7"), Some(RankRange::new(7, 7)));
+        assert_eq!(RankRange::parse("72"), None);
+        assert_eq!(RankRange::parse("a..b"), None);
+        assert_eq!(RankRange::parse("1..-3"), None);
+    }
+
+    #[test]
+    fn rank_range_length_and_emptiness() {
+        assert_eq!(RankRange::new(1, 72).len(), 72);
+        assert_eq!(RankRange::new(7, 7).len(), 1);
+        assert!(RankRange::new(5, 4).is_empty());
+        assert_eq!(RankRange::new(5, 4).len(), 0);
+    }
+
+    #[test]
+    fn stage_parsing_covers_all_and_rejects_unknown() {
+        assert_eq!(Stage::parse("all"), Some(Stage::all()));
+        assert_eq!(Stage::parse("original"), Some(vec![Stage::Original]));
+        assert_eq!(Stage::parse("speci2m-off"), Some(vec![Stage::SpecI2MOff]));
+        assert_eq!(Stage::parse("optimized"), Some(vec![Stage::Optimized]));
+        assert_eq!(Stage::parse("turbo"), None);
+    }
+
+    #[test]
+    fn expansion_count_is_the_cartesian_product() {
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .machine(MachinePreset::SapphireRapids8480)
+            .grid(1920)
+            .grid(4000)
+            .grid(15_360)
+            .ranks(RankRange::new(1, 18))
+            .ranks(RankRange::new(36, 72))
+            .stage(Stage::Original)
+            .stage(Stage::Optimized);
+        assert_eq!(plan.len(), 2 * 3 * 2 * 2);
+        let scenarios = plan.expand();
+        assert_eq!(scenarios.len(), plan.len());
+        // Deterministic order: machines outermost, stages innermost.
+        assert_eq!(scenarios[0].machine, MachinePreset::IceLakeSp8360y);
+        assert_eq!(scenarios[0].stage, Stage::Original);
+        assert_eq!(scenarios[1].stage, Stage::Optimized);
+        assert_eq!(scenarios[11].machine, MachinePreset::IceLakeSp8360y);
+        assert_eq!(scenarios[12].machine, MachinePreset::SapphireRapids8480);
+        // Ids are unique across the expansion.
+        let mut ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), scenarios.len());
+    }
+
+    #[test]
+    fn empty_axis_empties_the_plan() {
+        let plan = SweepPlan::new().grid(1920).ranks(RankRange::new(1, 4));
+        assert!(plan.is_empty());
+        assert!(plan.expand().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_boundary_mistakes() {
+        let base = Scenario {
+            machine: MachinePreset::IceLakeSp8360y,
+            grid: 1920,
+            ranks: RankRange::new(1, 72),
+            stage: Stage::Original,
+        };
+        assert!(base.validate().is_ok());
+        let mut s = base.clone();
+        s.grid = 0;
+        assert!(s.validate().unwrap_err().contains("grid"));
+        let mut s = base.clone();
+        s.ranks = RankRange::new(5, 4);
+        assert!(s.validate().unwrap_err().contains("empty rank range"));
+        let mut s = base.clone();
+        s.ranks = RankRange::new(0, 4);
+        assert!(s.validate().unwrap_err().contains("start at 1"));
+        let mut s = base.clone();
+        s.ranks = RankRange::new(1, 104);
+        assert!(s.validate().unwrap_err().contains("exceeds"));
+        // SPR 8470 has 104 cores, so the same range is fine there.
+        s.machine = MachinePreset::SapphireRapids8470 { snc: true };
+        assert!(s.validate().is_ok());
+    }
+}

@@ -1,0 +1,146 @@
+//! Parallel sweep runner.
+//!
+//! Scenarios are independent, so the runner fans them out across `jobs`
+//! `crossbeam` scoped worker threads pulling indices from a shared atomic
+//! counter (work stealing without any queue allocation).  Results travel
+//! back tagged with their scenario index and are re-assembled into plan
+//! order, so the output is byte-identical to the sequential path regardless
+//! of worker interleaving — determinism is a tested property, not an
+//! accident.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use clover_golden::Artifact;
+
+use crate::plan::{Scenario, SweepPlan};
+
+/// Evaluate `scenarios` with `eval`, fanning out across `jobs` worker
+/// threads.  The returned artifacts are in scenario order for any `jobs`.
+///
+/// # Panics
+/// Panics if `jobs == 0` or a worker panics (the panic is propagated).
+pub fn run_scenarios_with<F>(scenarios: &[Scenario], jobs: usize, eval: F) -> Vec<Artifact>
+where
+    F: Fn(&Scenario) -> Artifact + Sync,
+{
+    assert!(jobs >= 1, "jobs must be >= 1");
+    if jobs == 1 || scenarios.len() <= 1 {
+        return scenarios.iter().map(|s| eval(s)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let workers = jobs.min(scenarios.len());
+    let eval = &eval;
+    let next = &next;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                if tx.send((i, eval(&scenarios[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    drop(tx);
+
+    let mut slots: Vec<Option<Artifact>> = scenarios.iter().map(|_| None).collect();
+    while let Ok((i, artifact)) = rx.recv() {
+        debug_assert!(slots[i].is_none(), "scenario {i} evaluated twice");
+        slots[i] = Some(artifact);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario evaluated exactly once"))
+        .collect()
+}
+
+/// Expand and run a whole plan with the default evaluator
+/// ([`crate::evaluate`]).
+pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
+    run_scenarios_with(&plan.expand(), jobs, crate::evaluate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{RankRange, Stage};
+    use clover_machine::MachinePreset;
+
+    fn small_plan() -> SweepPlan {
+        SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .machine(MachinePreset::SapphireRapids8480)
+            .grid(1920)
+            .grid(960)
+            .ranks(RankRange::new(1, 12))
+            .stage(Stage::Original)
+            .stage(Stage::Optimized)
+    }
+
+    /// Render artifacts to the exact bytes the CLI would print.
+    fn bytes(artifacts: &[Artifact]) -> String {
+        artifacts.iter().map(crate::render_block).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let plan = small_plan();
+        let sequential = run_plan(&plan, 1);
+        for jobs in [2, 4, 7] {
+            let parallel = run_plan(&plan, jobs);
+            assert_eq!(bytes(&sequential), bytes(&parallel), "jobs={jobs}");
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_plan_order() {
+        let plan = small_plan();
+        let scenarios = plan.expand();
+        let artifacts = run_plan(&plan, 3);
+        assert_eq!(artifacts.len(), scenarios.len());
+        for (scenario, artifact) in scenarios.iter().zip(&artifacts) {
+            assert_eq!(scenario.id(), artifact.id);
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_scenarios_is_fine() {
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(1920)
+            .ranks(RankRange::new(1, 4))
+            .stage(Stage::Original);
+        let artifacts = run_plan(&plan, 64);
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].rows.len(), 4);
+    }
+
+    #[test]
+    fn empty_plan_runs_to_empty_output() {
+        let artifacts = run_plan(&SweepPlan::new(), 4);
+        assert!(artifacts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs must be >= 1")]
+    fn zero_jobs_is_rejected() {
+        run_plan(&small_plan(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let scenarios = small_plan().expand();
+        let result = std::panic::catch_unwind(|| {
+            run_scenarios_with(&scenarios, 2, |_| panic!("evaluator exploded"))
+        });
+        assert!(result.is_err());
+    }
+}

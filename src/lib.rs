@@ -17,7 +17,9 @@
 //! * [`perfmon`] — region markers and row-sampled loop measurements,
 //! * [`ubench`] — the store/copy microbenchmarks,
 //! * [`golden`] — typed artifacts, the digitised paper reference data and
-//!   the tolerance-aware fidelity diff engine.
+//!   the tolerance-aware fidelity diff engine,
+//! * [`scenario`] — the scenario sweep engine (machine × grid × ranks ×
+//!   stage plans with a parallel runner).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-reproduction comparison of every table and figure.
@@ -28,6 +30,7 @@ pub use clover_golden as golden;
 pub use clover_leaf as leaf;
 pub use clover_machine as machine;
 pub use clover_perfmon as perfmon;
+pub use clover_scenario as scenario;
 pub use clover_simpi as simpi;
 pub use clover_stencil as stencil;
 pub use clover_ubench as ubench;

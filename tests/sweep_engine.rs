@@ -1,0 +1,90 @@
+//! Tier-1 suite of the scenario sweep engine.
+//!
+//! Three properties make the engine trustworthy:
+//!
+//! * the parallel runner is a pure speedup — its artifacts are
+//!   byte-identical to the sequential path for any worker count,
+//! * plan expansion is the exact cartesian product of the axes, in
+//!   deterministic order,
+//! * the canned fig7/fig9/fig10 sweep plans regenerate the *same* artifacts
+//!   as the sequential generators and therefore still pass the golden
+//!   `figures --check` gate.
+
+use clover_bench::{run_artifact, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
+use cloverleaf_wa::golden::{check_artifact, golden, Artifact};
+use cloverleaf_wa::machine::MachinePreset;
+use cloverleaf_wa::scenario::{render_block, run_plan, RankRange, Stage, SweepPlan};
+
+fn small_plan() -> SweepPlan {
+    SweepPlan::new()
+        .machine(MachinePreset::IceLakeSp8360y)
+        .machine(MachinePreset::SapphireRapids8470 { snc: true })
+        .grid(1920)
+        .grid(960)
+        .ranks(RankRange::new(1, 16))
+        .ranks(RankRange::new(31, 37))
+        .stage(Stage::Original)
+        .stage(Stage::SpecI2MOff)
+        .stage(Stage::Optimized)
+}
+
+/// The exact bytes `figures sweep` prints for these artifacts (the CLI
+/// itself renders through the same `render_block`).
+fn rendered(artifacts: &[Artifact]) -> String {
+    artifacts.iter().map(render_block).collect()
+}
+
+#[test]
+fn expansion_is_the_cartesian_product_in_plan_order() {
+    let plan = small_plan();
+    assert_eq!(plan.len(), 2 * 2 * 2 * 3);
+    let scenarios = plan.expand();
+    assert_eq!(scenarios.len(), plan.len());
+    assert!(plan.validate().is_ok());
+    // Stages vary fastest, machines slowest.
+    assert_eq!(scenarios[0].stage, Stage::Original);
+    assert_eq!(scenarios[1].stage, Stage::SpecI2MOff);
+    assert_eq!(scenarios[2].stage, Stage::Optimized);
+    assert_eq!(scenarios[0].machine, scenarios[11].machine);
+    assert_ne!(scenarios[11].machine, scenarios[12].machine);
+}
+
+#[test]
+fn parallel_runner_is_byte_identical_to_sequential() {
+    let plan = small_plan();
+    let sequential = run_plan(&plan, 1);
+    assert_eq!(sequential.len(), plan.len());
+    for jobs in [2, 4] {
+        let parallel = run_plan(&plan, jobs);
+        assert_eq!(
+            rendered(&sequential),
+            rendered(&parallel),
+            "jobs={jobs} must not change a single byte"
+        );
+        // Full-precision equality too, not just the rounded CSV rendering.
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+    }
+    // Output order is plan order regardless of worker interleaving.
+    for (scenario, artifact) in plan.expand().iter().zip(&sequential) {
+        assert_eq!(scenario.id(), artifact.id);
+    }
+}
+
+#[test]
+fn canned_sweep_plans_still_pass_the_golden_check() {
+    for name in SWEEP_PLAN_EXPERIMENTS {
+        let swept = run_canned_sweep(name, 2)
+            .unwrap_or_else(|| panic!("experiment {name} has no canned sweep plan"));
+        // Same bytes as the sequential generator the golden data was
+        // validated against…
+        let direct = run_artifact(name).unwrap();
+        assert_eq!(direct.to_csv(), swept.to_csv(), "{name}");
+        // …and within tolerance of the digitised paper data.
+        let report = check_artifact(&swept, golden(name).unwrap());
+        assert!(
+            report.passed(),
+            "{name} swept artifact drifted from the paper:\n{}",
+            report.render_text(false)
+        );
+    }
+}

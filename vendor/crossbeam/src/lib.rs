@@ -1,9 +1,14 @@
 //! Offline subset of `crossbeam`: the `channel` module, backed by
-//! `std::sync::mpsc`.
+//! `std::sync::mpsc`, and the `thread` module (scoped threads), backed by
+//! `std::thread::scope`.
 //!
 //! `clover-simpi` uses one unbounded MPSC channel per rank (many senders,
 //! one owning receiver), which `std::sync::mpsc` models exactly; the only
-//! API difference papered over here is the error types.
+//! API difference papered over here is the error types.  `clover-scenario`
+//! fans sweep evaluations out with `crossbeam::thread::scope`, whose
+//! upstream API (spawn closures receive the scope, `scope` returns a
+//! `Result` instead of resuming worker panics) is reproduced on top of the
+//! standard library's scoped threads.
 
 pub mod channel {
     use std::fmt;
@@ -91,6 +96,177 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(7).is_err());
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+    use std::sync::{Arc, Mutex};
+    use std::thread as std_thread;
+
+    /// Result of [`scope`] and [`ScopedJoinHandle::join`]: `Err` carries the
+    /// panic payload of a worker, exactly like upstream crossbeam.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// One worker's parked panic payload.  `std::thread::scope` replaces the
+    /// payload of an unjoined panicked child with a generic message, so each
+    /// worker catches its own panic into a slot the handle and the scope can
+    /// harvest the *real* payload from.
+    type PayloadSlot = Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>>;
+
+    /// A scope for spawning borrowing threads (upstream
+    /// `crossbeam::thread::Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+        slots: Arc<Mutex<Vec<PayloadSlot>>>,
+    }
+
+    /// Handle to a scoped thread (upstream
+    /// `crossbeam::thread::ScopedJoinHandle`).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, Option<T>>,
+        slot: PayloadSlot,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        /// A payload consumed here counts as handled and no longer makes
+        /// the enclosing [`scope`] return `Err` (upstream behaviour).
+        pub fn join(self) -> Result<T> {
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => Err(self
+                    .slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("panicked worker parked its payload")),
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope.  As in
+        /// upstream crossbeam the closure receives the scope again so
+        /// workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let slots = self.slots.clone();
+            let slot: PayloadSlot = Arc::new(Mutex::new(None));
+            slots.lock().unwrap().push(slot.clone());
+            let worker_slot = slot.clone();
+            let handle = inner.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(&Scope {
+                        inner,
+                        slots: slots.clone(),
+                    })
+                }));
+                match result {
+                    Ok(value) => Some(value),
+                    Err(payload) => {
+                        *worker_slot.lock().unwrap() = Some(payload);
+                        None
+                    }
+                }
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                slot,
+            }
+        }
+    }
+
+    /// Create a scope whose spawned threads are all joined before it
+    /// returns.  As in upstream crossbeam, a panic in a worker whose
+    /// payload was not consumed via [`ScopedJoinHandle::join`] makes the
+    /// scope return `Err` carrying that worker's actual panic value; a
+    /// panic in the closure `f` itself propagates normally.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let slots: Arc<Mutex<Vec<PayloadSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let result = std_thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                slots: slots.clone(),
+            })
+        });
+        let slots = std::mem::take(&mut *slots.lock().unwrap());
+        for slot in slots {
+            if let Some(payload) = slot.lock().unwrap().take() {
+                return Err(payload);
+            }
+        }
+        Ok(result)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let total = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            i * 10
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+            assert_eq!(total, 60);
+        }
+
+        #[test]
+        fn unjoined_worker_panic_becomes_err_with_its_payload() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("worker died"));
+            });
+            let payload = result.unwrap_err();
+            assert_eq!(payload.downcast_ref::<&str>(), Some(&"worker died"));
+        }
+
+        #[test]
+        fn joined_worker_panic_is_handled_and_scope_succeeds() {
+            let result = super::scope(|s| {
+                let handle = s.spawn(|_| -> usize { panic!("boom") });
+                let payload = handle.join().unwrap_err();
+                assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+                42
+            });
+            assert_eq!(result.unwrap(), 42);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let done = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s| {
+                    s.spawn(|_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(done.load(Ordering::SeqCst), 1);
         }
     }
 }
