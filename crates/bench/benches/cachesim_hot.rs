@@ -1,0 +1,134 @@
+//! Criterion benches of the simulator hot loops introduced by the flat-
+//! arena rewrite: cache probes, the allocation-free coalescer store path,
+//! and the scalar-versus-batched access drivers.  The `figures bench`
+//! harness reports the same paths as machine-readable throughput; these
+//! benches give per-loop timings for interactive tuning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
+use clover_cachesim::{AccessKind, AccessRun, CoreSim, SetAssocCache, WriteCoalescer};
+use clover_machine::icelake_sp_8360y;
+
+const LINES: u64 = 1 << 13;
+
+/// Flat-arena probe loop: touch-miss followed by the memoized fill, the
+/// exact sequence of a streaming demand miss.
+fn cache_probe_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim_hot/cache");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(LINES));
+    g.bench_function("probe_fill_stream", |b| {
+        let mut cache = SetAssocCache::new(48 * 1024, 12);
+        b.iter(|| {
+            cache.reset();
+            for line in 0..LINES {
+                cache.touch(line, false);
+                cache.fill(line, false);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Allocation-free coalescer path: one 64-byte segment per line.
+fn coalescer_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim_hot/coalescer");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(LINES));
+    g.bench_function("store_segment_stream", |b| {
+        let mut coalescer = WriteCoalescer::default();
+        b.iter(|| {
+            coalescer.reset();
+            for line in 0..LINES {
+                std::hint::black_box(coalescer.store_segment(line, 0, 64));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Scalar per-element versus batched `drive_run` on a contiguous store
+/// sweep — the acceptance pattern of the perf harness.
+fn scalar_vs_batched(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let elements = LINES * 8;
+    let serial = OccupancyContext::serial(&machine);
+    let options = CoreSimOptions::default();
+    let mut core = CoreSim::new(&machine, serial, options);
+    let mut g = c.benchmark_group("cachesim_hot/store_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(elements));
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            core.reset(serial, options);
+            for i in 0..elements {
+                core.store(i * 8, 8);
+            }
+            core.flush()
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            core.reset(serial, options);
+            core.drive_run(AccessRun::store(0, elements));
+            core.flush()
+        })
+    });
+    g.finish();
+}
+
+/// The segmented stencil driver against its scalar reference.
+fn stencil_drivers(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let serial = OccupancyContext::serial(&machine);
+    let options = CoreSimOptions::default();
+    let mut core = CoreSim::new(&machine, serial, options);
+    let sweep = StencilRowSweep {
+        operands: vec![
+            StencilOperand {
+                base: 1 << 30,
+                offsets: vec![(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)],
+                kind: AccessKind::Load,
+            },
+            StencilOperand {
+                base: 1 << 33,
+                offsets: vec![(0, 0)],
+                kind: AccessKind::Store,
+            },
+        ],
+        row_stride: 1924,
+        i0: 2,
+        inner: 1920,
+        k0: 2,
+        rows: 24,
+    };
+    let accesses = sweep.iterations() * 6;
+    let mut g = c.benchmark_group("cachesim_hot/stencil");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(accesses));
+    for (name, batched) in [("scalar", false), ("batched", true)] {
+        g.bench_with_input(BenchmarkId::new("drive", name), &batched, |b, &batched| {
+            b.iter(|| {
+                core.reset(serial, options);
+                if batched {
+                    sweep.drive(&mut core);
+                } else {
+                    sweep.drive_scalar(&mut core);
+                }
+                core.flush()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_probe_fill,
+    coalescer_segments,
+    scalar_vs_batched,
+    stencil_drivers
+);
+criterion_main!(benches);

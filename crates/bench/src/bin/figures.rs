@@ -17,6 +17,11 @@
 //!     --stage all [--jobs N] [--json]   # scenario sweep engine: cartesian
 //!                                       # machine × grid × ranks × stage
 //!                                       # plan on N worker threads
+//! figures bench [--json] [--quick] [--label <name>]
+//!                                # perf-trajectory harness: simulator
+//!                                # throughput per pattern (elements/sec);
+//!                                # `--json > BENCH_<PR>.json` records a
+//!                                # baseline, `--quick` is the CI sizing
 //! ```
 //!
 //! Experiment names must be unique, known, and not mixed with `all`.
@@ -273,6 +278,106 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
     Ok(SweepOptions { plan, jobs, json })
 }
 
+fn bench_usage_error(message: &str) -> ExitCode {
+    eprintln!("figures bench: {message}");
+    eprintln!(
+        "usage: figures bench [--json] [--quick] [--label <name>] \
+         [--baseline <BENCH_*.json>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Options of the `figures bench` subcommand.
+#[derive(Debug, PartialEq, Eq)]
+struct BenchOptions {
+    json: bool,
+    quick: bool,
+    label: String,
+    baseline: Option<String>,
+}
+
+/// Parse the arguments after the `bench` keyword.
+fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
+    let mut json = false;
+    let mut quick = false;
+    let mut label: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--label" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--label needs a name".to_string())?;
+                if label.is_some() {
+                    return Err("--label given twice".to_string());
+                }
+                if value.is_empty() || !value.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+                {
+                    // The label lands inside hand-rendered JSON; keep it to
+                    // characters that cannot break the quoting.
+                    return Err(format!(
+                        "--label: '{value}' must be non-empty alphanumeric/dashes"
+                    ));
+                }
+                label = Some(value.clone());
+            }
+            "--baseline" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--baseline needs a BENCH_*.json path".to_string())?;
+                if baseline.is_some() {
+                    return Err("--baseline given twice".to_string());
+                }
+                baseline = Some(value.clone());
+            }
+            other => return Err(format!("bench: unexpected argument '{other}'")),
+        }
+    }
+    Ok(BenchOptions {
+        json,
+        quick,
+        label: label.unwrap_or_else(|| "current".to_string()),
+        baseline,
+    })
+}
+
+/// Run the `figures bench` subcommand.
+fn bench_main(args: &[String], out: &mut impl Write) -> ExitCode {
+    let opts = match parse_bench_args(args) {
+        Ok(opts) => opts,
+        Err(message) => return bench_usage_error(&message),
+    };
+    // Read and validate the baseline before the (slow) measurements run.
+    let baseline = match &opts.baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => return bench_usage_error(&format!("--baseline: cannot read {path}: {e}")),
+            Ok(text) => match clover_bench::perf::BaselineReport::parse(&text) {
+                None => {
+                    return bench_usage_error(&format!(
+                        "--baseline: {path} is not a bench report (expected the \
+                         figures bench --json format)"
+                    ))
+                }
+                Some(b) => Some(b),
+            },
+        },
+    };
+    let mut report = clover_bench::run_perf_bench(opts.quick, &opts.label);
+    if let Some(baseline) = &baseline {
+        report.with_baseline(baseline);
+    }
+    if opts.json {
+        emit(out, format_args!("{}", report.to_json()));
+    } else {
+        emit(out, format_args!("{}", report.to_text()));
+    }
+    ExitCode::SUCCESS
+}
+
 /// Run the `figures sweep` subcommand.
 fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
     let opts = match parse_sweep_args(args) {
@@ -298,6 +403,9 @@ fn main() -> ExitCode {
 
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep_main(&args[1..], &mut out);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench_main(&args[1..], &mut out);
     }
 
     let opts = match parse_args(&args) {
@@ -509,6 +617,44 @@ mod tests {
             "fig2"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn bench_args_parse_with_defaults_and_flags() {
+        let opts = parse_bench_args(&args(&[])).unwrap();
+        assert_eq!(
+            opts,
+            BenchOptions {
+                json: false,
+                quick: false,
+                label: "current".into(),
+                baseline: None,
+            }
+        );
+        let opts = parse_bench_args(&args(&[
+            "--json",
+            "--quick",
+            "--label",
+            "PR9",
+            "--baseline",
+            "BENCH_PR4.json",
+        ]))
+        .unwrap();
+        assert!(opts.json && opts.quick);
+        assert_eq!(opts.label, "PR9");
+        assert_eq!(opts.baseline.as_deref(), Some("BENCH_PR4.json"));
+    }
+
+    #[test]
+    fn bench_args_reject_garbage() {
+        assert!(parse_bench_args(&args(&["--label"])).is_err());
+        assert!(parse_bench_args(&args(&["--label", "a", "--label", "b"])).is_err());
+        assert!(parse_bench_args(&args(&["--label", "has\"quote"])).is_err());
+        assert!(parse_bench_args(&args(&["--label", ""])).is_err());
+        assert!(parse_bench_args(&args(&["--baseline"])).is_err());
+        assert!(parse_bench_args(&args(&["--baseline", "a", "--baseline", "b"])).is_err());
+        assert!(parse_bench_args(&args(&["fig2"])).is_err());
+        assert!(parse_bench_args(&args(&["--jobs", "2"])).is_err());
     }
 
     #[test]

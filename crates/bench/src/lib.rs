@@ -8,10 +8,15 @@
 //! `benches/` measure the native kernels and the simulator itself.  The
 //! [`sweep`] module re-expresses the sweep-shaped experiments (fig7, fig9,
 //! fig10) as canned `clover-scenario` plans evaluated by the parallel
-//! runner, byte-identical to the sequential generators.
+//! runner, byte-identical to the sequential generators.  The [`perf`]
+//! module is the perf-trajectory harness behind `figures bench --json`:
+//! throughput measurements of the simulator hot loops whose JSON reports
+//! (`BENCH_*.json`) seed a cross-PR performance baseline.
 
+pub mod perf;
 pub mod sweep;
 
+pub use perf::{run_perf_bench, BaselineReport, BenchReport, BenchResult, Speedup};
 pub use sweep::{canned_sweep_plan, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
 
 use clover_core::decomp::Decomposition;

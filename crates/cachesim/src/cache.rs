@@ -1,6 +1,27 @@
 //! Set-associative cache with true-LRU replacement and write-back lines.
+//!
+//! Storage is a single flat arena (`Box<[CacheLine]>`) with a fixed
+//! `ways` stride per set and mask-derived set indices, so a probe is one
+//! contiguous scan of at most `ways` entries — no per-set `Vec`, no pointer
+//! chasing, no allocation after construction.  Validity is encoded in the
+//! entry itself (`line == INVALID_LINE`).
+//!
+//! Three invariants keep the scans short:
+//!
+//! * **prefix invariant** — within a set, valid entries always form a
+//!   prefix ([`invalidate`](SetAssocCache::invalidate) compacts), so every
+//!   probe stops at the first empty slot instead of walking all ways;
+//! * **miss memo** — a [`touch`](SetAssocCache::touch) that misses records
+//!   the slot a fill of that line would use, so the
+//!   [`fill`](SetAssocCache::fill) that typically follows is O(1);
+//! * **used-set tracking** — draining operations visit only sets that ever
+//!   received a fill, so reset/flush cost O(resident), not O(capacity).
 
 use std::collections::HashMap;
+
+/// Sentinel line index marking an empty arena slot.  Real line indices are
+/// `addr / 64 <= 2^58`, so the all-ones value can never collide.
+const INVALID_LINE: u64 = u64::MAX;
 
 /// Result of probing or filling a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +48,21 @@ pub struct Eviction {
 /// (simple and unambiguous).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<CacheLine>>,
+    /// Flat arena: `sets × ways` entries, set-major.  Slot validity is
+    /// encoded in the entry (`line == INVALID_LINE`).
+    entries: Box<[CacheLine]>,
+    /// Set indices that received at least one fill since the last
+    /// reset/flush, so draining operations touch O(resident) entries
+    /// instead of the whole arena (a streaming kernel leaves most of a
+    /// large L3 share untouched).
+    used_sets: Vec<u32>,
+    /// One bit per set: whether it is in `used_sets`.
+    used_bitmap: Box<[u64]>,
+    /// Insertion slot remembered by the last missing [`touch`]
+    /// (see [`Self::fill`]); valid only while `stamp` is unchanged.
+    ///
+    /// [`touch`]: Self::touch
+    miss_memo: Option<MissMemo>,
     ways: usize,
     set_mask: u64,
     hits: u64,
@@ -35,13 +70,49 @@ pub struct SetAssocCache {
     stamp: u64,
 }
 
+/// See [`SetAssocCache::fill`]: the slot a fill of `line` would use, as
+/// determined by the scan of a missing touch at stamp `stamp`.
+#[derive(Debug, Clone, Copy)]
+struct MissMemo {
+    line: u64,
+    slot: usize,
+    stamp: u64,
+}
+
+/// One arena slot, packed to 16 bytes: the dirty flag lives in the low bit
+/// of the LRU word (`lru_dirty = stamp << 1 | dirty`).  Stamps are unique,
+/// so ordering by `lru_dirty` orders by stamp regardless of the dirty bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CacheLine {
     line: u64,
-    dirty: bool,
-    /// LRU timestamp; larger = more recently used.
-    lru: u64,
+    lru_dirty: u64,
 }
+
+impl CacheLine {
+    #[inline]
+    fn make(line: u64, stamp: u64, dirty: bool) -> Self {
+        Self {
+            line,
+            lru_dirty: stamp << 1 | dirty as u64,
+        }
+    }
+
+    #[inline]
+    fn dirty(&self) -> bool {
+        self.lru_dirty & 1 == 1
+    }
+
+    /// Refresh the LRU stamp, keeping (and optionally setting) dirty.
+    #[inline]
+    fn refresh(&mut self, stamp: u64, write: bool) {
+        self.lru_dirty = stamp << 1 | (self.lru_dirty & 1) | write as u64;
+    }
+}
+
+const EMPTY_SLOT: CacheLine = CacheLine {
+    line: INVALID_LINE,
+    lru_dirty: 0,
+};
 
 impl SetAssocCache {
     /// Create a cache with `capacity_bytes` total capacity, `ways`
@@ -49,6 +120,27 @@ impl SetAssocCache {
     /// to the next power of two so the set index is a simple mask; capacity
     /// is preserved by widening the ways accordingly.
     pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        let (sets, effective_ways) = Self::geometry(capacity_bytes, ways);
+        Self {
+            entries: vec![EMPTY_SLOT; sets * effective_ways].into_boxed_slice(),
+            used_sets: Vec::new(),
+            used_bitmap: vec![0u64; sets.div_ceil(64)].into_boxed_slice(),
+            miss_memo: None,
+            ways: effective_ways,
+            set_mask: (sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+            stamp: 0,
+        }
+    }
+
+    /// The `(sets, ways)` geometry [`new`] would pick for a capacity and
+    /// associativity — exposed so callers can tell whether an existing cache
+    /// can be [`reset`] in place instead of reallocated.
+    ///
+    /// [`new`]: Self::new
+    /// [`reset`]: Self::reset
+    pub fn geometry(capacity_bytes: usize, ways: usize) -> (usize, usize) {
         assert!(capacity_bytes >= 64 && ways > 0);
         let total_lines = capacity_bytes / 64;
         let ideal_sets = (total_lines / ways).max(1);
@@ -59,24 +151,72 @@ impl SetAssocCache {
         }
         .max(1);
         let effective_ways = (total_lines / sets_pow2).max(1);
-        Self {
-            sets: vec![Vec::with_capacity(effective_ways); sets_pow2],
-            ways: effective_ways,
-            set_mask: (sets_pow2 - 1) as u64,
-            hits: 0,
-            misses: 0,
-            stamp: 0,
+        (sets_pow2, effective_ways)
+    }
+
+    /// True if this cache has exactly the geometry [`new`]`(capacity_bytes,
+    /// ways)` would produce, i.e. [`reset`] yields the same state as a fresh
+    /// construction.
+    ///
+    /// [`new`]: Self::new
+    /// [`reset`]: Self::reset
+    pub fn matches_geometry(&self, capacity_bytes: usize, ways: usize) -> bool {
+        let (sets, effective_ways) = Self::geometry(capacity_bytes, ways);
+        self.ways == effective_ways && self.set_mask == (sets - 1) as u64
+    }
+
+    /// Empty the cache and zero the counters, reusing the arena allocation.
+    /// Afterwards the cache is indistinguishable from a freshly constructed
+    /// one of the same geometry.  Costs O(sets ever filled), not
+    /// O(capacity).
+    pub fn reset(&mut self) {
+        self.clear_entries();
+        self.hits = 0;
+        self.misses = 0;
+        self.stamp = 0;
+    }
+
+    /// Empty every set that ever received a fill and forget the used-set
+    /// tracking.
+    fn clear_entries(&mut self) {
+        for i in 0..self.used_sets.len() {
+            let start = self.used_sets[i] as usize * self.ways;
+            for entry in &mut self.entries[start..start + self.ways] {
+                if entry.line == INVALID_LINE {
+                    // Prefix invariant: everything beyond is already empty.
+                    break;
+                }
+                *entry = EMPTY_SLOT;
+            }
+        }
+        self.used_sets.clear();
+        self.used_bitmap.fill(0);
+        self.miss_memo = None;
+    }
+
+    /// Record that `set_idx` holds (or held) lines, so draining operations
+    /// can skip every never-touched set.
+    #[inline]
+    fn mark_used(&mut self, set_idx: usize) {
+        let word = set_idx / 64;
+        let bit = 1u64 << (set_idx % 64);
+        if self.used_bitmap[word] & bit == 0 {
+            self.used_bitmap[word] |= bit;
+            self.used_sets.push(set_idx as u32);
         }
     }
 
     /// Total capacity in cache lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.entries.len()
     }
 
     /// Number of lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.entries
+            .iter()
+            .filter(|l| l.line != INVALID_LINE)
+            .count()
     }
 
     /// Hit count since construction.
@@ -89,97 +229,253 @@ impl SetAssocCache {
         self.misses
     }
 
-    fn set_index(&self, line: u64) -> usize {
-        (line & self.set_mask) as usize
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let start = (line & self.set_mask) as usize * self.ways;
+        start..start + self.ways
     }
 
     /// Probe for a line without modifying LRU state or counters.
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|l| l.line == line)
+        for entry in &self.entries[self.set_range(line)] {
+            if entry.line == line {
+                return true;
+            }
+            if entry.line == INVALID_LINE {
+                // Prefix invariant: nothing valid beyond the first hole.
+                return false;
+            }
+        }
+        false
     }
 
     /// Access (touch) a line: returns `Hit` and refreshes LRU if present,
-    /// `Miss` otherwise (the line is *not* filled — call [`fill`]).
+    /// `Miss` otherwise (the line is *not* filled — call [`fill`] or use the
+    /// combined [`probe_fill`]).  On a miss the insertion slot found by the
+    /// scan is remembered, making the [`fill`] that typically follows O(1).
     ///
     /// `write` marks the line dirty on a hit.
+    ///
+    /// [`fill`]: Self::fill
+    /// [`probe_fill`]: Self::probe_fill
     pub fn touch(&mut self, line: u64, write: bool) -> LookupResult {
-        let set = self.set_index(line);
         let stamp = self.next_stamp();
-        if let Some(entry) = self.sets[set].iter_mut().find(|l| l.line == line) {
-            entry.lru = stamp;
-            if write {
-                entry.dirty = true;
+        let set_idx = (line & self.set_mask) as usize;
+        let start = set_idx * self.ways;
+        let set = &mut self.entries[start..start + self.ways];
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (idx, entry) in set.iter_mut().enumerate() {
+            if entry.line == line {
+                entry.refresh(stamp, write);
+                self.hits += 1;
+                return LookupResult::Hit;
             }
-            self.hits += 1;
-            LookupResult::Hit
-        } else {
-            self.misses += 1;
-            LookupResult::Miss
+            if entry.line == INVALID_LINE {
+                // Prefix invariant: nothing valid beyond; a fill would use
+                // this slot.
+                victim = idx;
+                break;
+            }
+            if entry.lru_dirty < victim_lru {
+                victim = idx;
+                victim_lru = entry.lru_dirty;
+            }
         }
+        self.misses += 1;
+        self.miss_memo = Some(MissMemo {
+            line,
+            slot: victim,
+            stamp,
+        });
+        LookupResult::Miss
+    }
+
+    /// Account `n` additional guaranteed hits on a line that is known to be
+    /// resident, refreshing its LRU position once.  This is the batched
+    /// equivalent of calling [`touch`] `n` times in a row on a resident line
+    /// — the hit counter advances by `n` while the set is scanned only once.
+    /// Returns `false` (and changes nothing) if the line is not resident;
+    /// callers fall back to the scalar path in that case.
+    ///
+    /// [`touch`]: Self::touch
+    pub fn touch_repeat(&mut self, line: u64, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let stamp = self.next_stamp();
+        let range = self.set_range(line);
+        for entry in &mut self.entries[range] {
+            if entry.line == line {
+                entry.refresh(stamp, false);
+                self.hits += n;
+                return true;
+            }
+            if entry.line == INVALID_LINE {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Combined touch-or-fill in a single set scan: counts a hit or a miss
+    /// like [`touch`], and on a miss inserts the line (dirty if `write`)
+    /// like [`fill`], returning the eviction if one was needed.
+    ///
+    /// Equivalent to `touch(line, write)` followed by `fill(line, write)` on
+    /// a miss, but probes the set once instead of twice.
+    ///
+    /// [`touch`]: Self::touch
+    /// [`fill`]: Self::fill
+    pub fn probe_fill(&mut self, line: u64, write: bool) -> (LookupResult, Option<Eviction>) {
+        let stamp = self.next_stamp();
+        let set_idx = (line & self.set_mask) as usize;
+        let start = set_idx * self.ways;
+        let set = &mut self.entries[start..start + self.ways];
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (idx, entry) in set.iter_mut().enumerate() {
+            if entry.line == line {
+                entry.refresh(stamp, write);
+                self.hits += 1;
+                return (LookupResult::Hit, None);
+            }
+            if entry.line == INVALID_LINE {
+                // Prefix invariant: nothing valid beyond; insert here.
+                victim = idx;
+                break;
+            }
+            if entry.lru_dirty < victim_lru {
+                victim = idx;
+                victim_lru = entry.lru_dirty;
+            }
+        }
+        let slot = &mut set[victim];
+        let evicted = if slot.line != INVALID_LINE {
+            Some(Eviction {
+                line: slot.line,
+                dirty: slot.dirty(),
+            })
+        } else {
+            None
+        };
+        *slot = CacheLine::make(line, stamp, write);
+        self.misses += 1;
+        self.mark_used(set_idx);
+        (LookupResult::Miss, evicted)
     }
 
     /// Insert a line (after a miss), possibly evicting the LRU line of its
     /// set.  Returns the eviction, if any.  `dirty` marks the new line dirty
     /// immediately (used for stores and for ITOM-claimed lines).
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
-        let stamp = self.next_stamp();
-        let ways = self.ways;
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(entry) = set.iter_mut().find(|l| l.line == line) {
-            // Already present (e.g. racing prefetch): refresh.
-            entry.lru = stamp;
-            entry.dirty |= dirty;
-            return None;
+        // Fast path: the scan of a missing `touch` already determined the
+        // slot, and nothing has changed since (same stamp).  The full scan
+        // below would reproduce exactly that slot.
+        if let Some(memo) = self.miss_memo {
+            if memo.line == line && memo.stamp == self.stamp {
+                let stamp = self.next_stamp();
+                self.miss_memo = None;
+                let set_idx = (line & self.set_mask) as usize;
+                let slot = &mut self.entries[set_idx * self.ways + memo.slot];
+                let evicted = if slot.line != INVALID_LINE {
+                    Some(Eviction {
+                        line: slot.line,
+                        dirty: slot.dirty(),
+                    })
+                } else {
+                    None
+                };
+                *slot = CacheLine::make(line, stamp, dirty);
+                self.mark_used(set_idx);
+                return evicted;
+            }
         }
-        let evicted = if set.len() >= ways {
-            let (idx, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .expect("non-empty set");
-            let victim = set.swap_remove(idx);
+        let stamp = self.next_stamp();
+        let set_idx = (line & self.set_mask) as usize;
+        let start = set_idx * self.ways;
+        let set = &mut self.entries[start..start + self.ways];
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (idx, entry) in set.iter_mut().enumerate() {
+            if entry.line == line {
+                // Already present (e.g. racing prefetch): refresh.
+                entry.refresh(stamp, dirty);
+                return None;
+            }
+            if entry.line == INVALID_LINE {
+                // Prefix invariant: nothing valid beyond; insert here.
+                victim = idx;
+                break;
+            }
+            if entry.lru_dirty < victim_lru {
+                victim = idx;
+                victim_lru = entry.lru_dirty;
+            }
+        }
+        let slot = &mut set[victim];
+        let evicted = if slot.line != INVALID_LINE {
             Some(Eviction {
-                line: victim.line,
-                dirty: victim.dirty,
+                line: slot.line,
+                dirty: slot.dirty(),
             })
         } else {
             None
         };
-        set.push(CacheLine {
-            line,
-            dirty,
-            lru: stamp,
-        });
+        *slot = CacheLine::make(line, stamp, dirty);
+        self.mark_used(set_idx);
         evicted
     }
 
     /// Remove a specific line (e.g. when an NT store invalidates it).
     /// Returns whether the removed line was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(idx) = set.iter().position(|l| l.line == line) {
-            let victim = set.swap_remove(idx);
-            Some(victim.dirty)
-        } else {
-            None
-        }
-    }
-
-    /// Drain every resident line, returning the dirty ones (used to flush
-    /// write-backs at the end of a measurement region).
-    pub fn flush_dirty(&mut self) -> Vec<u64> {
-        let mut dirty = Vec::new();
-        for set in &mut self.sets {
-            for line in set.drain(..) {
-                if line.dirty {
-                    dirty.push(line.line);
-                }
+        // The removal moves entries around; a remembered slot may go stale.
+        self.miss_memo = None;
+        let range = self.set_range(line);
+        let set = &mut self.entries[range];
+        let mut found: Option<(usize, bool)> = None;
+        let mut valid = 0usize;
+        for (idx, entry) in set.iter().enumerate() {
+            if entry.line == INVALID_LINE {
+                break;
+            }
+            valid += 1;
+            if entry.line == line {
+                found = Some((idx, entry.dirty()));
             }
         }
+        let (idx, dirty) = found?;
+        // Preserve the prefix invariant by moving the last valid entry into
+        // the hole (the same reordering the old `Vec::swap_remove` did).
+        set[idx] = set[valid - 1];
+        set[valid - 1] = EMPTY_SLOT;
+        Some(dirty)
+    }
+
+    /// Drain every resident line, returning the dirty ones in no
+    /// particular order (used to flush write-backs at the end of a
+    /// measurement region).  Costs O(sets ever filled), not O(capacity).
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        // Single pass: collect the dirty lines and clear each set while its
+        // entries are still in the host cache.
+        for i in 0..self.used_sets.len() {
+            let start = self.used_sets[i] as usize * self.ways;
+            for entry in &mut self.entries[start..start + self.ways] {
+                if entry.line == INVALID_LINE {
+                    // Prefix invariant: everything beyond is already empty.
+                    break;
+                }
+                if entry.dirty() {
+                    dirty.push(entry.line);
+                }
+                *entry = EMPTY_SLOT;
+            }
+        }
+        self.used_sets.clear();
+        self.used_bitmap.fill(0);
+        self.miss_memo = None;
         dirty
     }
 
@@ -230,6 +526,12 @@ impl<V> LruTable<V> {
             }
         }
         self.entries.insert(key, (value, self.stamp));
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stamp = 0;
     }
 
     /// Number of entries currently stored.
@@ -346,6 +648,86 @@ mod tests {
             lines >= 800_000,
             "capacity must be preserved approximately, got {lines}"
         );
+    }
+
+    #[test]
+    fn probe_fill_matches_touch_then_fill() {
+        // Drive two caches with the same line stream, one through the
+        // combined probe and one through the two-step path; every counter
+        // and the final eviction behaviour must agree.
+        let mut combined = SetAssocCache::new(4 * 64, 2);
+        let mut twostep = SetAssocCache::new(4 * 64, 2);
+        let stream = [0u64, 2, 4, 0, 6, 2, 8, 10, 0, 4, 6];
+        for (n, &line) in stream.iter().enumerate() {
+            let write = n % 3 == 0;
+            let (r1, ev1) = combined.probe_fill(line, write);
+            let r2 = twostep.touch(line, write);
+            let ev2 = if r2 == LookupResult::Miss {
+                twostep.fill(line, write)
+            } else {
+                None
+            };
+            assert_eq!(r1, r2, "access {n}");
+            assert_eq!(ev1, ev2, "access {n}");
+        }
+        assert_eq!(combined.hits(), twostep.hits());
+        assert_eq!(combined.misses(), twostep.misses());
+        let mut d1 = combined.flush_dirty();
+        let mut d2 = twostep.flush_dirty();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn touch_repeat_counts_bulk_hits() {
+        let mut c = SetAssocCache::new(4 * 64, 4);
+        c.fill(9, false);
+        assert!(c.touch_repeat(9, 7));
+        assert_eq!(c.hits(), 7);
+        assert_eq!(c.misses(), 0);
+        // Non-resident lines are refused without touching the counters.
+        assert!(!c.touch_repeat(13, 3));
+        assert_eq!(c.hits(), 7);
+        assert_eq!(c.misses(), 0);
+        // n == 0 is a no-op that reports success.
+        assert!(c.touch_repeat(13, 0));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut c = SetAssocCache::new(8 * 64, 4);
+        for line in 0..12u64 {
+            c.probe_fill(line, line % 2 == 0);
+        }
+        assert!(c.resident_lines() > 0 && c.misses() > 0);
+        c.reset();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        // Behaves exactly like a fresh cache afterwards.
+        let mut fresh = SetAssocCache::new(8 * 64, 4);
+        for line in [3u64, 7, 3, 11, 3] {
+            assert_eq!(c.probe_fill(line, false), fresh.probe_fill(line, false));
+        }
+        assert!(c.matches_geometry(8 * 64, 4));
+        assert!(!c.matches_geometry(16 * 64, 4));
+    }
+
+    #[test]
+    fn flush_drains_and_tracking_restarts() {
+        let mut c = SetAssocCache::new(64 * 64, 4);
+        c.fill(1, true);
+        c.fill(2, false);
+        c.fill(65, true); // second set
+        let mut d = c.flush_dirty();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 65]);
+        assert_eq!(c.resident_lines(), 0);
+        // Used-set tracking restarts cleanly: a second flush is empty, new
+        // fills are drained again.
+        assert!(c.flush_dirty().is_empty());
+        c.fill(130, true);
+        assert_eq!(c.flush_dirty(), vec![130]);
     }
 
     #[test]

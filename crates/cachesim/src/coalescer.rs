@@ -106,21 +106,41 @@ impl WriteCoalescer {
         self.streams.len()
     }
 
+    /// True if some open stream is currently assembling `line`.  Batched
+    /// drivers use this to prove that a follow-up [`store_segment`] on the
+    /// same line is a pure coverage merge (no event, no stream churn).
+    ///
+    /// [`store_segment`]: Self::store_segment
+    pub fn stream_at_line(&self, line: u64) -> bool {
+        self.streams.iter().any(|s| s.line == line)
+    }
+
+    /// Drop every open stream without finalizing it and reset the stamp,
+    /// reusing the allocation.  Afterwards the coalescer is
+    /// indistinguishable from a freshly constructed one.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.stamp = 0;
+    }
+
     /// Record a store of `bytes` bytes at `addr`.  Returns the lines that
     /// were *finalized* by this store (the stream moved past them or a new
     /// stream displaced an old one).
+    ///
+    /// This is the allocating convenience wrapper around
+    /// [`store_segment`]; hot paths split the store into per-line segments
+    /// themselves and consume each event as it is produced.
+    ///
+    /// [`store_segment`]: Self::store_segment
     pub fn store(&mut self, addr: u64, bytes: u32) -> Vec<FinalizedLine> {
         let mut finalized = Vec::new();
         let mut addr = addr;
         let mut remaining = bytes as u64;
-        if remaining == 0 {
-            return finalized;
-        }
         while remaining > 0 {
             let line = line_of(addr);
             let offset = addr % LINE_BYTES;
             let in_line = (LINE_BYTES - offset).min(remaining);
-            self.store_in_line(line, offset, in_line, &mut finalized);
+            finalized.extend(self.store_segment(line, offset, in_line));
             addr += in_line;
             remaining -= in_line;
         }
@@ -136,13 +156,13 @@ impl WriteCoalescer {
         }
     }
 
-    fn store_in_line(
-        &mut self,
-        line: u64,
-        offset: u64,
-        len: u64,
-        finalized: &mut Vec<FinalizedLine>,
-    ) {
+    /// Record a store covering `[offset, offset + len)` of a single cache
+    /// line.  Returns the at most one line this store finalizes (a stream
+    /// advanced past its previous line, or a new stream displaced the
+    /// oldest).  This is the allocation-free core of the store path: an
+    /// 8-byte scalar store and a 64-byte batched line store both cost one
+    /// call.
+    pub fn store_segment(&mut self, line: u64, offset: u64, len: u64) -> Option<FinalizedLine> {
         self.stamp += 1;
         let stamp = self.stamp;
         let mask = Self::coverage_mask(offset, len);
@@ -151,7 +171,7 @@ impl WriteCoalescer {
         if let Some(s) = self.streams.iter_mut().find(|s| s.line == line) {
             s.coverage |= mask;
             s.stamp = stamp;
-            return;
+            return None;
         }
 
         // 2. The store advances an existing stream to a nearby later line.
@@ -175,19 +195,20 @@ impl WriteCoalescer {
                 s.current_streak = 0;
             }
             let streak_estimate = s.current_streak.max(s.last_streak) as f64;
-            finalized.push(FinalizedLine {
+            let finalized = FinalizedLine {
                 line: s.line,
                 full: was_full,
                 streak_estimate,
                 active_streams: active,
-            });
+            };
             s.line = line;
             s.coverage = mask;
             s.stamp = stamp;
-            return;
+            return Some(finalized);
         }
 
         // 3. Otherwise open a new stream, possibly displacing the oldest.
+        let mut finalized = None;
         if self.streams.len() >= self.max_streams {
             let (idx, _) = self
                 .streams
@@ -196,7 +217,7 @@ impl WriteCoalescer {
                 .min_by_key(|(_, s)| s.stamp)
                 .expect("non-empty streams");
             let old = self.streams.swap_remove(idx);
-            finalized.push(Self::finalize_stream(&old, self.streams.len() + 1));
+            finalized = Some(Self::finalize_stream(&old, self.streams.len() + 1));
         }
         self.streams.push(WriteStream {
             line,
@@ -205,6 +226,7 @@ impl WriteCoalescer {
             last_streak: 0,
             stamp,
         });
+        finalized
     }
 
     fn finalize_stream(s: &WriteStream, active: usize) -> FinalizedLine {

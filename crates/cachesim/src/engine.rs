@@ -10,7 +10,7 @@
 use clover_machine::Machine;
 
 use crate::counters::MemCounters;
-use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
+use crate::hierarchy::{CoreSim, CoreSimOptions, DomainOccupancy, OccupancyContext};
 use crate::prefetch::PrefetcherConfig;
 
 /// Configuration of one node-level simulation run.
@@ -51,16 +51,12 @@ impl SimConfig {
 
     fn core_options(&self, cores_in_domain: usize) -> CoreSimOptions {
         // Cores in the same socket share the L3; the share shrinks with the
-        // number of active cores on the socket.  Compact pinning puts
-        // `cores_in_domain * domains_per_socket`-ish cores on a socket; we
-        // approximate the share with the active cores of this domain times
-        // the domains per socket, capped at the hardware sharer count.
-        let sharers = (cores_in_domain * self.machine.topology.domains_per_socket())
-            .clamp(1, self.machine.caches.l3_sharers);
+        // number of active cores on the socket (see
+        // `DomainOccupancy::l3_sharers` for the approximation).
         CoreSimOptions {
             speci2m_enabled: self.speci2m_enabled,
             prefetchers: self.prefetchers,
-            l3_sharers: sharers,
+            l3_sharers: DomainOccupancy::l3_sharers(&self.machine, cores_in_domain),
         }
     }
 }
@@ -123,15 +119,18 @@ impl NodeSim {
         F: Fn(usize, &mut CoreSim),
     {
         let machine = &self.config.machine;
-        let cores_per_domain = machine.topology.active_cores_per_domain(self.config.ranks);
-        let active_domains = cores_per_domain.iter().filter(|&&c| c > 0).count();
+        let occ = DomainOccupancy::compact(machine, self.config.ranks);
 
         let mut total = MemCounters::new();
         let mut per_rank = MemCounters::new();
         let mut first = true;
         let mut simulated: Vec<(usize, MemCounters)> = Vec::new();
+        // One core simulator serves every distinct domain load: `reset`
+        // reuses its cache arenas instead of reallocating three caches and
+        // two coalescers per load level.
+        let mut core: Option<CoreSim> = None;
         let mut first_rank_of_domain = 0usize;
-        for &count in &cores_per_domain {
+        for &count in &occ.cores_per_domain {
             if count == 0 {
                 break;
             }
@@ -139,9 +138,15 @@ impl NodeSim {
             let counters = if let Some((_, c)) = simulated.iter().find(|(n, _)| *n == count) {
                 *c
             } else {
-                let ctx = OccupancyContext::domain_load(machine, count, active_domains);
-                let mut core = CoreSim::new(machine, ctx, self.config.core_options(count));
-                kernel(first_rank_of_domain, &mut core);
+                let ctx = OccupancyContext::domain_load(machine, count, occ.active_domains);
+                let options = self.config.core_options(count);
+                if let Some(core) = core.as_mut() {
+                    core.reset(ctx, options);
+                } else {
+                    core = Some(CoreSim::new(machine, ctx, options));
+                }
+                let core = core.as_mut().expect("initialised above");
+                kernel(first_rank_of_domain, core);
                 let c = core.flush();
                 simulated.push((count, c));
                 c
@@ -158,7 +163,7 @@ impl NodeSim {
             ranks: self.config.ranks,
             total,
             per_rank,
-            cores_per_domain,
+            cores_per_domain: occ.cores_per_domain,
         }
     }
 
@@ -170,20 +175,26 @@ impl NodeSim {
         F: Fn(usize, &mut CoreSim),
     {
         let machine = &self.config.machine;
-        let cores_per_domain = machine.topology.active_cores_per_domain(self.config.ranks);
-        let active_domains = cores_per_domain.iter().filter(|&&c| c > 0).count();
+        let occ = DomainOccupancy::compact(machine, self.config.ranks);
 
         let mut total = MemCounters::new();
         let mut per_rank = MemCounters::new();
+        let mut core: Option<CoreSim> = None;
         let mut rank = 0usize;
-        for &count in &cores_per_domain {
+        for &count in &occ.cores_per_domain {
             if count == 0 {
                 break;
             }
-            let ctx = OccupancyContext::domain_load(machine, count, active_domains);
+            let ctx = OccupancyContext::domain_load(machine, count, occ.active_domains);
             for _ in 0..count {
-                let mut core = CoreSim::new(machine, ctx, self.config.core_options(count));
-                kernel(rank, &mut core);
+                let options = self.config.core_options(count);
+                if let Some(core) = core.as_mut() {
+                    core.reset(ctx, options);
+                } else {
+                    core = Some(CoreSim::new(machine, ctx, options));
+                }
+                let core = core.as_mut().expect("initialised above");
+                kernel(rank, core);
                 let c = core.flush();
                 if rank == 0 {
                     per_rank = c;
@@ -196,7 +207,7 @@ impl NodeSim {
             ranks: self.config.ranks,
             total,
             per_rank,
-            cores_per_domain,
+            cores_per_domain: occ.cores_per_domain,
         }
     }
 }
@@ -213,6 +224,58 @@ mod tests {
                 core.store(base + i * 8, 8);
             }
         }
+    }
+
+    #[test]
+    fn representative_matches_exact_on_uniform_occupancy() {
+        // 72 ranks load every ICX domain with exactly 18 cores; with one
+        // distinct domain load the representative core must reproduce the
+        // exact per-rank simulation bit for bit (regression guard for the
+        // `CoreSim::reset` reuse in both loops).
+        let m = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(m, 72));
+        let fast = sim.run_spmd(store_kernel(2048));
+        let exact = sim.run_spmd_exact(store_kernel(2048));
+        // The representative core is bit-identical; the node totals only up
+        // to summation order (one `c * 18` versus eighteen additions).
+        assert_eq!(fast.per_rank, exact.per_rank);
+        assert_eq!(fast.cores_per_domain, exact.cores_per_domain);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        assert!(rel(fast.total.read_lines, exact.total.read_lines) < 1e-12);
+        assert!(rel(fast.total.write_lines, exact.total.write_lines) < 1e-12);
+        assert!(rel(fast.total.itom_lines, exact.total.itom_lines) < 1e-12);
+        assert!(
+            rel(
+                fast.total.write_allocate_lines,
+                exact.total.write_allocate_lines
+            ) < 1e-12
+        );
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_despite_core_reuse() {
+        // The reused core must carry no state between domain-load levels or
+        // between whole runs.
+        let m = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(m, 20));
+        let a = sim.run_spmd(store_kernel(2048));
+        let b = sim.run_spmd(store_kernel(2048));
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.per_rank, b.per_rank);
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_kernel_node_wide() {
+        use crate::access::AccessRun;
+        let m = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(m, 19));
+        let scalar = sim.run_spmd(store_kernel(4096));
+        let batched = sim.run_spmd(|rank, core| {
+            let base = (rank as u64) << 36;
+            core.drive_run(AccessRun::store(base, 4096));
+        });
+        assert_eq!(scalar.total, batched.total);
+        assert_eq!(scalar.per_rank, batched.per_rank);
     }
 
     #[test]

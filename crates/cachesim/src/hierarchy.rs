@@ -6,6 +6,12 @@
 //! produces the memory-controller counters ([`MemCounters`]) for the access
 //! stream fed to it.
 //!
+//! Two entry points exist: the scalar per-access API ([`CoreSim::load`],
+//! [`CoreSim::store`], …) and the batched [`CoreSim::drive_run`], which
+//! expands a contiguous element run into one hierarchy operation per
+//! 64-byte cache line (the granularity at which traffic is decided) while
+//! producing bit-identical counters to the scalar path.
+//!
 //! Probabilistic micro-architectural events (evasion success, speculative
 //! reads, partial write-combine flushes) use fractional accounting so the
 //! results are deterministic.
@@ -13,11 +19,47 @@
 use clover_machine::speci2m::EvasionContext;
 use clover_machine::Machine;
 
-use crate::access::{Access, AccessKind};
+use crate::access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
 use crate::cache::{LookupResult, SetAssocCache};
 use crate::coalescer::{FinalizedLine, WriteCoalescer};
 use crate::counters::MemCounters;
 use crate::prefetch::{PrefetcherConfig, StreamerPrefetcher};
+
+/// Per-domain activity of a compactly pinned job — the statistics that
+/// every occupancy-dependent component (evasion context, L3 sharing, the
+/// node simulator's representative-core loop) derives its numbers from.
+/// Previously each caller re-derived these from the topology on its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainOccupancy {
+    /// Active cores per ccNUMA domain (compact pinning, domain 0 first).
+    pub cores_per_domain: Vec<usize>,
+    /// Number of domains with at least one active core (at least 1).
+    pub active_domains: usize,
+    /// Active cores in the most loaded domain (at least 1).
+    pub busiest: usize,
+}
+
+impl DomainOccupancy {
+    /// Statistics for compact pinning of `total_ranks` ranks on `machine`.
+    pub fn compact(machine: &Machine, total_ranks: usize) -> Self {
+        let cores_per_domain = machine.topology.active_cores_per_domain(total_ranks);
+        let active_domains = cores_per_domain.iter().filter(|&&c| c > 0).count().max(1);
+        let busiest = cores_per_domain.iter().copied().max().unwrap_or(1).max(1);
+        Self {
+            cores_per_domain,
+            active_domains,
+            busiest,
+        }
+    }
+
+    /// Number of cores sharing the L3 with a core in a domain that has
+    /// `cores_in_domain` active cores: the active cores of the socket under
+    /// compact pinning, capped at the hardware sharer count.
+    pub fn l3_sharers(machine: &Machine, cores_in_domain: usize) -> usize {
+        (cores_in_domain * machine.topology.domains_per_socket())
+            .clamp(1, machine.caches.l3_sharers)
+    }
+}
 
 /// Occupancy of the machine while this core runs: how loaded its ccNUMA
 /// domain is and how many domains of the node are populated.  This is what
@@ -45,12 +87,10 @@ impl OccupancyContext {
     /// Context for compact pinning of `total_ranks` ranks, seen from a core
     /// in the most loaded domain.
     pub fn compact(machine: &Machine, total_ranks: usize) -> Self {
-        let per_domain = machine.topology.active_cores_per_domain(total_ranks);
-        let active_domains = per_domain.iter().filter(|&&c| c > 0).count().max(1);
-        let busiest = per_domain.iter().copied().max().unwrap_or(1);
+        let occ = DomainOccupancy::compact(machine, total_ranks);
         Self {
-            domain_utilization: machine.domain_utilization(busiest),
-            active_domains,
+            domain_utilization: machine.domain_utilization(occ.busiest),
+            active_domains: occ.active_domains,
             total_domains: machine.topology.domains.len(),
         }
     }
@@ -100,7 +140,19 @@ pub struct CoreSim {
     options: CoreSimOptions,
     ctx: OccupancyContext,
     speci2m: clover_machine::SpecI2MParams,
+    /// `speci2m` with the MSR switch applied — precomputed so the store
+    /// path does not clone the parameter block per finalized line.
+    speci2m_store: clover_machine::SpecI2MParams,
+    /// Full (unshared) L3 capacity, kept so [`reset`](Self::reset) can
+    /// re-derive the per-core share for a different sharer count.
+    l3_full_bytes: usize,
+    l3_ways: usize,
     counters: MemCounters,
+}
+
+/// The per-core L3 share for a sharer count, floored at 64 lines.
+fn l3_share_bytes(l3_full_bytes: usize, sharers: usize) -> usize {
+    (l3_full_bytes / sharers.max(1)).max(64 * 64)
 }
 
 impl CoreSim {
@@ -108,7 +160,13 @@ impl CoreSim {
     /// options.
     pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
         let caches = &machine.caches;
-        let l3_share = (caches.l3.capacity_bytes / options.l3_sharers.max(1)).max(64 * 64);
+        let l3_share = l3_share_bytes(caches.l3.capacity_bytes, options.l3_sharers);
+        let speci2m = machine.speci2m.clone();
+        let speci2m_store = if options.speci2m_enabled {
+            speci2m.clone()
+        } else {
+            speci2m.switched_off()
+        };
         Self {
             l1: SetAssocCache::new(caches.l1.capacity_bytes, caches.l1.associativity),
             l2: SetAssocCache::new(caches.l2.capacity_bytes, caches.l2.associativity),
@@ -118,9 +176,40 @@ impl CoreSim {
             streamer: StreamerPrefetcher::new(options.prefetchers.streamer_distance),
             options,
             ctx,
-            speci2m: machine.speci2m.clone(),
+            speci2m,
+            speci2m_store,
+            l3_full_bytes: caches.l3.capacity_bytes,
+            l3_ways: caches.l3.associativity,
             counters: MemCounters::new(),
         }
+    }
+
+    /// Re-arm the simulator for a fresh measurement under a (possibly
+    /// different) occupancy and option set, reusing the cache arena
+    /// allocations.  Afterwards the state is indistinguishable from
+    /// `CoreSim::new` on the same machine — only cheaper: the L1/L2 arenas
+    /// are always reused and the L3 arena whenever the sharer count implies
+    /// the same geometry.
+    pub fn reset(&mut self, ctx: OccupancyContext, options: CoreSimOptions) {
+        let l3_share = l3_share_bytes(self.l3_full_bytes, options.l3_sharers);
+        if self.l3.matches_geometry(l3_share, self.l3_ways) {
+            self.l3.reset();
+        } else {
+            self.l3 = SetAssocCache::new(l3_share, self.l3_ways);
+        }
+        self.l1.reset();
+        self.l2.reset();
+        self.coalescer.reset();
+        self.nt_coalescer.reset();
+        self.streamer.reset(options.prefetchers.streamer_distance);
+        self.speci2m_store = if options.speci2m_enabled {
+            self.speci2m.clone()
+        } else {
+            self.speci2m.switched_off()
+        };
+        self.options = options;
+        self.ctx = ctx;
+        self.counters = MemCounters::new();
     }
 
     /// The occupancy context this core was configured with.
@@ -133,6 +222,18 @@ impl CoreSim {
         self.counters
     }
 
+    /// Per-level `(hits, misses)` of the L1, L2 and L3 caches — exposed so
+    /// the scalar/batched equivalence tests can assert that the fast path
+    /// reproduces not just the memory counters but the full cache
+    /// behaviour.
+    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+        [
+            (self.l1.hits(), self.l1.misses()),
+            (self.l2.hits(), self.l2.misses()),
+            (self.l3.hits(), self.l3.misses()),
+        ]
+    }
+
     /// Feed a single access.
     pub fn access(&mut self, access: Access) {
         match access.kind {
@@ -141,18 +242,8 @@ impl CoreSim {
                     self.load_line(line);
                 }
             }
-            AccessKind::Store => {
-                let events = self.coalescer.store(access.addr, access.bytes);
-                for ev in events {
-                    self.handle_store_line(ev);
-                }
-            }
-            AccessKind::StoreNT => {
-                let events = self.nt_coalescer.store(access.addr, access.bytes);
-                for ev in events {
-                    self.handle_nt_line(ev);
-                }
-            }
+            AccessKind::Store => self.store_span(access.addr, access.bytes as u64, false),
+            AccessKind::StoreNT => self.store_span(access.addr, access.bytes as u64, true),
         }
     }
 
@@ -183,6 +274,103 @@ impl CoreSim {
         });
     }
 
+    /// Drive a contiguous run of 8-byte elements through the hierarchy at
+    /// cache-line granularity: one hierarchy touch per 64-byte line and one
+    /// coalescer transition per line instead of eight scalar calls, with
+    /// partially covered head/tail lines handled exactly.  Produces
+    /// bit-identical [`MemCounters`] and per-level hit/miss counts to
+    /// feeding the same elements one by one through [`load`]/[`store`]/
+    /// [`store_nt`].
+    ///
+    /// [`load`]: Self::load
+    /// [`store`]: Self::store
+    /// [`store_nt`]: Self::store_nt
+    pub fn drive_run(&mut self, run: AccessRun) {
+        if run.elements == 0 {
+            return;
+        }
+        match run.kind {
+            AccessKind::Load => self.load_run(run.base, run.bytes()),
+            AccessKind::Store => self.store_span(run.base, run.bytes(), false),
+            AccessKind::StoreNT => self.store_span(run.base, run.bytes(), true),
+        }
+    }
+
+    /// Batched load path: touch each line once and account the remaining
+    /// element touches as the guaranteed L1 hits they are in the scalar
+    /// path (consecutive touches of a just-accessed line cannot miss — no
+    /// fill happens in between).
+    fn load_run(&mut self, base: u64, bytes: u64) {
+        let first = line_of(base);
+        let last = line_of(base + bytes - 1);
+        for line in first..=last {
+            let seg_start = (line * LINE_BYTES).max(base);
+            let seg_end = ((line + 1) * LINE_BYTES).min(base + bytes);
+            // Elements overlapping [seg_start, seg_end): the scalar path
+            // touches this line once per overlapping element.
+            let elem_first = (seg_start - base) / ELEM_BYTES;
+            let elem_last = (seg_end - 1 - base) / ELEM_BYTES;
+            let repeats = elem_last - elem_first;
+            self.load_line(line);
+            if repeats > 0 && !self.l1.touch_repeat(line, repeats) {
+                debug_assert!(false, "a just-loaded line must be L1-resident");
+                for _ in 0..repeats {
+                    self.load_line(line);
+                }
+            }
+        }
+    }
+
+    /// Allocation-free store path shared by the scalar API and the batched
+    /// run driver: split the span into per-line segments and consume each
+    /// finalized line as the coalescer produces it.
+    fn store_span(&mut self, base: u64, bytes: u64, nt: bool) {
+        let mut addr = base;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let line = line_of(addr);
+            let offset = addr % LINE_BYTES;
+            let in_line = (LINE_BYTES - offset).min(remaining);
+            self.store_line_segment(line, offset, in_line, nt);
+            addr += in_line;
+            remaining -= in_line;
+        }
+    }
+
+    /// Feed one single-line store segment to the matching coalescer and
+    /// handle the at most one line it finalizes.
+    pub(crate) fn store_line_segment(&mut self, line: u64, offset: u64, len: u64, nt: bool) {
+        if nt {
+            if let Some(ev) = self.nt_coalescer.store_segment(line, offset, len) {
+                self.handle_nt_line(ev);
+            }
+        } else if let Some(ev) = self.coalescer.store_segment(line, offset, len) {
+            self.handle_store_line(ev);
+        }
+    }
+
+    /// True if `line` is resident in the L1 (no LRU or counter effect).
+    pub(crate) fn l1_contains(&self, line: u64) -> bool {
+        self.l1.contains(line)
+    }
+
+    /// Account `n` guaranteed L1 hits on a resident line (see
+    /// [`SetAssocCache::touch_repeat`]); `false` if the line is not
+    /// resident and nothing was counted.
+    pub(crate) fn l1_touch_repeat(&mut self, line: u64, n: u64) -> bool {
+        self.l1.touch_repeat(line, n)
+    }
+
+    /// True if the (normal or NT) write coalescer has an open stream on
+    /// `line`, i.e. a further store segment to it is a pure coverage merge.
+    pub(crate) fn coalescer_at_line(&self, line: u64, nt: bool) -> bool {
+        if nt {
+            self.nt_coalescer.stream_at_line(line)
+        } else {
+            self.coalescer.stream_at_line(line)
+        }
+    }
+
     /// Finalize pending store streams and flush dirty cache lines to memory.
     /// Must be called at the end of a measurement region; returns the final
     /// counters.
@@ -196,13 +384,28 @@ impl CoreSim {
             self.handle_nt_line(ev);
         }
         // Write back every dirty line exactly once (inclusive hierarchy).
-        let mut dirty: Vec<u64> = Vec::new();
-        dirty.extend(self.l1.flush_dirty());
-        dirty.extend(self.l2.flush_dirty());
-        dirty.extend(self.l3.flush_dirty());
-        dirty.sort_unstable();
-        dirty.dedup();
-        self.counters.write_lines += dirty.len() as f64;
+        // Each level's own list is duplicate-free; the sort-based dedup is
+        // only needed when a line could be dirty at several levels at once,
+        // i.e. when more than one level has dirty lines at all — streaming
+        // kernels keep the dirty bit at L3 only and skip it.
+        let l1_dirty = self.l1.flush_dirty();
+        let l2_dirty = self.l2.flush_dirty();
+        let l3_dirty = self.l3.flush_dirty();
+        let levels_with_dirty = [&l1_dirty, &l2_dirty, &l3_dirty]
+            .iter()
+            .filter(|d| !d.is_empty())
+            .count();
+        let distinct = if levels_with_dirty > 1 {
+            let mut dirty = l1_dirty;
+            dirty.extend(l2_dirty);
+            dirty.extend(l3_dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            dirty.len()
+        } else {
+            l1_dirty.len() + l2_dirty.len() + l3_dirty.len()
+        };
+        self.counters.write_lines += distinct as f64;
         self.counters
     }
 
@@ -222,6 +425,18 @@ impl CoreSim {
         false
     }
 
+    /// Land a dirty line evicted from an upper level in the L3 (present or
+    /// not), counting the write-back its own victim may cause.  One
+    /// combined probe instead of a touch followed by a fill.
+    fn sink_dirty_into_l3(&mut self, line: u64) {
+        let (_, evicted) = self.l3.probe_fill(line, true);
+        if let Some(ev3) = evicted {
+            if ev3.dirty {
+                self.counters.write_lines += 1.0;
+            }
+        }
+    }
+
     /// Fill a line into the upper levels (L1 and optionally L2), cascading
     /// dirty evictions downwards without generating memory traffic.
     fn fill_upper(&mut self, line: u64, dirty: bool, levels: usize) {
@@ -229,29 +444,16 @@ impl CoreSim {
             if let Some(ev) = self.l2.fill(line, dirty) {
                 if ev.dirty {
                     // Dirty eviction from L2 lands in L3 (present or not).
-                    if self.l3.touch(ev.line, true) == LookupResult::Miss {
-                        if let Some(ev3) = self.l3.fill(ev.line, true) {
-                            if ev3.dirty {
-                                self.counters.write_lines += 1.0;
-                            }
-                        }
-                    }
+                    self.sink_dirty_into_l3(ev.line);
                 }
             }
         }
         if let Some(ev) = self.l1.fill(line, dirty) {
             if ev.dirty {
-                if self.l2.touch(ev.line, true) == LookupResult::Miss {
-                    if let Some(ev2) = self.l2.fill(ev.line, true) {
-                        if ev2.dirty {
-                            if self.l3.touch(ev2.line, true) == LookupResult::Miss {
-                                if let Some(ev3) = self.l3.fill(ev2.line, true) {
-                                    if ev3.dirty {
-                                        self.counters.write_lines += 1.0;
-                                    }
-                                }
-                            }
-                        }
+                let (_, evicted) = self.l2.probe_fill(ev.line, true);
+                if let Some(ev2) = evicted {
+                    if ev2.dirty {
+                        self.sink_dirty_into_l3(ev2.line);
                     }
                 }
             }
@@ -297,9 +499,10 @@ impl CoreSim {
             self.fill_prefetch(buddy);
         }
         if self.options.prefetchers.streamer {
-            let pf_lines = self.streamer.on_demand_miss(line);
-            for pf in pf_lines {
-                self.fill_prefetch(pf);
+            if let Some(pf_lines) = self.streamer.on_demand_miss(line) {
+                for pf in pf_lines {
+                    self.fill_prefetch(pf);
+                }
             }
         }
     }
@@ -321,11 +524,7 @@ impl CoreSim {
             return;
         }
         let ectx = self.evasion_context(&ev);
-        let params = if self.options.speci2m_enabled {
-            self.speci2m.clone()
-        } else {
-            self.speci2m.switched_off()
-        };
+        let params = &self.speci2m_store;
         let pf_factor = self.options.prefetchers.evasion_factor();
         let (evaded, spec_read) = if ev.full {
             let e = params.evasion_fraction(&ectx) * pf_factor;
@@ -614,6 +813,98 @@ mod tests {
             "PF off must increase the read/write ratio: on={} off={}",
             on.read_write_ratio(),
             off.read_write_ratio()
+        );
+    }
+
+    /// Drive the same accesses through the scalar API and `drive_run`; the
+    /// counters and the per-level cache statistics must match bit for bit.
+    fn assert_equivalent(runs: &[AccessRun], mk: impl Fn() -> CoreSim) {
+        let mut scalar = mk();
+        let mut batched = mk();
+        for run in runs {
+            for i in 0..run.elements {
+                let addr = run.base + i * 8;
+                match run.kind {
+                    AccessKind::Load => scalar.load(addr, 8),
+                    AccessKind::Store => scalar.store(addr, 8),
+                    AccessKind::StoreNT => scalar.store_nt(addr, 8),
+                }
+            }
+            batched.drive_run(*run);
+        }
+        assert_eq!(scalar.cache_stats(), batched.cache_stats());
+        assert_eq!(scalar.flush(), batched.flush());
+    }
+
+    #[test]
+    fn drive_run_matches_scalar_for_aligned_and_misaligned_runs() {
+        let m = icelake_sp_8360y();
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::StoreNT] {
+            for base in [0u64, 8, 24, 60, 63, 4096 - 4] {
+                for elements in [0u64, 1, 7, 8, 9, 64, 513] {
+                    assert_equivalent(
+                        &[AccessRun {
+                            base,
+                            elements,
+                            kind,
+                        }],
+                        || serial_core(&m),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drive_run_matches_scalar_for_row_patterns_under_load() {
+        let m = icelake_sp_8360y();
+        // Rows with an unaligned halo gap, alternating load and store
+        // arrays — the Fig. 8 pattern shape.
+        let mut runs = Vec::new();
+        for row in 0..24u64 {
+            let off = row * (216 + 3) * 8;
+            runs.push(AccessRun::load((1 << 33) + off, 216));
+            runs.push(AccessRun::store(off, 216));
+        }
+        assert_equivalent(&runs, || loaded_core(&m));
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_core() {
+        let m = icelake_sp_8360y();
+        let run = |core: &mut CoreSim| {
+            copy_kernel(core, 0, 1 << 30, 2048, false);
+            copy_kernel(core, 1 << 33, 1 << 34, 512, true);
+            core.flush()
+        };
+        // Dirty a core under one configuration, then reset it into the
+        // serial configuration: it must reproduce a fresh serial core
+        // exactly, including the L3 reallocation for the sharer change.
+        let mut reused = loaded_core(&m);
+        let _ = run(&mut reused);
+        reused.reset(OccupancyContext::serial(&m), CoreSimOptions::default());
+        let mut fresh = serial_core(&m);
+        assert_eq!(run(&mut reused), run(&mut fresh));
+        assert_eq!(reused.cache_stats(), fresh.cache_stats());
+    }
+
+    #[test]
+    fn domain_occupancy_matches_manual_derivation() {
+        let m = icelake_sp_8360y();
+        for ranks in [1usize, 17, 18, 19, 37, 72] {
+            let occ = DomainOccupancy::compact(&m, ranks);
+            let per = m.topology.active_cores_per_domain(ranks);
+            assert_eq!(occ.cores_per_domain, per);
+            assert_eq!(
+                occ.active_domains,
+                per.iter().filter(|&&c| c > 0).count().max(1)
+            );
+            assert_eq!(occ.busiest, per.iter().copied().max().unwrap().max(1));
+        }
+        assert_eq!(DomainOccupancy::l3_sharers(&m, 1), 2);
+        assert_eq!(
+            DomainOccupancy::l3_sharers(&m, 18),
+            m.caches.l3_sharers.min(36)
         );
     }
 }

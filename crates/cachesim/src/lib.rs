@@ -24,6 +24,17 @@
 //! The simulator is line-granular and uses deterministic *fractional*
 //! accounting for probabilistic events (an evasion probability of 0.7 adds
 //! 0.3 read lines), which keeps results exactly reproducible.
+//!
+//! # Performance
+//!
+//! The hot state is allocation-free in steady state: each cache level is a
+//! single flat arena probed by one contiguous scan, the store path hands
+//! finalized lines to the hierarchy without building event vectors, and the
+//! batched [`AccessRun`]/[`CoreSim::drive_run`] API expands contiguous
+//! element runs into one hierarchy operation per 64-byte cache line — the
+//! granularity at which traffic is decided — while staying bit-identical to
+//! the scalar per-element path.  `figures bench --json` (crate
+//! `clover-bench`) tracks the throughput of these paths across PRs.
 
 pub mod access;
 pub mod cache;
@@ -34,11 +45,11 @@ pub mod hierarchy;
 pub mod patterns;
 pub mod prefetch;
 
-pub use access::{line_of, Access, AccessKind, LINE_BYTES};
+pub use access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
 pub use cache::SetAssocCache;
 pub use coalescer::{StreakTracker, WriteCoalescer};
 pub use counters::MemCounters;
 pub use engine::{NodeSim, NodeSimReport, SimConfig};
-pub use hierarchy::{CoreSim, OccupancyContext};
+pub use hierarchy::{CoreSim, DomainOccupancy, OccupancyContext};
 pub use patterns::{ArraySweep, RowSweep, StencilRowSweep};
 pub use prefetch::PrefetcherConfig;

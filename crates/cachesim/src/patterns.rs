@@ -4,12 +4,24 @@
 //! traffic measurements (`clover-perfmon`) drive the core simulator with a
 //! small set of canonical patterns: contiguous array sweeps, row-wise sweeps
 //! with halo gaps, and multi-array stencil row sweeps.
+//!
+//! All drivers run on the batched line-granular fast path
+//! ([`CoreSim::drive_run`] and friends); each keeps a `drive_scalar`
+//! reference implementation issuing one 8-byte access per element, used by
+//! the equivalence tests to prove the fast path changes nothing but speed.
 
-use crate::access::AccessKind;
+pub use crate::access::ELEM_BYTES;
+use crate::access::{line_of, AccessKind, AccessRun, LINE_BYTES};
 use crate::hierarchy::CoreSim;
 
-/// Size of a double-precision element in bytes.
-pub const ELEM_BYTES: u64 = 8;
+/// Issue one scalar 8-byte access of the given kind.
+fn scalar_access(core: &mut CoreSim, kind: AccessKind, addr: u64) {
+    match kind {
+        AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
+        AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
+        AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
+    }
+}
 
 /// A contiguous sweep over `elements` doubles starting at `base`.
 #[derive(Debug, Clone, Copy)]
@@ -23,15 +35,19 @@ pub struct ArraySweep {
 }
 
 impl ArraySweep {
-    /// Drive the sweep through a core simulator.
+    /// Drive the sweep through a core simulator (batched fast path).
     pub fn drive(&self, core: &mut CoreSim) {
+        core.drive_run(AccessRun {
+            base: self.base,
+            elements: self.elements,
+            kind: self.kind,
+        });
+    }
+
+    /// Per-element reference implementation (bit-identical, slower).
+    pub fn drive_scalar(&self, core: &mut CoreSim) {
         for i in 0..self.elements {
-            let addr = self.base + i * ELEM_BYTES;
-            match self.kind {
-                AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
-                AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
-                AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
-            }
+            scalar_access(core, self.kind, self.base + i * ELEM_BYTES);
         }
     }
 
@@ -70,16 +86,22 @@ impl RowSweep {
         self.base + (row * self.stride_elements() + i) * ELEM_BYTES
     }
 
-    /// Drive the sweep through a core simulator.
+    /// Drive the sweep through a core simulator: one batched run per row.
     pub fn drive(&self, core: &mut CoreSim) {
         for row in 0..self.rows {
+            core.drive_run(AccessRun {
+                base: self.addr(row, 0),
+                elements: self.inner,
+                kind: self.kind,
+            });
+        }
+    }
+
+    /// Per-element reference implementation (bit-identical, slower).
+    pub fn drive_scalar(&self, core: &mut CoreSim) {
+        for row in 0..self.rows {
             for i in 0..self.inner {
-                let addr = self.addr(row, i);
-                match self.kind {
-                    AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
-                    AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
-                    AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
-                }
+                scalar_access(core, self.kind, self.addr(row, i));
             }
         }
     }
@@ -125,6 +147,15 @@ pub struct StencilRowSweep {
     pub rows: u64,
 }
 
+/// One flattened `(operand, offset)` access stream of a stencil sweep; its
+/// address advances by 8 bytes per inner iteration.
+#[derive(Debug, Clone, Copy)]
+struct StencilStream {
+    kind: AccessKind,
+    /// Byte address at the first inner index of the current row.
+    row_base: u64,
+}
+
 impl StencilRowSweep {
     /// Byte address of logical grid point `(i, k)` of an operand.
     fn addr(&self, base: u64, i: i64, k: i64) -> u64 {
@@ -136,17 +167,120 @@ impl StencilRowSweep {
     /// Drive the sweep through a core simulator in the loop order of the
     /// Fortran source: outer loop over rows, inner loop over `i`, reads
     /// before the write of each iteration.
+    ///
+    /// Fast path: the inner loop advances every access stream by 8 bytes
+    /// per iteration, so all streams cross cache-line boundaries at
+    /// predictable points.  Between two crossings, every load is a
+    /// guaranteed L1 hit of the line its stream just touched and every
+    /// store is a pure coverage merge in the coalescer — so the driver
+    /// executes only the first iteration of each such segment faithfully
+    /// and accounts the rest in bulk, at one cache probe per line instead
+    /// of one per element.  The result is bit-identical to
+    /// [`drive_scalar`](Self::drive_scalar): the bulk phase performs no
+    /// fills or stream transitions, leaves the same final LRU order (the
+    /// streams are visited in operand order, like the last scalar
+    /// iteration) and counts the same hits; whenever its preconditions
+    /// cannot be proven (a misaligned operand base, a line evicted or a
+    /// stream displaced within the first iteration) it falls back to the
+    /// scalar path for the affected span.
     pub fn drive(&self, core: &mut CoreSim) {
+        // Element accesses below assume 8-byte-aligned operands (true for
+        // every simulated allocation); otherwise elements straddle lines
+        // and the segment bookkeeping no longer holds.
+        if self.operands.iter().any(|op| op.base % ELEM_BYTES != 0) {
+            self.drive_scalar(core);
+            return;
+        }
+        let mut streams: Vec<StencilStream> = Vec::new();
+        for k in self.k0..self.k0 + self.rows {
+            streams.clear();
+            for op in &self.operands {
+                for &(di, dk) in &op.offsets {
+                    streams.push(StencilStream {
+                        kind: op.kind,
+                        row_base: self.addr(op.base, self.i0 as i64 + di, k as i64 + dk),
+                    });
+                }
+            }
+            self.drive_row(core, &streams);
+        }
+    }
+
+    /// Drive one row given the flattened streams positioned at `i0`.
+    fn drive_row(&self, core: &mut CoreSim, streams: &[StencilStream]) {
+        let mut done = 0u64; // inner iterations completed
+        while done < self.inner {
+            // Execute the segment's first iteration faithfully, in the
+            // scalar operand order (this is where line crossings, cache
+            // fills and coalescer transitions happen).
+            for s in streams {
+                scalar_access(core, s.kind, s.row_base + done * ELEM_BYTES);
+            }
+            // The segment extends until any stream reaches its next line
+            // boundary (each stream advances 8 bytes per iteration and is
+            // 8-aligned, so the residual is exact).
+            let mut seg = self.inner - done;
+            for s in streams {
+                let addr = s.row_base + done * ELEM_BYTES;
+                seg = seg.min((LINE_BYTES - addr % LINE_BYTES) / ELEM_BYTES);
+            }
+            if seg > 1 {
+                // Bulk preconditions: every load line resident in L1 and
+                // every store stream still open on its line.  After the
+                // faithful first iteration this is the overwhelmingly
+                // common case; it can only fail if that iteration evicted
+                // one of its own lines or displaced a store stream.
+                let provable = streams.iter().all(|s| {
+                    let line = line_of(s.row_base + done * ELEM_BYTES);
+                    match s.kind {
+                        AccessKind::Load => core.l1_contains(line),
+                        AccessKind::Store => core.coalescer_at_line(line, false),
+                        AccessKind::StoreNT => core.coalescer_at_line(line, true),
+                    }
+                });
+                if provable {
+                    for s in streams {
+                        let addr = s.row_base + (done + 1) * ELEM_BYTES;
+                        let line = line_of(addr);
+                        match s.kind {
+                            AccessKind::Load => {
+                                let resident = core.l1_touch_repeat(line, seg - 1);
+                                debug_assert!(resident, "bulk phase cannot evict");
+                            }
+                            AccessKind::Store => core.store_line_segment(
+                                line,
+                                addr % LINE_BYTES,
+                                (seg - 1) * ELEM_BYTES,
+                                false,
+                            ),
+                            AccessKind::StoreNT => core.store_line_segment(
+                                line,
+                                addr % LINE_BYTES,
+                                (seg - 1) * ELEM_BYTES,
+                                true,
+                            ),
+                        }
+                    }
+                } else {
+                    for step in 1..seg {
+                        for s in streams {
+                            scalar_access(core, s.kind, s.row_base + (done + step) * ELEM_BYTES);
+                        }
+                    }
+                }
+            }
+            done += seg;
+        }
+    }
+
+    /// Per-element reference implementation (bit-identical, slower).
+    pub fn drive_scalar(&self, core: &mut CoreSim) {
         for k in self.k0..self.k0 + self.rows {
             for i in self.i0..self.i0 + self.inner {
                 for op in &self.operands {
                     for &(di, dk) in &op.offsets {
                         let addr = self.addr(op.base, i as i64 + di, k as i64 + dk);
-                        match op.kind {
-                            AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
-                            AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
-                            AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
-                        }
+                        scalar_access(core, op.kind, addr);
                     }
                 }
             }
@@ -168,6 +302,19 @@ mod tests {
     fn serial_core() -> CoreSim {
         let m = icelake_sp_8360y();
         CoreSim::new(&m, OccupancyContext::serial(&m), CoreSimOptions::default())
+    }
+
+    fn loaded_core() -> CoreSim {
+        let m = icelake_sp_8360y();
+        let ctx = OccupancyContext::compact(&m, m.total_cores());
+        CoreSim::new(
+            &m,
+            ctx,
+            CoreSimOptions {
+                l3_sharers: 36,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -220,11 +367,38 @@ mod tests {
     }
 
     #[test]
-    fn stencil_row_sweep_copy_traffic() {
-        // A plain copy stencil: read b(i,k), write a(i,k).
-        let mut core = serial_core();
-        let stride = 2048u64;
-        let sweep = StencilRowSweep {
+    fn array_and_row_sweeps_match_their_scalar_reference() {
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::StoreNT] {
+            let sweep = ArraySweep {
+                base: 24,
+                elements: 700,
+                kind,
+            };
+            let mut fast = serial_core();
+            let mut slow = serial_core();
+            sweep.drive(&mut fast);
+            sweep.drive_scalar(&mut slow);
+            assert_eq!(fast.cache_stats(), slow.cache_stats());
+            assert_eq!(fast.flush(), slow.flush());
+
+            let rowsweep = RowSweep {
+                base: 8 * 3,
+                inner: 216,
+                halo: 5,
+                rows: 12,
+                kind,
+            };
+            let mut fast = loaded_core();
+            let mut slow = loaded_core();
+            rowsweep.drive(&mut fast);
+            rowsweep.drive_scalar(&mut slow);
+            assert_eq!(fast.cache_stats(), slow.cache_stats());
+            assert_eq!(fast.flush(), slow.flush());
+        }
+    }
+
+    fn copy_stencil(stride: u64, i0: u64, inner: u64, rows: u64) -> StencilRowSweep {
+        StencilRowSweep {
             operands: vec![
                 StencilOperand {
                     base: 1 << 30,
@@ -238,11 +412,19 @@ mod tests {
                 },
             ],
             row_stride: stride,
-            i0: 0,
-            inner: stride,
+            i0,
+            inner,
             k0: 1,
-            rows: 4,
-        };
+            rows,
+        }
+    }
+
+    #[test]
+    fn stencil_row_sweep_copy_traffic() {
+        // A plain copy stencil: read b(i,k), write a(i,k).
+        let mut core = serial_core();
+        let stride = 2048u64;
+        let sweep = copy_stencil(stride, 0, stride, 4);
         sweep.drive(&mut core);
         let c = core.flush();
         let it = sweep.iterations() as f64;
@@ -289,6 +471,69 @@ mod tests {
             bytes_per_it < 30.0,
             "LC satisfied should give ~24-26 B/it, got {bytes_per_it}"
         );
+    }
+
+    #[test]
+    fn stencil_drive_matches_scalar_reference() {
+        // Shapes covering unaligned starts, short rows and neighbour
+        // offsets, under both serial and loaded occupancy.
+        let sweeps = [
+            copy_stencil(221, 2, 216, 8),
+            copy_stencil(67, 1, 63, 6),
+            StencilRowSweep {
+                operands: vec![
+                    StencilOperand {
+                        base: 1 << 30,
+                        offsets: vec![(0, 1), (-1, 0), (1, 0), (0, -1)],
+                        kind: AccessKind::Load,
+                    },
+                    StencilOperand {
+                        base: (1 << 31) + 8,
+                        offsets: vec![(0, 0), (1, 0)],
+                        kind: AccessKind::Load,
+                    },
+                    StencilOperand {
+                        base: 1 << 32,
+                        offsets: vec![(0, 0)],
+                        kind: AccessKind::Store,
+                    },
+                    StencilOperand {
+                        base: 1 << 33,
+                        offsets: vec![(0, 0)],
+                        kind: AccessKind::StoreNT,
+                    },
+                ],
+                row_stride: 529,
+                i0: 2,
+                inner: 525,
+                k0: 1,
+                rows: 7,
+            },
+        ];
+        for (n, sweep) in sweeps.iter().enumerate() {
+            for mk in [serial_core as fn() -> CoreSim, loaded_core] {
+                let mut fast = mk();
+                let mut slow = mk();
+                sweep.drive(&mut fast);
+                sweep.drive_scalar(&mut slow);
+                assert_eq!(fast.cache_stats(), slow.cache_stats(), "sweep {n}");
+                assert_eq!(fast.flush(), slow.flush(), "sweep {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_misaligned_base_falls_back_to_scalar() {
+        // A 4-byte-aligned operand cannot use the segment fast path; the
+        // driver must still produce the scalar result.
+        let mut sweep = copy_stencil(128, 0, 128, 3);
+        sweep.operands[0].base += 4;
+        let mut fast = serial_core();
+        let mut slow = serial_core();
+        sweep.drive(&mut fast);
+        sweep.drive_scalar(&mut slow);
+        assert_eq!(fast.cache_stats(), slow.cache_stats());
+        assert_eq!(fast.flush(), slow.flush());
     }
 
     #[test]

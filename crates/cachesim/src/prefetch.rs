@@ -104,11 +104,21 @@ impl StreamerPrefetcher {
         }
     }
 
-    /// Inform the prefetcher about a demand read miss at `line`.  Returns the
-    /// lines it wants to prefetch (possibly empty).
-    pub fn on_demand_miss(&mut self, line: u64) -> Vec<u64> {
+    /// Forget every tracked stream and adopt a new lookahead distance,
+    /// reusing the table allocation (the cheap counterpart of `new` used by
+    /// `CoreSim::reset`).
+    pub fn reset(&mut self, distance: u64) {
+        self.streams.clear();
+        self.distance = distance;
+    }
+
+    /// Inform the prefetcher about a demand read miss at `line`.  Returns
+    /// the contiguous range of lines it wants to prefetch, if any — the
+    /// streamer always requests a gap-free window ahead of the stream, so a
+    /// `Range` conveys it without allocating.
+    pub fn on_demand_miss(&mut self, line: u64) -> Option<std::ops::Range<u64>> {
         if self.distance == 0 {
-            return Vec::new();
+            return None;
         }
         let page = line / PAGE_LINES;
         let page_end = (page + 1) * PAGE_LINES;
@@ -120,17 +130,17 @@ impl StreamerPrefetcher {
             } else {
                 s.ascending_hits = 0;
                 s.prefetched_up_to = line;
-                return Vec::new();
+                return None;
             }
             if s.ascending_hits >= 2 {
                 let start = s.prefetched_up_to.max(line) + 1;
                 let end = (line + self.distance + 1).min(page_end);
                 if start < end {
                     s.prefetched_up_to = end - 1;
-                    return (start..end).collect();
+                    return Some(start..end);
                 }
             }
-            Vec::new()
+            None
         } else {
             self.streams.insert(
                 page,
@@ -140,7 +150,7 @@ impl StreamerPrefetcher {
                     prefetched_up_to: line,
                 },
             );
-            Vec::new()
+            None
         }
     }
 }
@@ -160,14 +170,13 @@ mod tests {
     #[test]
     fn streamer_needs_a_sequential_run_before_prefetching() {
         let mut p = StreamerPrefetcher::new(4);
-        assert!(p.on_demand_miss(100).is_empty());
-        assert!(p.on_demand_miss(101).is_empty());
-        let pf = p.on_demand_miss(102);
-        assert!(
-            !pf.is_empty(),
-            "third sequential miss should trigger prefetch"
-        );
-        assert!(pf.iter().all(|&l| l > 102));
+        assert!(p.on_demand_miss(100).is_none());
+        assert!(p.on_demand_miss(101).is_none());
+        let pf = p
+            .on_demand_miss(102)
+            .expect("third sequential miss should trigger prefetch");
+        assert!(pf.start > 102);
+        assert!(!pf.is_empty());
     }
 
     #[test]
@@ -178,7 +187,7 @@ mod tests {
         p.on_demand_miss(page_last - 1);
         let pf = p.on_demand_miss(page_last);
         assert!(
-            pf.is_empty(),
+            pf.is_none(),
             "prefetch must stop at the page boundary, got {pf:?}"
         );
     }
@@ -188,11 +197,11 @@ mod tests {
         let mut p = StreamerPrefetcher::new(4);
         p.on_demand_miss(10);
         p.on_demand_miss(11);
-        assert!(!p.on_demand_miss(12).is_empty());
+        assert!(p.on_demand_miss(12).is_some());
         // Jump backwards: the stream resets and needs a new run.
-        assert!(p.on_demand_miss(5).is_empty());
-        assert!(p.on_demand_miss(6).is_empty());
-        assert!(!p.on_demand_miss(7).is_empty());
+        assert!(p.on_demand_miss(5).is_none());
+        assert!(p.on_demand_miss(6).is_none());
+        assert!(p.on_demand_miss(7).is_some());
     }
 
     #[test]
@@ -200,19 +209,32 @@ mod tests {
         let mut p = StreamerPrefetcher::new(4);
         p.on_demand_miss(20);
         p.on_demand_miss(21);
-        let first = p.on_demand_miss(22);
-        let second = p.on_demand_miss(23);
+        let first = p.on_demand_miss(22).unwrap_or(0..0);
+        let second = p.on_demand_miss(23).unwrap_or(0..0);
         // The second batch must not contain lines already prefetched.
-        for l in &second {
-            assert!(!first.contains(l));
-        }
+        assert!(second.start >= first.end);
     }
 
     #[test]
     fn zero_distance_streamer_is_inert() {
         let mut p = StreamerPrefetcher::new(0);
         for l in 0..10 {
-            assert!(p.on_demand_miss(l).is_empty());
+            assert!(p.on_demand_miss(l).is_none());
         }
+    }
+
+    #[test]
+    fn reset_forgets_streams_and_adopts_new_distance() {
+        let mut p = StreamerPrefetcher::new(4);
+        p.on_demand_miss(10);
+        p.on_demand_miss(11);
+        assert!(p.on_demand_miss(12).is_some());
+        p.reset(8);
+        // History is gone: a new sequential run is needed again.
+        assert!(p.on_demand_miss(13).is_none());
+        assert!(p.on_demand_miss(14).is_none());
+        let pf = p.on_demand_miss(15).expect("stream re-detected");
+        // And the new lookahead distance is in effect.
+        assert_eq!(pf.end - pf.start, 8);
     }
 }

@@ -18,10 +18,12 @@ pub mod driver;
 pub mod field;
 pub mod halo;
 pub mod kernels;
+pub mod traffic;
 
 pub use chunk::Chunk;
 pub use driver::{RunSummary, SimConfig, Simulation};
 pub use field::Field2D;
+pub use traffic::{timestep_kernels, timestep_traffic, KernelTraffic, KernelTrafficReport};
 
 /// Ratio of specific heats of the ideal-gas equation of state.
 pub const GAMMA: f64 = 1.4;

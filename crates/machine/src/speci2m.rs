@@ -174,6 +174,12 @@ impl SpecI2MParams {
             return 0.0;
         }
         let ramp = self.activation_ramp(ctx.domain_utilization);
+        if ramp <= 0.0 {
+            // Below the activation utilisation the product is exactly zero;
+            // skip the per-line exp() of the streak response (the store
+            // path of every serial measurement lands here).
+            return 0.0;
+        }
         let streams = self.stream_response.factor(ctx.store_streams);
         let streak = self.streak_response(ctx.streak_lines);
         let node = self.node_population_factor(ctx.active_domains, ctx.total_domains);

@@ -8,7 +8,7 @@
 //! reports the measured code balance.  The same module powers the
 //! row-sampling ablation bench referenced in `DESIGN.md`.
 
-use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use clover_cachesim::hierarchy::{CoreSimOptions, DomainOccupancy, OccupancyContext};
 use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
 use clover_cachesim::PrefetcherConfig;
 use clover_cachesim::{AccessKind, CoreSim, MemCounters};
@@ -90,10 +90,8 @@ impl LoopMeasurement {
 /// configuration.
 pub fn measure_loop(machine: &Machine, spec: &LoopSpec, cfg: &MeasureConfig) -> LoopMeasurement {
     let ctx = OccupancyContext::compact(machine, cfg.ranks);
-    let per_domain = machine.topology.active_cores_per_domain(cfg.ranks);
-    let busiest = per_domain.iter().copied().max().unwrap_or(1);
-    let sharers =
-        (busiest * machine.topology.domains_per_socket()).clamp(1, machine.caches.l3_sharers);
+    let occ = DomainOccupancy::compact(machine, cfg.ranks);
+    let sharers = DomainOccupancy::l3_sharers(machine, occ.busiest);
     let mut core = CoreSim::new(
         machine,
         ctx,

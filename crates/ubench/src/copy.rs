@@ -13,9 +13,37 @@
 //!   halos create partial cache lines that defeat the evasion; short inner
 //!   dimensions defeat it even for aligned halos.
 
-use clover_cachesim::patterns::RowSweep;
+use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
 use clover_cachesim::{AccessKind, NodeSim, SimConfig};
 use clover_machine::Machine;
+
+/// The interleaved copy kernel (`load b(i); store a(i)` per iteration) as a
+/// two-operand stencil sweep: `rows` batches of `inner` elements whose
+/// starts are `inner + halo` elements apart.  Expressing it this way runs
+/// it on the batched line-granular driver while preserving the exact
+/// element-interleaved access order of the patched TheBandwidthBenchmark
+/// copy.
+fn copy_sweep(src: u64, dst: u64, inner: u64, halo: u64, rows: u64) -> StencilRowSweep {
+    StencilRowSweep {
+        operands: vec![
+            StencilOperand {
+                base: src,
+                offsets: vec![(0, 0)],
+                kind: AccessKind::Load,
+            },
+            StencilOperand {
+                base: dst,
+                offsets: vec![(0, 0)],
+                kind: AccessKind::Store,
+            },
+        ],
+        row_stride: inner + halo,
+        i0: 0,
+        inner,
+        k0: 0,
+        rows,
+    }
+}
 
 /// One point of the Fig. 6 experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,10 +82,7 @@ pub fn copy_volume_per_iteration(machine: &Machine, threads: usize) -> CopyVolum
     let sim = NodeSim::new(SimConfig::new(machine.clone(), threads));
     let report = sim.run_spmd(|rank, core| {
         let base = (rank as u64 + 1) << 40;
-        for i in 0..COPY_ELEMENTS {
-            core.load(base + i * 8, 8);
-            core.store(base + (1 << 30) + i * 8, 8);
-        }
+        copy_sweep(base, base + (1 << 30), COPY_ELEMENTS, 0, 1).drive(core);
     });
     let iterations = (threads as u64 * COPY_ELEMENTS) as f64;
     CopyVolumePoint {
@@ -84,27 +109,7 @@ pub fn copy_halo_ratio(
     let sim = NodeSim::new(config);
     let report = sim.run_spmd(|rank, core| {
         let base = (rank as u64 + 1) << 40;
-        let src = RowSweep {
-            base,
-            inner: inner as u64,
-            halo: halo as u64,
-            rows: HALO_ROWS,
-            kind: AccessKind::Load,
-        };
-        let dst = RowSweep {
-            base: base + (1 << 32),
-            inner: inner as u64,
-            halo: halo as u64,
-            rows: HALO_ROWS,
-            kind: AccessKind::Store,
-        };
-        // Interleave row by row like the patched TheBandwidthBenchmark copy.
-        for row in 0..HALO_ROWS {
-            for i in 0..inner as u64 {
-                core.load(src.addr(row, i), 8);
-                core.store(dst.addr(row, i), 8);
-            }
-        }
+        copy_sweep(base, base + (1 << 32), inner as u64, halo as u64, HALO_ROWS).drive(core);
     });
     CopyHaloPoint {
         inner,

@@ -6,7 +6,8 @@
 //! divided by the explicitly initiated store volume: 2.0 means every store
 //! needs a write-allocate, 1.0 means all write-allocates are evaded.
 
-use clover_cachesim::{NodeSim, SimConfig};
+use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
+use clover_cachesim::{AccessKind, NodeSim, SimConfig};
 use clover_machine::Machine;
 
 /// Store flavour used by the benchmark.
@@ -43,20 +44,32 @@ pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreK
         (1..=3).contains(&streams),
         "the paper uses 1-3 store streams"
     );
+    let access = match kind {
+        StoreKind::Normal => AccessKind::Store,
+        StoreKind::NonTemporal => AccessKind::StoreNT,
+    };
     let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
     let report = sim.run_spmd(|rank, core| {
         let rank_base = (rank as u64 + 1) << 40;
-        for i in 0..ELEMENTS_PER_STREAM {
-            for s in 0..streams as u64 {
-                // Streams live far apart so they form independent write
-                // streams (identical to the likwid-bench store kernels).
-                let addr = rank_base + (s << 30) + i * 8;
-                match kind {
-                    StoreKind::Normal => core.store(addr, 8),
-                    StoreKind::NonTemporal => core.store_nt(addr, 8),
-                }
-            }
-        }
+        // Streams live far apart so they form independent write streams
+        // (identical to the likwid-bench store kernels).  One operand per
+        // stream reproduces the element-interleaved store order of the real
+        // kernel through the batched line-granular driver.
+        let sweep = StencilRowSweep {
+            operands: (0..streams as u64)
+                .map(|s| StencilOperand {
+                    base: rank_base + (s << 30),
+                    offsets: vec![(0, 0)],
+                    kind: access,
+                })
+                .collect(),
+            row_stride: ELEMENTS_PER_STREAM,
+            i0: 0,
+            inner: ELEMENTS_PER_STREAM,
+            k0: 0,
+            rows: 1,
+        };
+        sweep.drive(core);
     });
     let initiated = (cores as u64 * streams as u64 * ELEMENTS_PER_STREAM * 8) as f64;
     report.total_bytes() / initiated

@@ -1,0 +1,189 @@
+//! Property tests proving the batched line-granular fast path is
+//! bit-identical to the scalar per-element simulator: same `MemCounters`
+//! and same per-level hit/miss counts for arbitrary bases, run lengths,
+//! access kinds, head/tail misalignment and occupancy — plus the
+//! representative-core regression of the `CoreSim::reset` reuse.
+
+use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
+use cloverleaf_wa::cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
+use cloverleaf_wa::cachesim::{
+    AccessKind, AccessRun, CoreSim, NodeSim, PrefetcherConfig, SimConfig,
+};
+use cloverleaf_wa::machine::{icelake_sp_8360y, Machine};
+use proptest::prelude::*;
+
+const KINDS: [AccessKind; 3] = [AccessKind::Load, AccessKind::Store, AccessKind::StoreNT];
+
+fn core_for(machine: &Machine, ranks: usize, prefetchers: bool) -> CoreSim {
+    let ctx = OccupancyContext::compact(machine, ranks);
+    CoreSim::new(
+        machine,
+        ctx,
+        CoreSimOptions {
+            prefetchers: if prefetchers {
+                PrefetcherConfig::enabled()
+            } else {
+                PrefetcherConfig::disabled()
+            },
+            l3_sharers: ranks.min(36),
+            ..Default::default()
+        },
+    )
+}
+
+/// Feed one run element by element through the scalar API.
+fn drive_scalar_run(core: &mut CoreSim, run: AccessRun) {
+    for i in 0..run.elements {
+        let addr = run.base + i * 8;
+        match run.kind {
+            AccessKind::Load => core.load(addr, 8),
+            AccessKind::Store => core.store(addr, 8),
+            AccessKind::StoreNT => core.store_nt(addr, 8),
+        }
+    }
+}
+
+/// Assert scalar and batched execution of `runs` agree bit for bit.
+fn assert_equivalent(machine: &Machine, ranks: usize, prefetchers: bool, runs: &[AccessRun]) {
+    let mut scalar = core_for(machine, ranks, prefetchers);
+    let mut batched = core_for(machine, ranks, prefetchers);
+    for &run in runs {
+        drive_scalar_run(&mut scalar, run);
+        batched.drive_run(run);
+    }
+    assert_eq!(
+        scalar.cache_stats(),
+        batched.cache_stats(),
+        "hit/miss mismatch for {runs:?}"
+    );
+    assert_eq!(scalar.flush(), batched.flush(), "counter mismatch");
+}
+
+proptest! {
+    /// One run of any kind, any byte alignment of the base (including
+    /// non-8-aligned bases whose elements straddle cache lines) and any
+    /// length is bit-identical under any occupancy.
+    #[test]
+    fn single_run_matches_scalar(
+        base_align in 0u64..130,
+        elements in 0u64..1500,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let run = AccessRun {
+            base: (1 << 22) + base_align,
+            elements,
+            kind: KINDS[kind_idx],
+        };
+        assert_equivalent(&machine, ranks, true, &[run]);
+    }
+
+    /// Alternating load/store runs over two arrays with a halo-induced
+    /// misaligned row start (the copy microbenchmark shape), prefetchers
+    /// on and off.
+    #[test]
+    fn interleaved_rows_match_scalar(
+        inner in 1u64..300,
+        halo in 0u64..18,
+        rows in 1u64..6,
+        pf in 0usize..2,
+    ) {
+        let machine = icelake_sp_8360y();
+        let mut runs = Vec::new();
+        for row in 0..rows {
+            let off = row * (inner + halo) * 8;
+            runs.push(AccessRun::load((1 << 33) + off, inner));
+            runs.push(AccessRun::store((1 << 30) + off, inner));
+        }
+        assert_equivalent(&machine, 72, pf == 0, &runs);
+    }
+
+    /// The segmented stencil driver equals its scalar reference for random
+    /// row geometries and operand mixes.
+    #[test]
+    fn stencil_driver_matches_scalar(
+        stride_extra in 0u64..9,
+        inner in 8u64..260,
+        rows in 1u64..5,
+        store_kind in 0usize..2,
+    ) {
+        let machine = icelake_sp_8360y();
+        let sweep = StencilRowSweep {
+            operands: vec![
+                StencilOperand {
+                    base: 1 << 30,
+                    offsets: vec![(0, 0), (1, 0), (-1, 0), (0, -1)],
+                    kind: AccessKind::Load,
+                },
+                StencilOperand {
+                    base: 1 << 33,
+                    offsets: vec![(0, 0)],
+                    kind: if store_kind == 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::StoreNT
+                    },
+                },
+            ],
+            row_stride: inner + stride_extra + 2,
+            i0: 1,
+            inner,
+            k0: 1,
+            rows,
+        };
+        let mut fast = core_for(&machine, 72, true);
+        let mut slow = core_for(&machine, 72, true);
+        sweep.drive(&mut fast);
+        sweep.drive_scalar(&mut slow);
+        prop_assert_eq!(fast.cache_stats(), slow.cache_stats());
+        prop_assert_eq!(fast.flush(), slow.flush());
+    }
+
+    /// The row-sweep driver equals its scalar reference.
+    #[test]
+    fn row_sweep_matches_scalar(
+        base_align in 0u64..64,
+        inner in 1u64..300,
+        halo in 0u64..18,
+        kind_idx in 0usize..3,
+    ) {
+        let machine = icelake_sp_8360y();
+        let sweep = RowSweep {
+            base: (1 << 28) + base_align,
+            inner,
+            halo,
+            rows: 4,
+            kind: KINDS[kind_idx],
+        };
+        let mut fast = core_for(&machine, 1, true);
+        let mut slow = core_for(&machine, 1, true);
+        sweep.drive(&mut fast);
+        sweep.drive_scalar(&mut slow);
+        prop_assert_eq!(fast.cache_stats(), slow.cache_stats());
+        prop_assert_eq!(fast.flush(), slow.flush());
+    }
+
+    /// Regression for the `CoreSim::reset` reuse inside the node loops:
+    /// with every domain equally loaded the representative-core fast path
+    /// must equal the exact per-rank simulation (identical per-rank
+    /// counters; totals up to float summation order).
+    #[test]
+    fn run_spmd_equals_exact_on_uniform_occupancy(
+        elements in 128u64..1024,
+        ranks in prop::sample::select(vec![18usize, 36, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let sim = NodeSim::new(SimConfig::new(machine, ranks));
+        let kernel = move |rank: usize, core: &mut CoreSim| {
+            core.drive_run(AccessRun::store((rank as u64) << 36, elements));
+        };
+        let fast = sim.run_spmd(kernel);
+        let exact = sim.run_spmd_exact(kernel);
+        prop_assert_eq!(fast.per_rank, exact.per_rank);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        prop_assert!(rel(fast.total.read_lines, exact.total.read_lines) < 1e-12);
+        prop_assert!(rel(fast.total.write_lines, exact.total.write_lines) < 1e-12);
+        prop_assert!(rel(fast.total.itom_lines, exact.total.itom_lines.max(1e-12)) < 1e-9);
+    }
+}
