@@ -1,0 +1,62 @@
+//! Criterion benches of the scaling-curve hot loop: the per-point
+//! `ScalingModel` reference against the hoisted `ScalingEngine`, and a full
+//! 72-point curve unmemoized versus through a `SweepMemo` (cold: first
+//! evaluation; warm: a second consumer of the same curve, the fig2+fig3
+//! shape).  The `figures bench` harness reports the same paths as
+//! machine-readable throughput; these benches give per-loop timings for
+//! interactive tuning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use clover_core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions, TINY_GRID};
+use clover_machine::icelake_sp_8360y;
+
+/// One scaling point: reference model versus hoisted engine.
+fn point_evaluators(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let model = ScalingModel::new(machine.clone());
+    let engine = ScalingEngine::new(machine, TINY_GRID);
+    let mut g = c.benchmark_group("scaling_sweep/point72");
+    g.sample_size(30);
+    g.bench_function("model", |b| {
+        b.iter(|| std::hint::black_box(model.point(72, &TrafficOptions::original(72))))
+    });
+    g.bench_function("engine", |b| {
+        b.iter(|| std::hint::black_box(engine.point(72, &TrafficOptions::original(72))))
+    });
+    g.finish();
+}
+
+/// The full 72-point curve: unmemoized model sweep, cold memoized engine
+/// sweep, and the warm second consumer of the same curve.
+fn curve_sweeps(c: &mut Criterion) {
+    let machine = icelake_sp_8360y();
+    let model = ScalingModel::new(machine.clone());
+    let engine = ScalingEngine::new(machine, TINY_GRID);
+    let mut g = c.benchmark_group("scaling_sweep/curve72");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(72));
+    g.bench_function("model_sweep", |b| {
+        b.iter(|| std::hint::black_box(model.sweep(72, TrafficOptions::original)))
+    });
+    for (name, consumers) in [("engine_memo_cold", 1usize), ("engine_memo_warm", 2)] {
+        g.bench_with_input(
+            BenchmarkId::new("memoized", name),
+            &consumers,
+            |b, &consumers| {
+                b.iter(|| {
+                    let memo = SweepMemo::new();
+                    let mut last = Vec::new();
+                    for _ in 0..consumers {
+                        last = engine.sweep_range_memo(1..=72, TrafficOptions::original, &memo);
+                    }
+                    std::hint::black_box(last)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, point_evaluators, curve_sweeps);
+criterion_main!(benches);

@@ -18,10 +18,14 @@
 //!                                       # machine × grid × ranks × stage
 //!                                       # plan on N worker threads
 //! figures bench [--json] [--quick] [--label <name>]
+//!               [--baseline <BENCH_*.json> [--max-regression <pct>]]
 //!                                # perf-trajectory harness: simulator
 //!                                # throughput per pattern (elements/sec);
 //!                                # `--json > BENCH_<PR>.json` records a
-//!                                # baseline, `--quick` is the CI sizing
+//!                                # baseline, `--quick` is the CI sizing,
+//!                                # `--max-regression` exits 1 when any
+//!                                # same-name pattern slows past the
+//!                                # threshold vs the baseline
 //! ```
 //!
 //! Experiment names must be unique, known, and not mixed with `all`.
@@ -282,18 +286,19 @@ fn bench_usage_error(message: &str) -> ExitCode {
     eprintln!("figures bench: {message}");
     eprintln!(
         "usage: figures bench [--json] [--quick] [--label <name>] \
-         [--baseline <BENCH_*.json>]"
+         [--baseline <BENCH_*.json>] [--max-regression <pct>]"
     );
     ExitCode::from(2)
 }
 
 /// Options of the `figures bench` subcommand.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 struct BenchOptions {
     json: bool,
     quick: bool,
     label: String,
     baseline: Option<String>,
+    max_regression: Option<f64>,
 }
 
 /// Parse the arguments after the `bench` keyword.
@@ -302,6 +307,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
     let mut quick = false;
     let mut label: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut max_regression: Option<f64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -333,14 +339,35 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
                 }
                 baseline = Some(value.clone());
             }
+            "--max-regression" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--max-regression needs a percentage".to_string())?;
+                if max_regression.is_some() {
+                    return Err("--max-regression given twice".to_string());
+                }
+                let pct: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--max-regression: '{value}' is not a number"))?;
+                if !pct.is_finite() || !(0.0..100.0).contains(&pct) {
+                    return Err(format!(
+                        "--max-regression: {pct} must be a percentage in [0, 100)"
+                    ));
+                }
+                max_regression = Some(pct);
+            }
             other => return Err(format!("bench: unexpected argument '{other}'")),
         }
+    }
+    if max_regression.is_some() && baseline.is_none() {
+        return Err("--max-regression requires --baseline".to_string());
     }
     Ok(BenchOptions {
         json,
         quick,
         label: label.unwrap_or_else(|| "current".to_string()),
         baseline,
+        max_regression,
     })
 }
 
@@ -374,6 +401,18 @@ fn bench_main(args: &[String], out: &mut impl Write) -> ExitCode {
         emit(out, format_args!("{}", report.to_json()));
     } else {
         emit(out, format_args!("{}", report.to_text()));
+    }
+    if let (Some(max_pct), Some(baseline)) = (opts.max_regression, &baseline) {
+        let regressions = report.regressions(baseline, max_pct);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!(
+                    "figures bench: {} regressed to {:.2}x of {} (limit {:.0}%)",
+                    r.name, r.factor, baseline.label, max_pct
+                );
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -629,6 +668,7 @@ mod tests {
                 quick: false,
                 label: "current".into(),
                 baseline: None,
+                max_regression: None,
             }
         );
         let opts = parse_bench_args(&args(&[
@@ -638,11 +678,14 @@ mod tests {
             "PR9",
             "--baseline",
             "BENCH_PR4.json",
+            "--max-regression",
+            "40",
         ]))
         .unwrap();
         assert!(opts.json && opts.quick);
         assert_eq!(opts.label, "PR9");
         assert_eq!(opts.baseline.as_deref(), Some("BENCH_PR4.json"));
+        assert_eq!(opts.max_regression, Some(40.0));
     }
 
     #[test]
@@ -655,6 +698,32 @@ mod tests {
         assert!(parse_bench_args(&args(&["--baseline", "a", "--baseline", "b"])).is_err());
         assert!(parse_bench_args(&args(&["fig2"])).is_err());
         assert!(parse_bench_args(&args(&["--jobs", "2"])).is_err());
+    }
+
+    #[test]
+    fn max_regression_needs_a_baseline_and_a_sane_percentage() {
+        // Without --baseline there is nothing to regress against.
+        let err = parse_bench_args(&args(&["--max-regression", "40"])).unwrap_err();
+        assert!(err.contains("requires --baseline"), "{err}");
+        for bad in ["NaN", "inf", "-5", "100", "150", "pct"] {
+            assert!(
+                parse_bench_args(&args(&["--baseline", "b.json", "--max-regression", bad]))
+                    .is_err(),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(parse_bench_args(&args(&[
+            "--baseline",
+            "b.json",
+            "--max-regression",
+            "40",
+            "--max-regression",
+            "50"
+        ]))
+        .is_err());
+        let opts =
+            parse_bench_args(&args(&["--baseline", "b.json", "--max-regression", "0"])).unwrap();
+        assert_eq!(opts.max_regression, Some(0.0));
     }
 
     #[test]

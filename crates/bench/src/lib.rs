@@ -19,6 +19,7 @@ pub mod sweep;
 pub use perf::{run_perf_bench, BaselineReport, BenchReport, BenchResult, Speedup};
 pub use sweep::{canned_sweep_plan, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
 
+use clover_cachesim::SimMemo;
 use clover_core::decomp::Decomposition;
 use clover_core::TINY_GRID;
 use clover_core::{
@@ -27,7 +28,9 @@ use clover_core::{
 use clover_golden::{check_artifact, golden, markdown_delta_table, Artifact, Cell, DiffReport};
 use clover_machine::{icelake_sp_8360y, sapphire_rapids_8470, sapphire_rapids_8480, Machine};
 use clover_stencil::{cloverleaf_loops, CodeBalance, PAPER_MEASURED_SINGLE_CORE};
-use clover_ubench::{copy_halo_ratio, copy_volume_per_iteration, store_ratio, StoreKind};
+use clover_ubench::{
+    copy_halo_ratio_memo, copy_volume_per_iteration_memo, store_ratio_memo, StoreKind,
+};
 
 /// All experiment identifiers the harness knows about.
 pub const EXPERIMENTS: [&str; 12] = [
@@ -210,10 +213,12 @@ pub fn fig4() -> Artifact {
 }
 
 /// One store-ratio row: normal stores with 1–3 streams, then NT stores.
-fn store_ratio_cells(machine: &Machine, cores: usize) -> Vec<Cell> {
+/// Every point goes through `memo`, so neighbouring core counts share their
+/// representative-core simulations (bit-identical to the unmemoized path).
+fn store_ratio_cells(machine: &Machine, cores: usize, memo: &SimMemo) -> Vec<Cell> {
     (1..=3)
-        .map(|s| store_ratio(machine, cores, s, StoreKind::Normal))
-        .chain((1..=3).map(|s| store_ratio(machine, cores, s, StoreKind::NonTemporal)))
+        .map(|s| store_ratio_memo(machine, cores, s, StoreKind::Normal, memo))
+        .chain((1..=3).map(|s| store_ratio_memo(machine, cores, s, StoreKind::NonTemporal, memo)))
         .map(Cell::Num)
         .collect()
 }
@@ -227,33 +232,48 @@ fn store_ratio_columns(a: Artifact) -> Artifact {
         .num_column("stnt3", None, 3)
 }
 
+/// One store-ratio row of a figure (`snc` label, core count, six ratios).
+fn store_ratio_row(
+    machine: &Machine,
+    cores: usize,
+    extra: Option<&str>,
+    memo: &SimMemo,
+) -> Vec<Cell> {
+    let mut row: Vec<Cell> = Vec::new();
+    if let Some(label) = extra {
+        row.push(label.into());
+    }
+    row.push(cores.into());
+    row.extend(store_ratio_cells(machine, cores, memo));
+    row
+}
+
+/// The core counts a store-ratio figure samples: `cores` in steps of `step`.
+fn store_ratio_core_axis(cores: std::ops::RangeInclusive<usize>, step: usize) -> Vec<usize> {
+    cores.step_by(step).collect()
+}
+
 fn store_ratio_figure(
     a: &mut Artifact,
     machine: &Machine,
     cores: std::ops::RangeInclusive<usize>,
     step: usize,
     extra: Option<&str>,
+    memo: &SimMemo,
 ) {
-    let mut c = *cores.start();
-    while c <= *cores.end() {
-        let mut row: Vec<Cell> = Vec::new();
-        if let Some(label) = extra {
-            row.push(label.into());
-        }
-        row.push(c.into());
-        row.extend(store_ratio_cells(machine, c));
-        a.push_row(row);
-        c += step;
+    for c in store_ratio_core_axis(cores, step) {
+        a.push_row(store_ratio_row(machine, c, extra, memo));
     }
 }
 
 /// Fig. 5: store ratios on Ice Lake SP.
 pub fn fig5() -> Artifact {
     let machine = icx();
+    let memo = SimMemo::new();
     let mut a = store_ratio_columns(
         Artifact::new("fig5", "store ratios on Ice Lake SP").column("cores", None),
     );
-    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 3, None);
+    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 3, None, &memo);
     a
 }
 
@@ -268,8 +288,9 @@ pub fn fig6() -> Artifact {
     .num_column("read_bytes_per_it", Some("byte/it"), 2)
     .num_column("write_bytes_per_it", Some("byte/it"), 2)
     .num_column("itom_bytes_per_it", Some("byte/it"), 2);
+    let memo = SimMemo::new();
     for threads in 1..=36 {
-        let p = copy_volume_per_iteration(&machine, threads);
+        let p = copy_volume_per_iteration_memo(&machine, threads, &memo);
         a.push_row(vec![
             p.threads.into(),
             p.read_bytes_per_it.into(),
@@ -318,14 +339,25 @@ pub fn fig7() -> Artifact {
 }
 
 fn copy_halo_figure(a: &mut Artifact, machine: &Machine, with_pf_off: bool) {
+    // Every (inner, halo) pair is a distinct kernel, so the memo's value
+    // here is the pooled-core arena reuse across the 18×3(×2) points.
+    let memo = SimMemo::new();
     for halo in 0..=17usize {
         let mut row: Vec<Cell> = vec![halo.into()];
         for &inner in &[216usize, 530, 1920] {
-            row.push(copy_halo_ratio(machine, inner, halo, true).ratio.into());
+            row.push(
+                copy_halo_ratio_memo(machine, inner, halo, true, &memo)
+                    .ratio
+                    .into(),
+            );
         }
         if with_pf_off {
             for &inner in &[216usize, 530, 1920] {
-                row.push(copy_halo_ratio(machine, inner, halo, false).ratio.into());
+                row.push(
+                    copy_halo_ratio_memo(machine, inner, halo, false, &memo)
+                        .ratio
+                        .into(),
+                );
             }
         }
         a.push_row(row);
@@ -370,8 +402,9 @@ pub fn fig9() -> Artifact {
     );
     let on = sapphire_rapids_8470(true);
     let off = sapphire_rapids_8470(false);
-    store_ratio_figure(&mut a, &on, 1..=on.total_cores(), 8, Some("on"));
-    store_ratio_figure(&mut a, &off, 1..=off.total_cores(), 8, Some("off"));
+    let memo = SimMemo::new();
+    store_ratio_figure(&mut a, &on, 1..=on.total_cores(), 8, Some("on"), &memo);
+    store_ratio_figure(&mut a, &off, 1..=off.total_cores(), 8, Some("off"), &memo);
     a
 }
 
@@ -381,7 +414,8 @@ pub fn fig10() -> Artifact {
     let mut a = store_ratio_columns(
         Artifact::new("fig10", "store ratios on SPR 8480+").column("cores", None),
     );
-    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 8, None);
+    let memo = SimMemo::new();
+    store_ratio_figure(&mut a, &machine, 1..=machine.total_cores(), 8, None, &memo);
     a
 }
 

@@ -10,6 +10,16 @@
 //! over the per-element reference — the quantity the PR 4 rewrite is gated
 //! on (≥ 3× on the contiguous store sweep).
 //!
+//! PR 5 adds *sweep-level* patterns: whole scaling curves, sweep plans and
+//! store-ratio curves, each measured once on the PR 4 code path (per-point
+//! `ScalingModel`, unmemoized `run_spmd`) and once through the cross-sweep
+//! memo + nested scaling engine, with the ratios recorded as the
+//! `scaling_curve_72` and `sweep_plan_nested` speedups — the quantities
+//! this PR is gated on (≥ 3×).  The store-curve pair is tracked as plain
+//! measurement rows (its within-curve memo dedup is worth ~1.7-1.9×).
+//! `--baseline` comparisons can additionally be turned into a hard gate
+//! with `--max-regression <pct>` ([`BenchReport::regressions`]).
+//!
 //! Timing uses best-of-`reps` wall-clock (the standard throughput
 //! estimator: the minimum is the run least disturbed by the machine).  The
 //! numbers are hardware-dependent by nature; the JSON is for trajectory
@@ -19,8 +29,11 @@ use std::time::Instant;
 
 use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
 use clover_cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, AccessRun, CoreSim, NodeSim, SimConfig};
-use clover_machine::{icelake_sp_8360y, Machine};
+use clover_cachesim::{AccessKind, AccessRun, CoreSim, NodeSim, SimConfig, SimMemo};
+use clover_core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions, TINY_GRID};
+use clover_machine::{icelake_sp_8360y, Machine, MachinePreset};
+use clover_scenario::{run_scenarios_with, RankRange, Stage, SweepPlan};
+use clover_ubench::{store_ratio, store_ratio_memo, StoreKind};
 
 /// Throughput of one benchmark pattern.
 #[derive(Debug, Clone)]
@@ -103,6 +116,54 @@ impl BenchReport {
         }
     }
 
+    /// Same-name regressions against `baseline` that exceed `max_pct`
+    /// percent: the comparisons behind the `figures bench --max-regression`
+    /// gate.  A returned entry's `factor` is the current value over the
+    /// baseline's (1.0 = unchanged; 0.5 = half); entries below
+    /// `1 - max_pct/100` are regressions.
+    ///
+    /// Two comparison families:
+    ///
+    /// * **throughputs** — compared only when both runs used the same
+    ///   sizing (`quick` flag): patterns with per-measurement fixed costs
+    ///   report far lower element throughput at the reduced sizing, so a
+    ///   quick CI run gating against a full-sizing record would flag
+    ///   phantom regressions;
+    /// * **in-run speedup factors** (e.g. `scaling_curve_72`) — always
+    ///   compared: both sides of each ratio were measured in the same run,
+    ///   making them robust to hardware and sizing differences, and a
+    ///   collapse to ~1× is exactly the "fast path silently fell back"
+    ///   signal the gate exists for.
+    pub fn regressions(&self, baseline: &BaselineReport, max_pct: f64) -> Vec<Speedup> {
+        let floor = 1.0 - max_pct / 100.0;
+        let mut flagged = Vec::new();
+        if baseline.quick == Some(self.quick) {
+            for r in &self.results {
+                if let Some(base) = baseline.throughput(r.name) {
+                    let factor = r.elements_per_sec / base;
+                    if factor < floor {
+                        flagged.push(Speedup {
+                            name: r.name.to_string(),
+                            factor,
+                        });
+                    }
+                }
+            }
+        }
+        for s in &self.speedups {
+            if let Some(base) = baseline.speedup(&s.name) {
+                let factor = s.factor / base;
+                if factor < floor {
+                    flagged.push(Speedup {
+                        name: format!("{}_speedup", s.name),
+                        factor,
+                    });
+                }
+            }
+        }
+        flagged
+    }
+
     /// Machine-readable JSON rendering (the `BENCH_*.json` format).
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self
@@ -157,13 +218,19 @@ impl BenchReport {
 }
 
 /// A previously recorded `BENCH_*.json`, reduced to what trajectory
-/// comparisons need: the label and the per-pattern throughputs.
+/// comparisons need: the label, the sizing flag, the per-pattern
+/// throughputs and the in-run speedup factors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaselineReport {
     /// The recorded report's label (e.g. `PR3`).
     pub label: String,
+    /// Whether the record was taken with the reduced CI sizing (`None` for
+    /// records predating the field).
+    pub quick: Option<bool>,
     /// `(pattern name, elements_per_sec)` pairs.
     pub throughputs: Vec<(String, f64)>,
+    /// `(speedup name, factor)` pairs of the record's in-run ratios.
+    pub speedups: Vec<(String, f64)>,
 }
 
 impl BaselineReport {
@@ -175,40 +242,74 @@ impl BaselineReport {
             .map(|(_, v)| *v)
     }
 
+    /// Recorded speedup factor by name.
+    pub fn speedup(&self, name: &str) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Parse the JSON this harness emits ([`BenchReport::to_json`]).  This
     /// is a schema-specific extractor, not a general JSON parser: it reads
-    /// the top-level `label` and every `"name":"…"` paired with the
-    /// following `"elements_per_sec":…`, which is exactly what the format
-    /// guarantees.  Returns `None` when either is missing or malformed.
+    /// the top-level `label` and `quick` flags and every `"name":"…"`
+    /// paired with the following `"elements_per_sec":…` (result rows) or
+    /// `"factor":…` (speedup rows), which is exactly what the format
+    /// guarantees.  Returns `None` when the label or all rows are missing
+    /// or malformed.
     pub fn parse(json: &str) -> Option<Self> {
         let label = extract_string_field(json, "label")?;
+        let quick = if json.contains("\"quick\":true") {
+            Some(true)
+        } else if json.contains("\"quick\":false") {
+            Some(false)
+        } else {
+            None
+        };
         let mut throughputs = Vec::new();
+        let mut speedups = Vec::new();
         let mut rest = json;
         while let Some(pos) = rest.find("\"name\":\"") {
             let after = &rest[pos + 8..];
             let end = after.find('"')?;
             let name = &after[..end];
             let after_name = &after[end..];
-            // `elements_per_sec` belongs to the same object: it must appear
-            // before the object's closing brace.
+            // The value belongs to the same object: it must appear before
+            // the object's closing brace.
             let close = after_name.find('}')?;
-            if let Some(vpos) = after_name[..close].find("\"elements_per_sec\":") {
-                let vstart = &after_name[vpos + 19..close];
-                let vend = vstart
-                    .find(|c: char| c == ',' || c == '}')
-                    .unwrap_or(vstart.len());
-                let value: f64 = vstart[..vend].trim().parse().ok()?;
+            let field_value = |field: &str| -> Option<Result<f64, ()>> {
+                after_name[..close].find(field).map(|vpos| {
+                    let vstart = &after_name[vpos + field.len()..close];
+                    let vend = vstart
+                        .find(|c: char| c == ',' || c == '}')
+                        .unwrap_or(vstart.len());
+                    vstart[..vend].trim().parse::<f64>().map_err(|_| ())
+                })
+            };
+            if let Some(value) = field_value("\"elements_per_sec\":") {
+                let value = value.ok()?;
                 if !value.is_finite() || value <= 0.0 {
                     return None;
                 }
                 throughputs.push((name.to_string(), value));
+            } else if let Some(value) = field_value("\"factor\":") {
+                let value = value.ok()?;
+                if !value.is_finite() || value <= 0.0 {
+                    return None;
+                }
+                speedups.push((name.to_string(), value));
             }
             rest = &after_name[close..];
         }
         if throughputs.is_empty() {
             return None;
         }
-        Some(Self { label, throughputs })
+        Some(Self {
+            label,
+            quick,
+            throughputs,
+            speedups,
+        })
     }
 }
 
@@ -420,6 +521,90 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
         }));
     }
 
+    // Sweep-level patterns (PR 5): whole curves and plans, each measured
+    // twice — once replayed on the PR 4 code path (per-point `ScalingModel`
+    // / unmemoized `run_spmd`) and once through the cross-sweep memo +
+    // nested engine.  The `elements` of the scaling patterns count rank
+    // points; the store-curve patterns count initiated store elements.
+    {
+        let machine = icelake_sp_8360y();
+        let max_ranks = if quick { 18 } else { 72 };
+
+        // fig2 + fig3 both consume the identical full-curve sweep; the PR 4
+        // path evaluated it twice, the memoized engine once.
+        let pair_points = 2 * max_ranks as u64;
+        let model = ScalingModel::new(machine.clone());
+        results.push(measure("scaling_curve_pair_pr4", pair_points, reps, || {
+            let a = model.sweep(max_ranks, TrafficOptions::original);
+            let b = model.sweep(max_ranks, TrafficOptions::original);
+            assert_eq!(a.len(), b.len());
+        }));
+        let engine = ScalingEngine::new(machine.clone(), TINY_GRID);
+        results.push(measure(
+            "scaling_curve_pair_memo",
+            pair_points,
+            reps,
+            || {
+                // A fresh memo per repetition: the measurement is one cold
+                // fig2+fig3 regeneration, not a warm-cache replay.
+                let memo = SweepMemo::new();
+                let a = engine.sweep_range_memo(1..=max_ranks, TrafficOptions::original, &memo);
+                let b = engine.sweep_range_memo(1..=max_ranks, TrafficOptions::original, &memo);
+                assert_eq!(a.len(), b.len());
+            },
+        ));
+
+        // A sweep plan with overlapping rank ranges across every stage —
+        // the zoomed-range study shape the scenario engine is built for.
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(TINY_GRID)
+            .ranks(RankRange::new(1, max_ranks))
+            .ranks(RankRange::new(1, max_ranks / 2))
+            .ranks(RankRange::new(1, max_ranks / 4))
+            .stage(Stage::Original)
+            .stage(Stage::SpecI2MOff)
+            .stage(Stage::Optimized);
+        let scenarios = plan.expand();
+        let plan_points: u64 = scenarios.iter().map(|s| s.ranks.len() as u64).sum();
+        // Both plan runners are pinned to one worker so the recorded ratio
+        // isolates the memo + engine win and stays robust to the host's
+        // core count — the property the `--max-regression` speedup gate
+        // relies on.  (Thread scaling itself is a tested correctness
+        // property of the runner, not part of this trajectory number.)
+        results.push(measure("sweep_plan_pr4", plan_points, reps, || {
+            // The PR 4 runner: one whole scenario per work item, evaluated
+            // by the per-scenario `ScalingModel` path, no memo.
+            let artifacts = run_scenarios_with(&scenarios, 1, clover_scenario::evaluate);
+            assert_eq!(artifacts.len(), scenarios.len());
+        }));
+        results.push(measure("sweep_plan_nested", plan_points, reps, || {
+            // The PR 5 runner: flattened (scenario, rank point) items, one
+            // memo spanning the plan (created fresh per repetition).
+            let artifacts = clover_scenario::run_plan(&plan, 1);
+            assert_eq!(artifacts.len(), scenarios.len());
+        }));
+
+        // The paper's dense store-ratio curve (fig5 at step 1): every rank
+        // count from 1 to the full node, one stream, normal stores.
+        let curve_step = if quick { 6 } else { 1 };
+        let curve_cores: Vec<usize> = (1..=max_ranks).step_by(curve_step).collect();
+        let curve_elements: u64 = curve_cores.iter().map(|_| 32 * 1024u64).sum();
+        results.push(measure("store_curve_pr4", curve_elements, reps, || {
+            for &c in &curve_cores {
+                let r = store_ratio(&machine, c, 1, StoreKind::Normal);
+                assert!(r > 0.9);
+            }
+        }));
+        results.push(measure("store_curve_memo", curve_elements, reps, || {
+            let memo = SimMemo::new();
+            for &c in &curve_cores {
+                let r = store_ratio_memo(&machine, c, 1, StoreKind::Normal, &memo);
+                assert!(r > 0.9);
+            }
+        }));
+    }
+
     let ratio = |a: &str, b: &str| -> f64 {
         let get = |name: &str| {
             results
@@ -439,7 +624,19 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
             name: "load_sweep".to_string(),
             factor: ratio("load_sweep_scalar", "load_sweep_batched"),
         },
+        Speedup {
+            name: "scaling_curve_72".to_string(),
+            factor: ratio("scaling_curve_pair_pr4", "scaling_curve_pair_memo"),
+        },
+        Speedup {
+            name: "sweep_plan_nested".to_string(),
+            factor: ratio("sweep_plan_pr4", "sweep_plan_nested"),
+        },
     ];
+    // The store-curve pair is tracked as plain measurements: its memo win
+    // is the within-curve context dedup (~140 -> ~75 representative sims on
+    // the dense 72-point ICX curve, ~1.7-1.9x wall clock) and is reported
+    // by the result rows themselves rather than a headline speedup.
 
     BenchReport {
         schema: 1,
@@ -467,14 +664,26 @@ mod tests {
             "copy_interleaved_batched",
             "stencil_hotspot_batched",
             "node_spmd_store",
+            "scaling_curve_pair_pr4",
+            "scaling_curve_pair_memo",
+            "sweep_plan_pr4",
+            "sweep_plan_nested",
+            "store_curve_pr4",
+            "store_curve_memo",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
         for r in &report.results {
             assert!(r.elements > 0 && r.elements_per_sec > 0.0, "{}", r.name);
         }
-        assert!(report.speedup("store_sweep").unwrap() > 0.0);
-        assert!(report.speedup("load_sweep").unwrap() > 0.0);
+        for name in [
+            "store_sweep",
+            "load_sweep",
+            "scaling_curve_72",
+            "sweep_plan_nested",
+        ] {
+            assert!(report.speedup(name).unwrap() > 0.0, "{name}");
+        }
         assert!(report.throughput("store_sweep_batched").unwrap() > 0.0);
     }
 
@@ -517,10 +726,92 @@ mod tests {
         // machine runs it.  Only the structural property is gated: the
         // ratios exist and are well-formed numbers.
         let report = run_perf_bench(true, "test");
-        for name in ["store_sweep", "load_sweep"] {
+        for name in [
+            "store_sweep",
+            "load_sweep",
+            "scaling_curve_72",
+            "sweep_plan_nested",
+        ] {
             let s = report.speedup(name).unwrap();
             assert!(s.is_finite() && s > 0.0, "{name}: {s}");
         }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_real_regressions() {
+        let report = BenchReport {
+            schema: 1,
+            label: "now".into(),
+            quick: false,
+            results: vec![
+                BenchResult {
+                    name: "store_sweep_batched",
+                    elements: 100,
+                    reps: 5,
+                    best_secs: 1.0,
+                    elements_per_sec: 40.0, // 0.4x of baseline: a regression
+                },
+                BenchResult {
+                    name: "load_sweep_batched",
+                    elements: 100,
+                    reps: 5,
+                    best_secs: 1.0,
+                    elements_per_sec: 95.0, // 0.95x: within tolerance
+                },
+                BenchResult {
+                    name: "only_in_current",
+                    elements: 100,
+                    reps: 5,
+                    best_secs: 1.0,
+                    elements_per_sec: 1.0, // no baseline entry: ignored
+                },
+            ],
+            speedups: vec![
+                Speedup {
+                    name: "scaling_curve_72".into(),
+                    factor: 0.8, // collapsed from the recorded 8.8x
+                },
+                Speedup {
+                    name: "store_sweep".into(),
+                    factor: 1.9, // matches the record
+                },
+            ],
+        };
+        let baseline = BaselineReport {
+            label: "PR5".into(),
+            quick: Some(false),
+            throughputs: vec![
+                ("store_sweep_batched".into(), 100.0),
+                ("load_sweep_batched".into(), 100.0),
+                ("only_in_baseline".into(), 100.0),
+            ],
+            speedups: vec![
+                ("scaling_curve_72".into(), 8.8),
+                ("store_sweep".into(), 2.0),
+            ],
+        };
+        let flagged = report.regressions(&baseline, 50.0);
+        assert_eq!(flagged.len(), 2);
+        assert_eq!(flagged[0].name, "store_sweep_batched");
+        assert!((flagged[0].factor - 0.4).abs() < 1e-9);
+        // The collapsed in-run speedup is caught as well (0.8 / 8.8 ≈ 0.09).
+        assert_eq!(flagged[1].name, "scaling_curve_72_speedup");
+        assert!((flagged[1].factor - 0.8 / 8.8).abs() < 1e-9);
+        // A 10% threshold flags the 0.95x throughput and the 0.95x speedup.
+        assert_eq!(report.regressions(&baseline, 4.0).len(), 4);
+        // A permissive threshold still flags the collapsed speedup.
+        let permissive = report.regressions(&baseline, 90.0);
+        assert_eq!(permissive.len(), 1);
+        assert_eq!(permissive[0].name, "scaling_curve_72_speedup");
+
+        // Mismatched sizing (quick run vs full-sizing record): throughput
+        // comparisons are skipped — fixed costs would flag phantom
+        // regressions — but the sizing-robust speedup ratios still gate.
+        let mut quick_report = report.clone();
+        quick_report.quick = true;
+        let flagged = quick_report.regressions(&baseline, 50.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].name, "scaling_curve_72_speedup");
     }
 
     #[test]
@@ -559,12 +850,19 @@ mod tests {
                 best_secs: 1.0,
                 elements_per_sec: 30.0,
             }],
-            speedups: vec![],
+            speedups: vec![Speedup {
+                name: "scaling_curve_72".into(),
+                factor: 8.832,
+            }],
         }
         .to_json();
         let baseline = BaselineReport::parse(&baseline_json).unwrap();
         assert_eq!(baseline.label, "PR3");
+        assert_eq!(baseline.quick, Some(false));
         assert_eq!(baseline.throughput("store_sweep_scalar"), Some(30.0));
+        // Speedup rows parse separately from result rows.
+        assert_eq!(baseline.speedup("scaling_curve_72"), Some(8.832));
+        assert_eq!(baseline.throughput("scaling_curve_72"), None);
 
         report.with_baseline(&baseline);
         // Same-name comparison and the batched-vs-pre-refactor-scalar one.

@@ -10,11 +10,14 @@
 //! check — the sweep engine regenerates the paper, it does not approximate
 //! it.
 
+use clover_cachesim::SimMemo;
 use clover_core::decomp::Decomposition;
 use clover_core::{relative_improvement, TrafficModel, TINY_GRID};
 use clover_golden::{Artifact, Cell};
 use clover_machine::MachinePreset;
-use clover_scenario::{run_scenarios_with, RankRange, Scenario, Stage, SweepPlan};
+use clover_scenario::{
+    run_scenario_items_with, run_scenarios_with, RankRange, Scenario, Stage, SweepPlan,
+};
 use clover_stencil::{cloverleaf_loops, CodeBalance};
 
 /// Experiments that have a canned sweep-plan formulation.
@@ -65,7 +68,7 @@ pub fn run_canned_sweep(name: &str, jobs: usize) -> Option<Artifact> {
             assemble_fig7(&parts)
         }
         "fig9" => {
-            let parts = run_scenarios_with(&scenarios, jobs, store_ratio_scenario);
+            let parts = run_store_ratio_scenarios(&scenarios, jobs);
             let mut a = crate::store_ratio_columns(
                 Artifact::new("fig9", "store ratios on SPR 8470, SNC on vs. off")
                     .column("snc", None)
@@ -77,7 +80,7 @@ pub fn run_canned_sweep(name: &str, jobs: usize) -> Option<Artifact> {
             a
         }
         "fig10" => {
-            let parts = run_scenarios_with(&scenarios, jobs, store_ratio_scenario);
+            let parts = run_store_ratio_scenarios(&scenarios, jobs);
             let mut a = crate::store_ratio_columns(
                 Artifact::new("fig10", "store ratios on SPR 8480+").column("cores", None),
             );
@@ -157,31 +160,102 @@ fn assemble_fig7(parts: &[Artifact]) -> Artifact {
     a
 }
 
-/// Per-scenario evaluator of the fig9/fig10 plans: the store-ratio table of
-/// one machine configuration over its core axis (8-core steps, as in the
-/// paper), with the SNC label column for the 8470.
-fn store_ratio_scenario(scenario: &Scenario) -> Artifact {
-    // The store microbenchmark has no CloverLeaf code stage; a plan asking
-    // for another stage would be silently ignored, so fail loudly instead.
-    // (The grid axis is genuinely meaningless here: the kernels stream
-    // fixed arrays regardless of the scenario grid.)
+/// SNC label column of a store-ratio scenario (the 8470 plans carry one).
+fn store_ratio_label(scenario: &Scenario) -> Option<&'static str> {
+    match scenario.machine {
+        MachinePreset::SapphireRapids8470 { snc } => Some(if snc { "on" } else { "off" }),
+        _ => None,
+    }
+}
+
+/// Guard the store-ratio scenario invariants.  The store microbenchmark has
+/// no CloverLeaf code stage; a plan asking for another stage would be
+/// silently ignored, so fail loudly instead.  (The grid axis is genuinely
+/// meaningless here: the kernels stream fixed arrays regardless of the
+/// scenario grid.)
+fn store_ratio_guard(scenario: &Scenario) {
     assert_eq!(
         scenario.stage,
         Stage::Original,
         "store-ratio scenarios have no code-stage axis"
     );
-    let machine = scenario.machine.machine();
-    let label = match scenario.machine {
-        MachinePreset::SapphireRapids8470 { snc } => Some(if snc { "on" } else { "off" }),
-        _ => None,
-    };
+}
+
+/// Columns-only artifact of a store-ratio scenario.
+fn store_ratio_artifact(scenario: &Scenario) -> Artifact {
     let mut a = Artifact::new(&scenario.id(), &scenario.title());
-    if label.is_some() {
+    if store_ratio_label(scenario).is_some() {
         a = a.column("snc", None);
     }
-    a = crate::store_ratio_columns(a.column("cores", None));
-    crate::store_ratio_figure(&mut a, &machine, scenario.ranks.iter(), 8, label);
+    crate::store_ratio_columns(a.column("cores", None))
+}
+
+/// Per-scenario evaluator of the fig9/fig10 plans: the store-ratio table of
+/// one machine configuration over its core axis (8-core steps, as in the
+/// paper), with the SNC label column for the 8470.  Kept as the reference
+/// the row-flattened runner is tested against.
+#[cfg_attr(not(test), allow(dead_code))]
+fn store_ratio_scenario(scenario: &Scenario) -> Artifact {
+    store_ratio_guard(scenario);
+    let machine = scenario.machine.machine();
+    let memo = SimMemo::new();
+    let mut a = store_ratio_artifact(scenario);
+    crate::store_ratio_figure(
+        &mut a,
+        &machine,
+        scenario.ranks.iter(),
+        8,
+        store_ratio_label(scenario),
+        &memo,
+    );
     a
+}
+
+/// Run store-ratio scenarios nested-parallel: the work unit is one *row*
+/// (one core count, six store-ratio simulations), not a whole scenario, so
+/// a single long curve spreads across every worker; one [`SimMemo`] spans
+/// the whole plan, so overlapping domain-load contexts across rows and
+/// scenarios are simulated exactly once.  Byte-identical to mapping
+/// [`store_ratio_scenario`] over the scenarios (tier-1 tested).
+fn run_store_ratio_scenarios(scenarios: &[Scenario], jobs: usize) -> Vec<Artifact> {
+    scenarios.iter().for_each(store_ratio_guard);
+    // Hoist the materialised machine and core axis per scenario: a row item
+    // must not rebuild them (the plans hold a handful of scenarios, so the
+    // per-item lookup is a short scan, like `run_plan`'s engine list).
+    let prepared: Vec<(&Scenario, clover_machine::Machine, Vec<usize>)> = scenarios
+        .iter()
+        .map(|s| {
+            (
+                s,
+                s.machine.machine(),
+                crate::store_ratio_core_axis(s.ranks.iter(), 8),
+            )
+        })
+        .collect();
+    let prepared_for = |s: &Scenario| {
+        prepared
+            .iter()
+            .find(|(sc, _, _)| *sc == s)
+            .map(|(_, machine, axis)| (machine, axis))
+            .expect("every scenario was prepared above")
+    };
+    let memo = SimMemo::new();
+    run_scenario_items_with(
+        scenarios,
+        jobs,
+        |s| prepared_for(s).1.len(),
+        |s, i| {
+            let (machine, axis) = prepared_for(s);
+            crate::store_ratio_row(machine, axis[i], store_ratio_label(s), &memo)
+        },
+        |s, rows| {
+            let mut a = store_ratio_artifact(s);
+            for row in rows {
+                a.push_row(row);
+            }
+            a
+        },
+    )
 }
 
 #[cfg(test)]
@@ -206,6 +280,25 @@ mod tests {
                 assert_eq!(direct.to_csv(), swept.to_csv(), "{name} jobs={jobs}");
                 assert_eq!(direct.to_json(), swept.to_json(), "{name} jobs={jobs}");
             }
+        }
+    }
+
+    #[test]
+    fn flattened_store_ratio_rows_match_the_per_scenario_evaluator() {
+        // Small plan: two SNC configurations, short core axes — the
+        // row-level fan-out with the shared memo must reproduce the plain
+        // per-scenario evaluator byte for byte at any job count.
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::SapphireRapids8470 { snc: true })
+            .machine(MachinePreset::SapphireRapids8470 { snc: false })
+            .grid(TINY_GRID)
+            .ranks(RankRange::new(1, 17))
+            .stage(Stage::Original);
+        let scenarios = plan.expand();
+        let reference: Vec<Artifact> = scenarios.iter().map(store_ratio_scenario).collect();
+        for jobs in [1, 3] {
+            let flattened = run_store_ratio_scenarios(&scenarios, jobs);
+            assert_eq!(reference, flattened, "jobs={jobs}");
         }
     }
 

@@ -11,6 +11,7 @@ use clover_machine::Machine;
 
 use crate::counters::MemCounters;
 use crate::hierarchy::{CoreSim, CoreSimOptions, DomainOccupancy, OccupancyContext};
+use crate::memo::{KernelSpec, SimMemo};
 use crate::prefetch::PrefetcherConfig;
 
 /// Configuration of one node-level simulation run.
@@ -124,7 +125,9 @@ impl NodeSim {
         let mut total = MemCounters::new();
         let mut per_rank = MemCounters::new();
         let mut first = true;
-        let mut simulated: Vec<(usize, MemCounters)> = Vec::new();
+        // Per-load dedup indexed by the domain load itself: O(1) per level
+        // instead of a linear scan over every previously simulated load.
+        let mut by_load: Vec<Option<MemCounters>> = vec![None; occ.busiest + 1];
         // One core simulator serves every distinct domain load: `reset`
         // reuses its cache arenas instead of reallocating three caches and
         // two coalescers per load level.
@@ -135,8 +138,8 @@ impl NodeSim {
                 break;
             }
             // Re-use a previously simulated domain with the same load.
-            let counters = if let Some((_, c)) = simulated.iter().find(|(n, _)| *n == count) {
-                *c
+            let counters = if let Some(c) = by_load[count] {
+                c
             } else {
                 let ctx = OccupancyContext::domain_load(machine, count, occ.active_domains);
                 let options = self.config.core_options(count);
@@ -148,7 +151,54 @@ impl NodeSim {
                 let core = core.as_mut().expect("initialised above");
                 kernel(first_rank_of_domain, core);
                 let c = core.flush();
-                simulated.push((count, c));
+                by_load[count] = Some(c);
+                c
+            };
+            if first {
+                per_rank = counters;
+                first = false;
+            }
+            total.merge(&counters.scaled(count as f64));
+            first_rank_of_domain += count;
+        }
+
+        NodeSimReport {
+            ranks: self.config.ranks,
+            total,
+            per_rank,
+            cores_per_domain: occ.cores_per_domain,
+        }
+    }
+
+    /// Run an SPMD [`KernelSpec`] through a cross-sweep [`SimMemo`]: each
+    /// distinct `(occupancy context, core options, kernel)` level is
+    /// simulated at most once per memo lifetime and shared across every
+    /// rank count of a sweep — bit-identical to [`run_spmd`] with a closure
+    /// driving the same spec (see `crate::memo` for why memo hits are
+    /// exact).  Misses simulate on the thread-local pooled core, so the
+    /// cache arenas are reused across calls as well.
+    ///
+    /// [`run_spmd`]: Self::run_spmd
+    pub fn run_spmd_memo(&self, kernel: &KernelSpec, memo: &SimMemo) -> NodeSimReport {
+        let machine = &self.config.machine;
+        let occ = DomainOccupancy::compact(machine, self.config.ranks);
+
+        let mut total = MemCounters::new();
+        let mut per_rank = MemCounters::new();
+        let mut first = true;
+        let mut by_load: Vec<Option<MemCounters>> = vec![None; occ.busiest + 1];
+        let mut first_rank_of_domain = 0usize;
+        for &count in &occ.cores_per_domain {
+            if count == 0 {
+                break;
+            }
+            let counters = if let Some(c) = by_load[count] {
+                c
+            } else {
+                let ctx = OccupancyContext::domain_load(machine, count, occ.active_domains);
+                let options = self.config.core_options(count);
+                let c = memo.counters(machine, ctx, options, kernel, first_rank_of_domain);
+                by_load[count] = Some(c);
                 c
             };
             if first {

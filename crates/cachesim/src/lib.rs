@@ -42,6 +42,7 @@ pub mod coalescer;
 pub mod counters;
 pub mod engine;
 pub mod hierarchy;
+pub mod memo;
 pub mod patterns;
 pub mod prefetch;
 
@@ -51,5 +52,6 @@ pub use coalescer::{StreakTracker, WriteCoalescer};
 pub use counters::MemCounters;
 pub use engine::{NodeSim, NodeSimReport, SimConfig};
 pub use hierarchy::{CoreSim, DomainOccupancy, OccupancyContext};
+pub use memo::{with_pooled_core, KernelSpec, MemoStats, RankBase, SimKey, SimMemo, SpecOperand};
 pub use patterns::{ArraySweep, RowSweep, StencilRowSweep};
 pub use prefetch::PrefetcherConfig;

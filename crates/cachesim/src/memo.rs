@@ -1,0 +1,548 @@
+//! Cross-sweep simulation memoization.
+//!
+//! The node simulator runs one *representative* core per distinct ccNUMA
+//! domain load ([`NodeSim::run_spmd`]), but a scaling curve evaluates dozens
+//! of neighbouring rank counts whose domain-load contexts overlap massively:
+//! on an 18-core-per-domain machine the full-domain level `(18 cores,
+//! 2 active domains)` recurs for every rank count from 19 to 36.  Without a
+//! memo each of those rank points re-simulates the identical workload.
+//!
+//! This module makes the representative-core simulation the cached unit of
+//! work:
+//!
+//! * [`KernelSpec`] — a typed, hashable description of an SPMD kernel (the
+//!   workloads previously passed to `run_spmd` as bare closures),
+//! * [`SimKey`] — the identity of one representative simulation: machine,
+//!   [`OccupancyContext`], [`CoreSimOptions`] and kernel,
+//! * [`SimMemo`] — a sharded, concurrently usable map from [`SimKey`] to
+//!   [`MemCounters`], shared across a whole sweep (or several sweeps) so a
+//!   72-point curve performs O(distinct contexts) core simulations instead
+//!   of O(points × levels),
+//! * [`with_pooled_core`] — a thread-local [`CoreSim`] pool that reuses the
+//!   cache arenas across memo misses instead of reallocating (and zeroing)
+//!   multi-megabyte arenas per simulation.
+//!
+//! Memoization is exact, not approximate: a memo hit returns the
+//! bit-identical [`MemCounters`] the simulation would produce, because the
+//! key captures everything the simulation depends on.  Kernel address bases
+//! may differ per rank ([`RankBase`]), but all rank bases are aligned far
+//! beyond any cache's set-index range, so the counters are rank-invariant —
+//! a property the tier-1 equivalence proptests assert.
+//!
+//! [`NodeSim::run_spmd`]: crate::engine::NodeSim::run_spmd
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clover_machine::Machine;
+use parking_lot::Mutex;
+
+use crate::access::AccessKind;
+use crate::counters::MemCounters;
+use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
+use crate::patterns::{StencilOperand, StencilRowSweep};
+
+/// Smallest [`RankBase::Shifted`] shift the memo accepts: 2^30-aligned
+/// rank windows are a multiple of every cache level's `sets × line` span
+/// (sets are power-of-two and far below 2^24), so shifting the base moves
+/// the tags but not the set indices — the property that makes counters
+/// rank-invariant and memo hits exact.
+pub const MIN_MEMO_SHIFT: u32 = 30;
+
+/// How an operand's base address depends on the simulated rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankBase {
+    /// Every rank uses the same addresses (e.g. the CloverLeaf kernel
+    /// replay, whose field bases are fixed offsets in a private address
+    /// space).
+    Shared,
+    /// `(rank + plus) << shift` — the convention of the microbenchmarks,
+    /// which place each rank's streams in a private high-address window.
+    ///
+    /// For memoized use the shift must be at least [`MIN_MEMO_SHIFT`]: a
+    /// smaller shift puts rank bases inside the caches' set-index range,
+    /// making counters genuinely rank-dependent, which would break the
+    /// memo's bit-exactness contract ([`SimKey::new`] debug-asserts this).
+    Shifted {
+        /// Left shift applied to `rank + plus`.
+        shift: u32,
+        /// Offset added to the rank id before shifting.
+        plus: u64,
+    },
+}
+
+impl RankBase {
+    /// The base address of `rank` under this scheme.
+    pub fn base(self, rank: usize) -> u64 {
+        match self {
+            RankBase::Shared => 0,
+            RankBase::Shifted { shift, plus } => (rank as u64 + plus) << shift,
+        }
+    }
+}
+
+/// One array operand of a [`KernelSpec`]: a byte offset relative to the
+/// rank base plus the stencil points and access kind of the stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpecOperand {
+    /// Byte offset added to the rank base.
+    pub offset: u64,
+    /// Stencil points `(di, dk)` in element units (see
+    /// [`StencilOperand::offsets`]).
+    pub points: Vec<(i64, i64)>,
+    /// Access kind of this operand.
+    pub kind: AccessKind,
+}
+
+/// A typed, hashable SPMD kernel: the stencil row sweep an SPMD rank
+/// drives through its core simulator, parameterised over the rank id only
+/// through the [`RankBase`] of its operands.
+///
+/// Everything the node simulator previously received as a closure (the
+/// store/copy microbenchmark kernels, the CloverLeaf kernel footprints,
+/// plain contiguous runs) is expressible as a `KernelSpec`; driving the
+/// spec reproduces the exact same [`StencilRowSweep`] the closures built,
+/// so converting a call site changes no output byte.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelSpec {
+    /// Rank-dependence of the operand base addresses.
+    pub rank_base: RankBase,
+    /// Array operands in the access order of the loop body.
+    pub operands: Vec<SpecOperand>,
+    /// Row stride of the logical grid in elements.
+    pub row_stride: u64,
+    /// First inner index of the sweep.
+    pub i0: u64,
+    /// Inner iterations per row.
+    pub inner: u64,
+    /// First row of the sweep.
+    pub k0: u64,
+    /// Number of rows.
+    pub rows: u64,
+}
+
+impl KernelSpec {
+    /// A single contiguous run of `elements` accesses of `kind` at
+    /// `offset` relative to the rank base.
+    pub fn contiguous(rank_base: RankBase, offset: u64, elements: u64, kind: AccessKind) -> Self {
+        Self {
+            rank_base,
+            operands: vec![SpecOperand {
+                offset,
+                points: vec![(0, 0)],
+                kind,
+            }],
+            row_stride: elements.max(1),
+            i0: 0,
+            inner: elements,
+            k0: 0,
+            rows: 1,
+        }
+    }
+
+    /// Materialise the sweep this kernel drives on `rank`.
+    pub fn sweep(&self, rank: usize) -> StencilRowSweep {
+        let base = self.rank_base.base(rank);
+        StencilRowSweep {
+            operands: self
+                .operands
+                .iter()
+                .map(|op| StencilOperand {
+                    base: base + op.offset,
+                    offsets: op.points.clone(),
+                    kind: op.kind,
+                })
+                .collect(),
+            row_stride: self.row_stride,
+            i0: self.i0,
+            inner: self.inner,
+            k0: self.k0,
+            rows: self.rows,
+        }
+    }
+
+    /// Drive the kernel through `core` as rank `rank`.
+    pub fn drive(&self, rank: usize, core: &mut CoreSim) {
+        self.sweep(rank).drive(core);
+    }
+
+    /// Grid-point updates performed per rank.
+    pub fn iterations(&self) -> u64 {
+        self.inner * self.rows
+    }
+}
+
+/// Identity of one representative-core simulation.  Two simulations with
+/// equal keys produce bit-identical counters, so the key is exactly what a
+/// memo may share: the machine (identified by its preset id — preset
+/// machines with equal ids are structurally identical), the occupancy
+/// context, the core options (floats keyed by their bit patterns) and the
+/// kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    /// `Machine::id` of the simulated machine.
+    pub machine: String,
+    /// `OccupancyContext::domain_utilization` bit pattern.
+    pub utilization_bits: u64,
+    /// Populated ccNUMA domains.
+    pub active_domains: usize,
+    /// Total ccNUMA domains.
+    pub total_domains: usize,
+    /// SpecI2M MSR switch.
+    pub speci2m_enabled: bool,
+    /// Adjacent-line prefetcher switch.
+    pub adjacent_line: bool,
+    /// Streamer prefetcher switch.
+    pub streamer: bool,
+    /// Streamer prefetch distance.
+    pub streamer_distance: u64,
+    /// `PrefetcherConfig::pf_off_evasion_factor` bit pattern.
+    pub pf_off_evasion_bits: u64,
+    /// Cores sharing the L3.
+    pub l3_sharers: usize,
+    /// The SPMD kernel.
+    pub kernel: KernelSpec,
+}
+
+impl SimKey {
+    /// Key of the simulation of `kernel` on `machine` under `ctx` and
+    /// `options`.
+    pub fn new(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+    ) -> Self {
+        // The key omits the rank: that is only sound when the rank base
+        // cannot change any set index (see `MIN_MEMO_SHIFT`).
+        if let RankBase::Shifted { shift, .. } = kernel.rank_base {
+            debug_assert!(
+                shift >= MIN_MEMO_SHIFT,
+                "RankBase::Shifted {{ shift: {shift} }} is below MIN_MEMO_SHIFT \
+                 ({MIN_MEMO_SHIFT}): counters would be rank-dependent and \
+                 memoization inexact"
+            );
+        }
+        Self {
+            machine: machine.id.clone(),
+            utilization_bits: ctx.domain_utilization.to_bits(),
+            active_domains: ctx.active_domains,
+            total_domains: ctx.total_domains,
+            speci2m_enabled: options.speci2m_enabled,
+            adjacent_line: options.prefetchers.adjacent_line,
+            streamer: options.prefetchers.streamer,
+            streamer_distance: options.prefetchers.streamer_distance,
+            pf_off_evasion_bits: options.prefetchers.pf_off_evasion_factor.to_bits(),
+            l3_sharers: options.l3_sharers,
+            kernel: kernel.clone(),
+        }
+    }
+}
+
+/// Number of independent shards; a small power of two keeps the map
+/// contention-free for any realistic worker count without wasting memory.
+const SHARDS: usize = 16;
+
+/// Sharded concurrent memo of representative-core simulations.
+///
+/// One `SimMemo` is meant to span a whole sweep (or a whole plan of
+/// sweeps): every evaluation point consults it before simulating and
+/// publishes its result afterwards.  Lookups and inserts lock only the
+/// shard the key hashes to; the simulation itself runs outside any lock
+/// (two workers may race to simulate the same key — they produce the
+/// identical value, and the first insert wins).
+#[derive(Debug, Default)]
+pub struct SimMemo {
+    shards: [Mutex<HashMap<SimKey, MemCounters>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss statistics of a [`SimMemo`] (or [`with_pooled_core`]'s pool):
+/// how many simulations the memo avoided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups answered from the memo (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl SimMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, MemCounters>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Look up `key`, simulating with `simulate` on a miss and publishing
+    /// the result.  The simulation runs outside the shard lock.
+    pub fn get_or_insert_with(
+        &self,
+        key: SimKey,
+        simulate: impl FnOnce() -> MemCounters,
+    ) -> MemCounters {
+        let shard = self.shard_of(&key);
+        if let Some(c) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *c;
+        }
+        let value = simulate();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().entry(key).or_insert(value);
+        value
+    }
+
+    /// Counters of `kernel` on `machine` under `ctx`/`options`, simulated
+    /// as rank `rank` on a miss (via the thread-local core pool).
+    pub fn counters(
+        &self,
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        rank: usize,
+    ) -> MemCounters {
+        self.get_or_insert_with(SimKey::new(machine, ctx, options, kernel), || {
+            with_pooled_core(machine, ctx, options, |core| {
+                kernel.drive(rank, core);
+                core.flush()
+            })
+        })
+    }
+
+    /// Number of memoized simulations.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss statistics since construction.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    /// One reusable [`CoreSim`] per machine (identified by `Machine::id`)
+    /// per worker thread.
+    static CORE_POOL: RefCell<Vec<(String, CoreSim)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` on a pooled, freshly [`reset`](CoreSim::reset) core simulator
+/// for `machine` under `ctx`/`options`.
+///
+/// A reset core is indistinguishable from `CoreSim::new` (a tested
+/// property), so pooling changes no counter bit — it only skips the
+/// allocation and zeroing of the multi-megabyte cache arenas on every
+/// simulation after a thread's first one on that machine.  `f` must not
+/// re-enter the pool (no nested `with_pooled_core` on the same thread).
+pub fn with_pooled_core<R>(
+    machine: &Machine,
+    ctx: OccupancyContext,
+    options: CoreSimOptions,
+    f: impl FnOnce(&mut CoreSim) -> R,
+) -> R {
+    CORE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let idx = match pool.iter().position(|(id, _)| id == &machine.id) {
+            Some(i) => {
+                pool[i].1.reset(ctx, options);
+                i
+            }
+            None => {
+                pool.push((machine.id.clone(), CoreSim::new(machine, ctx, options)));
+                pool.len() - 1
+            }
+        };
+        f(&mut pool[idx].1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{NodeSim, SimConfig};
+    use clover_machine::{icelake_sp_8360y, sapphire_rapids_8480};
+
+    fn store_spec(elements: u64) -> KernelSpec {
+        KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            AccessKind::Store,
+        )
+    }
+
+    #[test]
+    fn rank_base_addressing() {
+        assert_eq!(RankBase::Shared.base(7), 0);
+        assert_eq!(RankBase::Shifted { shift: 40, plus: 1 }.base(0), 1 << 40);
+        assert_eq!(RankBase::Shifted { shift: 36, plus: 0 }.base(3), 3 << 36);
+    }
+
+    #[test]
+    fn spec_sweep_reproduces_the_closure_sweep() {
+        let spec = KernelSpec {
+            rank_base: RankBase::Shifted { shift: 40, plus: 1 },
+            operands: vec![
+                SpecOperand {
+                    offset: 0,
+                    points: vec![(0, 0)],
+                    kind: AccessKind::Load,
+                },
+                SpecOperand {
+                    offset: 1 << 30,
+                    points: vec![(0, 0)],
+                    kind: AccessKind::Store,
+                },
+            ],
+            row_stride: 221,
+            i0: 0,
+            inner: 216,
+            k0: 0,
+            rows: 4,
+        };
+        let sweep = spec.sweep(2);
+        assert_eq!(sweep.operands.len(), 2);
+        assert_eq!(sweep.operands[0].base, 3 << 40);
+        assert_eq!(sweep.operands[1].base, (3 << 40) + (1 << 30));
+        assert_eq!(sweep.row_stride, 221);
+        assert_eq!(sweep.rows, 4);
+        assert_eq!(spec.iterations(), 216 * 4);
+    }
+
+    #[test]
+    fn memo_hit_returns_the_identical_counters() {
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        let spec = store_spec(2048);
+        let ctx = OccupancyContext::compact(&m, 18);
+        let options = CoreSimOptions::default();
+        let first = memo.counters(&m, ctx, options, &spec, 0);
+        let second = memo.counters(&m, ctx, options, &spec, 0);
+        assert_eq!(first, second);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(memo.len(), 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_distinguishes_contexts_options_and_kernels() {
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        let options = CoreSimOptions::default();
+        let serial = OccupancyContext::serial(&m);
+        let loaded = OccupancyContext::compact(&m, m.total_cores());
+        let _ = memo.counters(&m, serial, options, &store_spec(512), 0);
+        let _ = memo.counters(&m, loaded, options, &store_spec(512), 0);
+        let _ = memo.counters(&m, serial, options, &store_spec(513), 0);
+        let off = CoreSimOptions {
+            speci2m_enabled: false,
+            ..Default::default()
+        };
+        let _ = memo.counters(&m, serial, off, &store_spec(512), 0);
+        assert_eq!(memo.len(), 4);
+        assert_eq!(memo.stats().misses, 4);
+    }
+
+    #[test]
+    fn memoized_counters_are_rank_invariant() {
+        // The memo shares results across ranks: rank bases are aligned far
+        // beyond the set-index range, so simulating as rank 0 or rank 40
+        // produces the same counters bit for bit.
+        let m = icelake_sp_8360y();
+        let spec = store_spec(4096);
+        let ctx = OccupancyContext::domain_load(&m, 18, 3);
+        let options = CoreSimOptions {
+            l3_sharers: 36,
+            ..Default::default()
+        };
+        let a = SimMemo::new().counters(&m, ctx, options, &spec, 0);
+        let b = SimMemo::new().counters(&m, ctx, options, &spec, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_core_matches_a_fresh_core_across_machines() {
+        let icx = icelake_sp_8360y();
+        let spr = sapphire_rapids_8480();
+        let spec = store_spec(2048);
+        for machine in [&icx, &spr, &icx] {
+            let ctx = OccupancyContext::serial(machine);
+            let options = CoreSimOptions::default();
+            let pooled = with_pooled_core(machine, ctx, options, |core| {
+                spec.drive(0, core);
+                core.flush()
+            });
+            let mut fresh = CoreSim::new(machine, ctx, options);
+            spec.drive(0, &mut fresh);
+            assert_eq!(pooled, fresh.flush(), "machine {}", machine.id);
+        }
+    }
+
+    #[test]
+    fn run_spmd_memo_equals_run_spmd_across_a_curve() {
+        // One shared memo across rank counts 1..=40: later points reuse
+        // earlier full-domain simulations, and the node reports must stay
+        // bit-identical to the unmemoized closure path at every point.
+        let m = icelake_sp_8360y();
+        let spec = store_spec(1024);
+        let memo = SimMemo::new();
+        for ranks in [1usize, 5, 17, 18, 19, 20, 36, 37, 40] {
+            let sim = NodeSim::new(SimConfig::new(m.clone(), ranks));
+            let plain = sim.run_spmd(|rank, core| spec.drive(rank, core));
+            let memoized = sim.run_spmd_memo(&spec, &memo);
+            assert_eq!(plain.total, memoized.total, "ranks={ranks}");
+            assert_eq!(plain.per_rank, memoized.per_rank, "ranks={ranks}");
+            assert_eq!(
+                plain.cores_per_domain, memoized.cores_per_domain,
+                "ranks={ranks}"
+            );
+        }
+        // The (18 cores, 2 domains) level is shared by ranks 19, 20 and 36.
+        let stats = SimMemo::stats(&memo);
+        assert!(stats.hits >= 2, "expected cross-point reuse: {stats:?}");
+    }
+
+    #[test]
+    fn memo_respects_config_switches() {
+        let m = icelake_sp_8360y();
+        let spec = store_spec(2048);
+        let memo = SimMemo::new();
+        let on = NodeSim::new(SimConfig::new(m.clone(), 36)).run_spmd_memo(&spec, &memo);
+        let off = NodeSim::new(SimConfig::new(m.clone(), 36).without_speci2m())
+            .run_spmd_memo(&spec, &memo);
+        // SpecI2M off must not be served from the SpecI2M-on entry.
+        assert!(off.total.itom_lines < 1e-9);
+        assert!(on.total.itom_lines > 0.0);
+    }
+}

@@ -11,8 +11,10 @@
 //! [`Field2D`]: crate::field::Field2D
 
 use clover_cachesim::hierarchy::{CoreSimOptions, DomainOccupancy, OccupancyContext};
-use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, CoreSim, MemCounters};
+use clover_cachesim::patterns::StencilRowSweep;
+use clover_cachesim::{
+    AccessKind, CoreSim, KernelSpec, MemCounters, RankBase, SimMemo, SpecOperand,
+};
 use clover_machine::Machine;
 
 use crate::chunk::HALO;
@@ -175,11 +177,13 @@ pub fn timestep_kernels() -> Vec<KernelTraffic> {
 }
 
 impl KernelTraffic {
-    /// Build the stencil row sweep replaying this kernel on a local domain
-    /// of `nx × ny` interior cells, using the same halo'd row-major layout
-    /// as [`Field2D`](crate::field::Field2D) (`stride = nx + 2 * HALO`,
-    /// interior cell `(0, 0)` at grid index `(HALO, HALO)`).
-    pub fn sweep(&self, nx: usize, ny: usize) -> StencilRowSweep {
+    /// The kernel's memory footprint as a typed, memoizable [`KernelSpec`]
+    /// on a local domain of `nx × ny` interior cells, using the same halo'd
+    /// row-major layout as [`Field2D`](crate::field::Field2D) (`stride = nx
+    /// + 2 * HALO`, interior cell `(0, 0)` at grid index `(HALO, HALO)`).
+    /// The field bases are fixed offsets in a private address space, so the
+    /// spec is rank-shared.
+    pub fn kernel_spec(&self, nx: usize, ny: usize) -> KernelSpec {
         let stride = (nx + 2 * HALO) as u64;
         let field_cells = stride * (ny as u64 + 2 * HALO as u64);
         // 64-byte-aligned base per field with a guard gap, like separate
@@ -188,13 +192,14 @@ impl KernelTraffic {
         // `+`, not `|`: huge domains push the field offset past bit 36.
         let base = |f: FieldId| (1u64 << 36) + (f as u64) * field_gap;
         let h = HALO as i64;
-        StencilRowSweep {
+        KernelSpec {
+            rank_base: RankBase::Shared,
             operands: self
                 .operands
                 .iter()
-                .map(|(field, offsets, kind)| StencilOperand {
-                    base: base(*field),
-                    offsets: offsets.clone(),
+                .map(|(field, offsets, kind)| SpecOperand {
+                    offset: base(*field),
+                    points: offsets.clone(),
                     kind: *kind,
                 })
                 .collect(),
@@ -204,6 +209,12 @@ impl KernelTraffic {
             k0: (h - self.halo_y) as u64,
             rows: (ny as i64 + 2 * self.halo_y) as u64,
         }
+    }
+
+    /// Build the stencil row sweep replaying this kernel (the materialised
+    /// form of [`kernel_spec`](Self::kernel_spec)).
+    pub fn sweep(&self, nx: usize, ny: usize) -> StencilRowSweep {
+        self.kernel_spec(nx, ny).sweep(0)
     }
 }
 
@@ -227,6 +238,45 @@ impl KernelTrafficReport {
     }
 }
 
+/// The occupancy context and core options `timestep_traffic` simulates
+/// under for `total_ranks` compactly pinned ranks.
+fn replay_config(machine: &Machine, total_ranks: usize) -> (OccupancyContext, CoreSimOptions) {
+    let ctx = OccupancyContext::compact(machine, total_ranks);
+    let occ = DomainOccupancy::compact(machine, total_ranks);
+    let options = CoreSimOptions {
+        l3_sharers: DomainOccupancy::l3_sharers(machine, occ.busiest),
+        ..Default::default()
+    };
+    (ctx, options)
+}
+
+/// [`timestep_traffic`] through a cross-sweep [`SimMemo`]: bit-identical
+/// per-kernel reports, with each distinct `(occupancy, kernel footprint)`
+/// pair simulated once per memo lifetime — a rank-count sweep over the same
+/// chunk geometry re-simulates nothing once the busiest-domain context
+/// repeats.
+pub fn timestep_traffic_memo(
+    machine: &Machine,
+    nx: usize,
+    ny: usize,
+    total_ranks: usize,
+    memo: &SimMemo,
+) -> Vec<KernelTrafficReport> {
+    let (ctx, options) = replay_config(machine, total_ranks);
+    timestep_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let spec = kernel.kernel_spec(nx, ny);
+            let counters = memo.counters(machine, ctx, options, &spec, 0);
+            KernelTrafficReport {
+                name: kernel.name,
+                counters,
+                iterations: spec.iterations() as f64,
+            }
+        })
+        .collect()
+}
+
 /// Replay every timestep kernel of a `nx × ny` local domain through the
 /// cache simulator and report the per-kernel traffic.  `total_ranks` sets
 /// the occupancy (and hence SpecI2M behaviour) of the simulated core.
@@ -236,12 +286,7 @@ pub fn timestep_traffic(
     ny: usize,
     total_ranks: usize,
 ) -> Vec<KernelTrafficReport> {
-    let ctx = OccupancyContext::compact(machine, total_ranks);
-    let occ = DomainOccupancy::compact(machine, total_ranks);
-    let options = CoreSimOptions {
-        l3_sharers: DomainOccupancy::l3_sharers(machine, occ.busiest),
-        ..Default::default()
-    };
+    let (ctx, options) = replay_config(machine, total_ranks);
     let mut core = CoreSim::new(machine, ctx, options);
     let mut first = true;
     timestep_kernels()
@@ -332,6 +377,27 @@ mod tests {
             assert!(r.counters.total_bytes() > 0.0, "{}", r.name);
             assert!(r.bytes_per_iteration() > 8.0, "{}", r.name);
         }
+    }
+
+    #[test]
+    fn memoized_replay_is_bit_identical() {
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        for ranks in [1usize, 18, 19, 72] {
+            let plain = timestep_traffic(&m, 256, 8, ranks);
+            let memoized = timestep_traffic_memo(&m, 256, 8, ranks, &memo);
+            assert_eq!(plain.len(), memoized.len());
+            for (p, q) in plain.iter().zip(&memoized) {
+                assert_eq!(p.name, q.name);
+                assert_eq!(p.counters, q.counters, "{} ranks={ranks}", p.name);
+                assert_eq!(p.iterations, q.iterations, "{}", p.name);
+            }
+        }
+        // Ranks 19 and 72 share no context, but a second pass over any rank
+        // count is free.
+        let before = memo.stats().misses;
+        let _ = timestep_traffic_memo(&m, 256, 8, 18, &memo);
+        assert_eq!(memo.stats().misses, before, "second pass must be hits");
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Cross-sweep scaling engine: memoized, allocation-hoisted point
+//! evaluation for the node-level scaling model.
+//!
+//! [`ScalingModel::point`](crate::ScalingModel::point) is a pure function of
+//! `(machine, grid, rank count, traffic options)`, but the reference
+//! implementation pays per call for state that never changes across a
+//! sweep: it rebuilds the 22-loop catalogue, re-derives the per-domain
+//! occupancy once per loop and clones the SpecI2M parameter block per loop.
+//! A sweep harness additionally re-evaluates the *same* points again and
+//! again — `figures all` sweeps the identical 72-point curve for Fig. 2 and
+//! Fig. 3, and a [`SweepPlan`] whose rank ranges overlap re-visits every
+//! shared rank count per stage.
+//!
+//! This module provides
+//!
+//! * [`ScalingEngine`] — a sweep-ready evaluator holding the hoisted
+//!   catalogue, code-balance bounds and SpecI2M parameter blocks.  Its
+//!   [`point`](ScalingEngine::point) performs the same floating-point
+//!   operations in the same order as the reference `ScalingModel::point`
+//!   and therefore returns bit-identical [`ScalingPoint`]s (a tier-1
+//!   tested property);
+//! * [`SweepMemo`] — a sharded concurrent memo of evaluated points keyed by
+//!   `(machine id, grid, ranks, options)`, meant to span a whole sweep
+//!   plan: overlapping rank ranges, repeated stages and repeated artifact
+//!   generations all collapse onto one evaluation per distinct point.
+//!
+//! Points are stored *before* speedup normalisation (speedup is a property
+//! of a sweep range, not of a point);
+//! [`sweep_range_memo`](ScalingEngine::sweep_range_memo) normalises its own
+//! copy exactly like `ScalingModel::sweep_range`.
+//!
+//! [`SweepPlan`]: ../../clover_scenario/struct.SweepPlan.html
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clover_machine::speci2m::EvasionContext;
+use clover_machine::{Machine, SpecI2MParams};
+use clover_stencil::{cloverleaf_loops, CodeBalance, LoopSpec};
+use parking_lot::Mutex;
+
+use crate::decomp::{is_prime, Decomposition};
+use crate::scaling::{ScalingPoint, NON_HOTSPOT_FRACTION};
+use crate::traffic::{CodeVariant, LoopTraffic, TrafficOptions};
+
+/// Identity of one scaling point.  Machines are identified by their preset
+/// id (`Machine::id`); preset machines with equal ids are structurally
+/// identical, so equal keys imply bit-identical points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PointKey {
+    machine: String,
+    grid: usize,
+    ranks: usize,
+    opts: TrafficOptions,
+}
+
+/// Number of independent shards of the point memo.
+const SHARDS: usize = 16;
+
+/// Sharded concurrent memo of evaluated [`ScalingPoint`]s, spanning a whole
+/// sweep plan.  Lookups and inserts lock only the shard the key hashes to;
+/// evaluation runs outside any lock (two workers racing on the same key
+/// produce the identical point — first insert wins).
+#[derive(Debug, Default)]
+pub struct SweepMemo {
+    shards: [Mutex<HashMap<PointKey, ScalingPoint>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, ScalingPoint>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert_with(
+        &self,
+        key: PointKey,
+        evaluate: impl FnOnce() -> ScalingPoint,
+    ) -> ScalingPoint {
+        let shard = self.shard_of(&key);
+        if let Some(p) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return p.clone();
+        }
+        let point = evaluate();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().entry(key).or_insert_with(|| point.clone());
+        point
+    }
+
+    /// Number of memoized points.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Sweep-ready scaling evaluator for one machine and grid.
+///
+/// Bit-identical to [`ScalingModel`](crate::ScalingModel) point by point,
+/// with the per-sweep-invariant state hoisted out of the per-point path.
+#[derive(Debug, Clone)]
+pub struct ScalingEngine {
+    machine: Machine,
+    grid: usize,
+    specs: Vec<LoopSpec>,
+    bounds: Vec<CodeBalance>,
+    params_on: SpecI2MParams,
+    params_off: SpecI2MParams,
+}
+
+impl ScalingEngine {
+    /// Engine for `machine` on a square `grid`.
+    pub fn new(machine: Machine, grid: usize) -> Self {
+        let specs = cloverleaf_loops();
+        let bounds = specs.iter().map(CodeBalance::from_spec).collect();
+        let params_on = machine.speci2m.clone();
+        let params_off = machine.speci2m.switched_off();
+        Self {
+            machine,
+            grid,
+            specs,
+            bounds,
+            params_on,
+            params_off,
+        }
+    }
+
+    /// The machine the engine evaluates.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The grid size the engine evaluates.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Per-loop traffic prediction — the same arithmetic as
+    /// `TrafficModel::predict_loop` over the whole catalogue, with the
+    /// loop-invariant occupancy/parameter state computed once.
+    fn predict_loops(&self, opts: &TrafficOptions, decomp: &Decomposition) -> Vec<LoopTraffic> {
+        let local_inner = decomp.typical_local_inner().max(1);
+        let elem = 8.0;
+        let row_overhead = 8.0 / (local_inner as f64 + 8.0);
+
+        // Occupancy under compact pinning, shared by every loop's evasion
+        // context (the reference re-derives it per loop).
+        let per_domain = self.machine.topology.active_cores_per_domain(opts.ranks);
+        let active_domains = per_domain.iter().filter(|&&c| c > 0).count().max(1);
+        let busiest = per_domain.iter().copied().max().unwrap_or(1);
+        let domain_utilization = self.machine.domain_utilization(busiest);
+        let total_domains = self.machine.topology.domains.len();
+        let streak_lines = (local_inner as f64 * 8.0 / 64.0).max(1.0);
+
+        let params = match opts.variant {
+            CodeVariant::SpecI2MOff => &self.params_off,
+            _ => &self.params_on,
+        };
+        let nt_flush =
+            params.nt_partial_flush_fraction(domain_utilization, active_domains, total_domains);
+
+        self.specs
+            .iter()
+            .zip(&self.bounds)
+            .map(|(spec, &bounds)| {
+                let rd_base = if opts.layer_condition_ok {
+                    spec.rd_lcf()
+                } else {
+                    spec.rd_lcb()
+                } as f64;
+                let wr = spec.wr() as f64;
+                let mut evadable = spec.evadable_write_streams() as f64;
+                let read_halo_overhead = rd_base * elem * row_overhead;
+
+                let ctx = EvasionContext {
+                    domain_utilization,
+                    active_domains,
+                    total_domains,
+                    store_streams: spec.wr().max(1),
+                    streak_lines,
+                };
+                let blocked = match opts.variant {
+                    CodeVariant::Original => spec.speci2m_blocked || spec.has_branches,
+                    CodeVariant::Optimized => spec.has_branches,
+                    CodeVariant::SpecI2MOff => true,
+                };
+
+                let mut nt_streams = 0.0;
+                if opts.variant == CodeVariant::Optimized && evadable >= 1.0 {
+                    nt_streams = 1.0;
+                    evadable -= 1.0;
+                }
+
+                let evasion = if blocked {
+                    0.0
+                } else {
+                    params.evasion_fraction(&ctx)
+                };
+                let spec_read = if blocked {
+                    0.0
+                } else {
+                    params.speculative_read_fraction(&ctx)
+                };
+
+                let wa_reads = evadable * elem * (1.0 - evasion);
+                let speculative = evadable * elem * spec_read;
+                let nt_reads = nt_streams * elem * nt_flush;
+                let read = rd_base * elem + wa_reads + speculative + nt_reads + read_halo_overhead;
+
+                let write_halo_overhead = wr * elem * row_overhead * 0.5;
+                let write = wr * elem + write_halo_overhead;
+
+                LoopTraffic {
+                    name: spec.name.clone(),
+                    bounds,
+                    read_bytes_per_it: read,
+                    write_bytes_per_it: write,
+                    evasion_fraction: evasion,
+                    flops_per_it: spec.flops as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluate one rank count — bit-identical to
+    /// [`ScalingModel::point`](crate::ScalingModel::point) on the same
+    /// machine and grid.
+    pub fn point(&self, ranks: usize, opts: &TrafficOptions) -> ScalingPoint {
+        assert!(ranks >= 1 && ranks <= self.machine.total_cores());
+        let decomp = Decomposition::new(ranks, self.grid, self.grid);
+        let loops = self.predict_loops(opts, &decomp);
+
+        let iterations = (self.grid as f64) * (self.grid as f64);
+        let per_rank_iterations = iterations / ranks as f64;
+        let peak = self.machine.core_peak_flops();
+        // Per-rank bandwidth of each populated domain, hoisted out of the
+        // per-loop maximum (same divisions, computed once).
+        let per_rank_bws: Vec<f64> = self
+            .machine
+            .topology
+            .active_cores_per_domain(ranks)
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| self.machine.bandwidth.domain_bandwidth(c) / c as f64)
+            .collect();
+        let mut time = 0.0;
+        let mut volume = 0.0;
+        for t in &loops {
+            let loop_time = per_rank_bws
+                .iter()
+                .map(|&bw| per_rank_iterations * t.time_per_iteration(bw, peak))
+                .fold(0.0, f64::max);
+            time += loop_time;
+            volume += iterations * t.code_balance();
+        }
+        let time_per_step = time / (1.0 - NON_HOTSPOT_FRACTION);
+        let volume_per_step = volume / (1.0 - NON_HOTSPOT_FRACTION);
+        ScalingPoint {
+            ranks,
+            prime: is_prime(ranks),
+            local_inner: decomp.typical_local_inner(),
+            time_per_step,
+            speedup: 0.0, // filled in by the range normalisation
+            memory_bandwidth: volume_per_step / time_per_step,
+            volume_per_step,
+            loop_balances: loops
+                .iter()
+                .map(|l| (l.name.clone(), l.code_balance()))
+                .collect(),
+        }
+    }
+
+    /// Evaluate one rank count through a cross-sweep memo.
+    pub fn point_memo(
+        &self,
+        ranks: usize,
+        opts: &TrafficOptions,
+        memo: &SweepMemo,
+    ) -> ScalingPoint {
+        let key = PointKey {
+            machine: self.machine.id.clone(),
+            grid: self.grid,
+            ranks,
+            opts: *opts,
+        };
+        memo.get_or_insert_with(key, || self.point(ranks, opts))
+    }
+
+    /// Evaluate an inclusive rank range through `memo` and fill in speedups
+    /// relative to the first point — the memoized equivalent of
+    /// [`ScalingModel::sweep_range`](crate::ScalingModel::sweep_range).
+    pub fn sweep_range_memo(
+        &self,
+        ranks: std::ops::RangeInclusive<usize>,
+        opts_for: impl Fn(usize) -> TrafficOptions,
+        memo: &SweepMemo,
+    ) -> Vec<ScalingPoint> {
+        let mut points: Vec<ScalingPoint> = ranks
+            .map(|r| self.point_memo(r, &opts_for(r), memo))
+            .collect();
+        crate::scaling::normalise_speedups(&mut points);
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScalingModel, TINY_GRID};
+    use clover_machine::{icelake_sp_8360y, sapphire_rapids_8480};
+
+    fn all_options(ranks: usize) -> [TrafficOptions; 4] {
+        [
+            TrafficOptions::original(ranks),
+            TrafficOptions::optimized(ranks),
+            TrafficOptions::speci2m_off(ranks),
+            TrafficOptions::original(ranks).with_layer_condition(false),
+        ]
+    }
+
+    #[test]
+    fn engine_points_are_bit_identical_to_the_model() {
+        for machine in [icelake_sp_8360y(), sapphire_rapids_8480()] {
+            for grid in [1920usize, TINY_GRID] {
+                let model = ScalingModel::new(machine.clone()).with_grid(grid);
+                let engine = ScalingEngine::new(machine.clone(), grid);
+                for ranks in [1usize, 2, 9, 17, 18, 19, 36, 37, 53, 72] {
+                    for opts in all_options(ranks) {
+                        let reference = model.point(ranks, &opts);
+                        let fast = engine.point(ranks, &opts);
+                        assert_eq!(
+                            reference, fast,
+                            "{} grid={grid} ranks={ranks} {opts:?}",
+                            machine.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_sweep_equals_the_reference_sweep() {
+        let machine = icelake_sp_8360y();
+        let model = ScalingModel::new(machine.clone());
+        let engine = ScalingEngine::new(machine.clone(), TINY_GRID);
+        let memo = SweepMemo::new();
+        // Overlapping ranges: the second and third sweeps are served mostly
+        // (then entirely) from the memo and must not change a bit.
+        for range in [1..=36, 1..=72, 9..=18] {
+            let reference = model.sweep_range(range.clone(), TrafficOptions::original);
+            let memoized = engine.sweep_range_memo(range.clone(), TrafficOptions::original, &memo);
+            assert_eq!(reference, memoized, "range {range:?}");
+        }
+        let (hits, misses) = memo.stats();
+        assert_eq!(misses, 72, "distinct points evaluated once");
+        assert_eq!(hits, 36 + 10, "overlap served from the memo");
+        assert_eq!(memo.len(), 72);
+    }
+
+    #[test]
+    fn memo_distinguishes_stage_grid_and_machine() {
+        let memo = SweepMemo::new();
+        let icx = ScalingEngine::new(icelake_sp_8360y(), 1920);
+        let icx_small = ScalingEngine::new(icelake_sp_8360y(), 960);
+        let spr = ScalingEngine::new(sapphire_rapids_8480(), 1920);
+        let _ = icx.point_memo(18, &TrafficOptions::original(18), &memo);
+        let _ = icx.point_memo(18, &TrafficOptions::optimized(18), &memo);
+        let _ = icx_small.point_memo(18, &TrafficOptions::original(18), &memo);
+        let _ = spr.point_memo(18, &TrafficOptions::original(18), &memo);
+        assert_eq!(memo.len(), 4);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn normalisation_happens_per_range_not_in_the_memo() {
+        // A memo hit must not leak another range's speedup normalisation.
+        let engine = ScalingEngine::new(icelake_sp_8360y(), TINY_GRID);
+        let memo = SweepMemo::new();
+        let full = engine.sweep_range_memo(1..=18, TrafficOptions::original, &memo);
+        let partial = engine.sweep_range_memo(9..=18, TrafficOptions::original, &memo);
+        assert!((partial[0].speedup - 1.0).abs() < 1e-12);
+        let expected = full[8].time_per_step / full[17].time_per_step;
+        assert!((partial[9].speedup - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_range_yields_empty_sweep() {
+        let engine = ScalingEngine::new(icelake_sp_8360y(), TINY_GRID);
+        let memo = SweepMemo::new();
+        assert!(engine
+            .sweep_range_memo(5..=4, TrafficOptions::original, &memo)
+            .is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 //!   code-balance improvements (the "Optimized" series of Fig. 7).
 
 pub mod decomp;
+pub mod engine;
 pub mod mpimodel;
 pub mod optimize;
 pub mod profile;
@@ -28,10 +29,11 @@ pub mod scaling;
 pub mod traffic;
 
 pub use decomp::{Decomposition, TILE_INNER_FULL};
+pub use engine::{ScalingEngine, SweepMemo};
 pub use mpimodel::{CommModel, MpiShare};
 pub use optimize::{relative_improvement, LoopOptimization, OptimizationPlan};
 pub use profile::{hotspot_profile, ProfileEntry};
-pub use scaling::{ScalingModel, ScalingPoint};
+pub use scaling::{normalise_speedups, ScalingModel, ScalingPoint};
 pub use traffic::{CodeVariant, LoopTraffic, TrafficModel, TrafficOptions};
 
 /// The "Tiny" working set of SPEChpc 2021 519.clvleaf_t: a square grid of

@@ -15,10 +15,10 @@ use crate::{TINY_GRID, TINY_STEPS};
 
 /// Fraction of the total runtime spent outside the three hotspot functions
 /// (Listing 2: the hotspots cover 67.5–69.2 %).
-const NON_HOTSPOT_FRACTION: f64 = 0.31;
+pub(crate) const NON_HOTSPOT_FRACTION: f64 = 0.31;
 
 /// One point of the scaling study.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingPoint {
     /// Number of ranks.
     pub ranks: usize,
@@ -36,6 +36,20 @@ pub struct ScalingPoint {
     pub volume_per_step: f64,
     /// Per-loop code balance (byte/it) in catalogue order.
     pub loop_balances: Vec<(String, f64)>,
+}
+
+/// Fill in speedups relative to the first point of a range — the one
+/// normalisation every sweep path applies ([`ScalingModel::sweep_range`],
+/// the memoized engine sweep and the scenario runner's per-scenario
+/// assembly all share this function, so the byte-identity between those
+/// paths cannot drift).  An empty slice is left untouched.
+pub fn normalise_speedups(points: &mut [ScalingPoint]) {
+    let Some(t_first) = points.first().map(|p| p.time_per_step) else {
+        return;
+    };
+    for p in points {
+        p.speedup = t_first / p.time_per_step;
+    }
 }
 
 /// The scaling model for one machine and one code variant.
@@ -144,12 +158,7 @@ impl ScalingModel {
         opts_for: impl Fn(usize) -> TrafficOptions,
     ) -> Vec<ScalingPoint> {
         let mut points: Vec<ScalingPoint> = ranks.map(|r| self.point(r, &opts_for(r))).collect();
-        let Some(t_first) = points.first().map(|p| p.time_per_step) else {
-            return points;
-        };
-        for p in &mut points {
-            p.speedup = t_first / p.time_per_step;
-        }
+        normalise_speedups(&mut points);
         points
     }
 

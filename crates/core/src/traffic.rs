@@ -21,7 +21,7 @@ use clover_stencil::{CodeBalance, LoopSpec};
 use crate::decomp::Decomposition;
 
 /// Code variant being modelled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeVariant {
     /// The unmodified SPEChpc code: plain stores, hardware may apply
     /// SpecI2M where it can.
@@ -35,8 +35,10 @@ pub enum CodeVariant {
     Optimized,
 }
 
-/// Options of one traffic-model evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Options of one traffic-model evaluation.  All fields are discrete, so
+/// the options double as (part of) a memo key in the cross-sweep scaling
+/// engine (`crate::engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrafficOptions {
     /// Code variant.
     pub variant: CodeVariant,

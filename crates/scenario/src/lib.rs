@@ -22,9 +22,9 @@ pub mod plan;
 pub mod runner;
 
 pub use plan::{RankRange, Scenario, Stage, SweepPlan};
-pub use runner::{run_plan, run_scenarios_with};
+pub use runner::{run_scenario_items_with, run_scenarios_with};
 
-use clover_core::ScalingModel;
+use clover_core::{normalise_speedups, ScalingEngine, ScalingModel, ScalingPoint, SweepMemo};
 use clover_golden::Artifact;
 
 /// Render one artifact as the block the `figures` CLI prints (`==== id ====`
@@ -35,11 +35,12 @@ pub fn render_block(artifact: &Artifact) -> String {
     format!("==== {} ====\n{}\n", artifact.id, artifact.to_csv())
 }
 
-/// Default scenario evaluator: the node-level scaling model swept over the
-/// scenario's rank range on its machine, grid and code stage.
-pub fn evaluate(scenario: &Scenario) -> Artifact {
+/// Assemble the default scaling-sweep artifact of `scenario` from its
+/// evaluated points.  [`evaluate`] and the nested-parallel [`run_plan`]
+/// both render through this function, so the two paths cannot drift apart
+/// in format.
+pub fn sweep_artifact(scenario: &Scenario, points: &[ScalingPoint]) -> Artifact {
     let machine = scenario.machine.machine();
-    let model = ScalingModel::new(machine.clone()).with_grid(scenario.grid);
     let stage = scenario.stage;
     let mut a = Artifact::new(&scenario.id(), &scenario.title())
         .column("ranks", None)
@@ -49,7 +50,7 @@ pub fn evaluate(scenario: &Scenario) -> Artifact {
         .num_column("speedup", None, 3)
         .num_column("bandwidth", Some("GB/s"), 1)
         .num_column("volume_per_step", Some("MB"), 1);
-    for p in model.sweep_range(scenario.ranks.iter(), |r| stage.options(r)) {
+    for p in points {
         a.push_row(vec![
             p.ranks.into(),
             (p.prime as i64).into(),
@@ -67,6 +68,64 @@ pub fn evaluate(scenario: &Scenario) -> Artifact {
         g = scenario.grid,
     ));
     a
+}
+
+/// Default scenario evaluator: the node-level scaling model swept over the
+/// scenario's rank range on its machine, grid and code stage.
+pub fn evaluate(scenario: &Scenario) -> Artifact {
+    let machine = scenario.machine.machine();
+    let model = ScalingModel::new(machine.clone()).with_grid(scenario.grid);
+    let stage = scenario.stage;
+    let points = model.sweep_range(scenario.ranks.iter(), |r| stage.options(r));
+    sweep_artifact(scenario, &points)
+}
+
+/// Expand and run a whole plan with the default evaluator.
+///
+/// The plan is flattened into `(scenario, rank point)` work items fanned
+/// out across `jobs` workers ([`run_scenario_items_with`]), every point is
+/// evaluated through one [`SweepMemo`] spanning the whole plan (scenarios
+/// with overlapping rank ranges on the same machine, grid and stage share
+/// their points instead of re-evaluating them), and each scenario's points
+/// are assembled back in plan order — byte-identical to evaluating every
+/// scenario sequentially with [`evaluate`], which the tier-1 suite asserts.
+pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
+    let scenarios = plan.expand();
+    // One engine per (machine, grid) axis pair, shared by every worker; the
+    // few-entry list makes the per-item lookup a short scan.
+    let mut engines: Vec<((clover_machine::MachinePreset, usize), ScalingEngine)> = Vec::new();
+    for s in &scenarios {
+        if !engines
+            .iter()
+            .any(|((m, g), _)| *m == s.machine && *g == s.grid)
+        {
+            engines.push((
+                (s.machine, s.grid),
+                ScalingEngine::new(s.machine.machine(), s.grid),
+            ));
+        }
+    }
+    let engine_for = |s: &Scenario| -> &ScalingEngine {
+        engines
+            .iter()
+            .find(|((m, g), _)| *m == s.machine && *g == s.grid)
+            .map(|(_, e)| e)
+            .expect("every scenario's engine was built above")
+    };
+    let memo = SweepMemo::new();
+    runner::run_scenario_items_with(
+        &scenarios,
+        jobs,
+        |s| s.ranks.len(),
+        |s, i| {
+            let ranks = s.ranks.start + i;
+            engine_for(s).point_memo(ranks, &s.stage.options(ranks), &memo)
+        },
+        |s, mut points| {
+            normalise_speedups(&mut points);
+            sweep_artifact(s, &points)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,21 +1,110 @@
 //! Parallel sweep runner.
 //!
-//! Scenarios are independent, so the runner fans them out across `jobs`
-//! `crossbeam` scoped worker threads pulling indices from a shared atomic
-//! counter (work stealing without any queue allocation).  Results travel
-//! back tagged with their scenario index and are re-assembled into plan
-//! order, so the output is byte-identical to the sequential path regardless
-//! of worker interleaving — determinism is a tested property, not an
-//! accident.
+//! The runner fans work out across `jobs` `crossbeam` scoped worker threads
+//! pulling indices from a shared atomic counter (work stealing without any
+//! queue allocation).  Since PR 5 the unit of work is not a whole scenario
+//! but a *flattened `(scenario, item)` pair* — for the default evaluator an
+//! item is one rank point — so a single large curve no longer serialises on
+//! one worker.  Workers write each result straight into its pre-allocated
+//! slot (no channel buffering the whole plan until the scope ends), and the
+//! assembly walks the slots in plan order, so the output is byte-identical
+//! to the sequential path regardless of worker interleaving — determinism
+//! is a tested property, not an accident.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use clover_golden::Artifact;
+use parking_lot::Mutex;
 
-use crate::plan::{Scenario, SweepPlan};
+use crate::plan::Scenario;
+
+/// Evaluate the flattened `(scenario, item)` pairs of `scenarios` with
+/// `eval_item`, fanning out across `jobs` worker threads, then assemble one
+/// artifact per scenario (in plan order) from its items (in item order).
+///
+/// `item_count` declares how many independent items each scenario splits
+/// into; `eval_item(scenario, i)` evaluates item `i` of a scenario;
+/// `assemble(scenario, items)` builds the scenario's artifact from all its
+/// item results.  The output is identical for any `jobs`.
+///
+/// # Panics
+/// Panics if `jobs == 0` or a worker panics (the panic is propagated).
+pub fn run_scenario_items_with<T, C, E, A>(
+    scenarios: &[Scenario],
+    jobs: usize,
+    item_count: C,
+    eval_item: E,
+    assemble: A,
+) -> Vec<Artifact>
+where
+    T: Send,
+    C: Fn(&Scenario) -> usize,
+    E: Fn(&Scenario, usize) -> T + Sync,
+    A: Fn(&Scenario, Vec<T>) -> Artifact,
+{
+    assert!(jobs >= 1, "jobs must be >= 1");
+    let counts: Vec<usize> = scenarios.iter().map(&item_count).collect();
+    let total: usize = counts.iter().sum();
+    if jobs == 1 || total <= 1 {
+        return scenarios
+            .iter()
+            .zip(&counts)
+            .map(|(s, &n)| assemble(s, (0..n).map(|i| eval_item(s, i)).collect()))
+            .collect();
+    }
+
+    // Flattened work list: global index -> (scenario index, item index).
+    let index: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &n)| (0..n).map(move |ii| (si, ii)))
+        .collect();
+    // Pre-allocated result slots, written directly by the workers: peak
+    // extra memory is the in-flight items of the `jobs` workers, not a
+    // channel holding the whole plan until the scope ends.
+    let slots: Vec<Mutex<Option<T>>> = index.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(index.len());
+    let eval_item = &eval_item;
+    let next = &next;
+    let index = &index;
+    let slots = &slots;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= index.len() {
+                    break;
+                }
+                let (si, ii) = index[i];
+                let value = eval_item(&scenarios[si], ii);
+                *slots[i].lock() = Some(value);
+            });
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+
+    let mut artifacts = Vec::with_capacity(scenarios.len());
+    let mut cursor = 0usize;
+    for (s, &n) in scenarios.iter().zip(&counts) {
+        let items: Vec<T> = slots[cursor..cursor + n]
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .take()
+                    .expect("every item evaluated exactly once")
+            })
+            .collect();
+        cursor += n;
+        artifacts.push(assemble(s, items));
+    }
+    artifacts
+}
 
 /// Evaluate `scenarios` with `eval`, fanning out across `jobs` worker
 /// threads.  The returned artifacts are in scenario order for any `jobs`.
+/// (One item per scenario; use [`run_scenario_items_with`] to split a
+/// scenario into finer work items.)
 ///
 /// # Panics
 /// Panics if `jobs == 0` or a worker panics (the panic is propagated).
@@ -23,54 +112,21 @@ pub fn run_scenarios_with<F>(scenarios: &[Scenario], jobs: usize, eval: F) -> Ve
 where
     F: Fn(&Scenario) -> Artifact + Sync,
 {
-    assert!(jobs >= 1, "jobs must be >= 1");
-    if jobs == 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(|s| eval(s)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded();
-    let workers = jobs.min(scenarios.len());
-    let eval = &eval;
-    let next = &next;
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                if tx.send((i, eval(&scenarios[i]))).is_err() {
-                    break;
-                }
-            });
-        }
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-    drop(tx);
-
-    let mut slots: Vec<Option<Artifact>> = scenarios.iter().map(|_| None).collect();
-    while let Ok((i, artifact)) = rx.recv() {
-        debug_assert!(slots[i].is_none(), "scenario {i} evaluated twice");
-        slots[i] = Some(artifact);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every scenario evaluated exactly once"))
-        .collect()
-}
-
-/// Expand and run a whole plan with the default evaluator
-/// ([`crate::evaluate`]).
-pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
-    run_scenarios_with(&plan.expand(), jobs, crate::evaluate)
+    run_scenario_items_with(
+        scenarios,
+        jobs,
+        |_| 1,
+        |s, _| eval(s),
+        |_, mut items| items.pop().expect("one item per scenario"),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{RankRange, Stage};
+    use crate::plan::{RankRange, Stage, SweepPlan};
+    use crate::run_plan;
+    use clover_golden::Cell;
     use clover_machine::MachinePreset;
 
     fn small_plan() -> SweepPlan {
@@ -97,6 +153,17 @@ mod tests {
             let parallel = run_plan(&plan, jobs);
             assert_eq!(bytes(&sequential), bytes(&parallel), "jobs={jobs}");
             assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn nested_runner_matches_the_per_scenario_evaluator() {
+        // The flattened (scenario, rank point) fan-out with the plan-wide
+        // memo must reproduce the plain per-scenario evaluator exactly.
+        let plan = small_plan();
+        let reference: Vec<Artifact> = plan.expand().iter().map(crate::evaluate).collect();
+        for jobs in [1, 3] {
+            assert_eq!(reference, run_plan(&plan, jobs), "jobs={jobs}");
         }
     }
 
@@ -142,5 +209,35 @@ mod tests {
             run_scenarios_with(&scenarios, 2, |_| panic!("evaluator exploded"))
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn item_runner_splits_and_reassembles_in_order() {
+        let scenarios = small_plan().expand();
+        for jobs in [1, 2, 5] {
+            let artifacts = run_scenario_items_with(
+                &scenarios,
+                jobs,
+                |s| s.ranks.len(),
+                |s, i| format!("{}#{}", s.id(), i),
+                |s, items| {
+                    let mut a = Artifact::new(&s.id(), "item order").column("item", None);
+                    for item in items {
+                        a.push_row(vec![item.into()]);
+                    }
+                    a
+                },
+            );
+            assert_eq!(artifacts.len(), scenarios.len());
+            for (s, a) in scenarios.iter().zip(&artifacts) {
+                assert_eq!(a.rows.len(), s.ranks.len());
+                for (i, row) in a.rows.iter().enumerate() {
+                    match &row[0] {
+                        Cell::Text(text) => assert_eq!(*text, format!("{}#{}", s.id(), i)),
+                        other => panic!("expected a text cell, got {other:?}"),
+                    }
+                }
+            }
+        }
     }
 }

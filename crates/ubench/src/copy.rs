@@ -13,27 +13,29 @@
 //!   halos create partial cache lines that defeat the evasion; short inner
 //!   dimensions defeat it even for aligned halos.
 
-use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, NodeSim, SimConfig};
+use clover_cachesim::{AccessKind, KernelSpec, NodeSim, RankBase, SimConfig, SimMemo, SpecOperand};
 use clover_machine::Machine;
 
 /// The interleaved copy kernel (`load b(i); store a(i)` per iteration) as a
-/// two-operand stencil sweep: `rows` batches of `inner` elements whose
-/// starts are `inner + halo` elements apart.  Expressing it this way runs
-/// it on the batched line-granular driver while preserving the exact
-/// element-interleaved access order of the patched TheBandwidthBenchmark
-/// copy.
-fn copy_sweep(src: u64, dst: u64, inner: u64, halo: u64, rows: u64) -> StencilRowSweep {
-    StencilRowSweep {
+/// two-operand stencil spec: `rows` batches of `inner` elements whose
+/// starts are `inner + halo` elements apart, each rank's source at its rank
+/// base and its destination `dst_offset` bytes above.  Expressing it this
+/// way runs it on the batched line-granular driver while preserving the
+/// exact element-interleaved access order of the patched
+/// TheBandwidthBenchmark copy — and makes the kernel hashable for the
+/// cross-sweep simulation memo.
+pub fn copy_kernel_spec(dst_offset: u64, inner: u64, halo: u64, rows: u64) -> KernelSpec {
+    KernelSpec {
+        rank_base: RankBase::Shifted { shift: 40, plus: 1 },
         operands: vec![
-            StencilOperand {
-                base: src,
-                offsets: vec![(0, 0)],
+            SpecOperand {
+                offset: 0,
+                points: vec![(0, 0)],
                 kind: AccessKind::Load,
             },
-            StencilOperand {
-                base: dst,
-                offsets: vec![(0, 0)],
+            SpecOperand {
+                offset: dst_offset,
+                points: vec![(0, 0)],
                 kind: AccessKind::Store,
             },
         ],
@@ -79,17 +81,33 @@ const HALO_ROWS: u64 = 96;
 /// Fig. 6: read/write/ITOM volume per iteration of the copy kernel as a
 /// function of the thread count.
 pub fn copy_volume_per_iteration(machine: &Machine, threads: usize) -> CopyVolumePoint {
+    let spec = copy_kernel_spec(1 << 30, COPY_ELEMENTS, 0, 1);
     let sim = NodeSim::new(SimConfig::new(machine.clone(), threads));
-    let report = sim.run_spmd(|rank, core| {
-        let base = (rank as u64 + 1) << 40;
-        copy_sweep(base, base + (1 << 30), COPY_ELEMENTS, 0, 1).drive(core);
-    });
+    let report = sim.run_spmd(|rank, core| spec.drive(rank, core));
+    copy_volume_point(threads, &report.total)
+}
+
+/// [`copy_volume_per_iteration`] through a cross-sweep [`SimMemo`]:
+/// bit-identical, with each distinct domain-load context simulated once
+/// per memo lifetime.
+pub fn copy_volume_per_iteration_memo(
+    machine: &Machine,
+    threads: usize,
+    memo: &SimMemo,
+) -> CopyVolumePoint {
+    let spec = copy_kernel_spec(1 << 30, COPY_ELEMENTS, 0, 1);
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), threads));
+    let report = sim.run_spmd_memo(&spec, memo);
+    copy_volume_point(threads, &report.total)
+}
+
+fn copy_volume_point(threads: usize, total: &clover_cachesim::MemCounters) -> CopyVolumePoint {
     let iterations = (threads as u64 * COPY_ELEMENTS) as f64;
     CopyVolumePoint {
         threads,
-        read_bytes_per_it: report.total.read_bytes() / iterations,
-        write_bytes_per_it: report.total.write_bytes() / iterations,
-        itom_bytes_per_it: report.total.itom_bytes() / iterations,
+        read_bytes_per_it: total.read_bytes() / iterations,
+        write_bytes_per_it: total.write_bytes() / iterations,
+        itom_bytes_per_it: total.itom_bytes() / iterations,
     }
 }
 
@@ -101,21 +119,47 @@ pub fn copy_halo_ratio(
     halo: usize,
     prefetchers: bool,
 ) -> CopyHaloPoint {
-    let ranks = machine.total_cores();
-    let mut config = SimConfig::new(machine.clone(), ranks);
+    let spec = copy_kernel_spec(1 << 32, inner as u64, halo as u64, HALO_ROWS);
+    let sim = NodeSim::new(copy_halo_config(machine, prefetchers));
+    let report = sim.run_spmd(|rank, core| spec.drive(rank, core));
+    copy_halo_point(inner, halo, prefetchers, &report.total)
+}
+
+/// [`copy_halo_ratio`] through a cross-sweep [`SimMemo`].  The halo/inner
+/// axes make every point a distinct kernel, so the memo's value here is the
+/// pooled-core arena reuse plus sharing across repeated evaluations.
+pub fn copy_halo_ratio_memo(
+    machine: &Machine,
+    inner: usize,
+    halo: usize,
+    prefetchers: bool,
+    memo: &SimMemo,
+) -> CopyHaloPoint {
+    let spec = copy_kernel_spec(1 << 32, inner as u64, halo as u64, HALO_ROWS);
+    let sim = NodeSim::new(copy_halo_config(machine, prefetchers));
+    let report = sim.run_spmd_memo(&spec, memo);
+    copy_halo_point(inner, halo, prefetchers, &report.total)
+}
+
+fn copy_halo_config(machine: &Machine, prefetchers: bool) -> SimConfig {
+    let mut config = SimConfig::new(machine.clone(), machine.total_cores());
     if !prefetchers {
         config = config.without_prefetchers();
     }
-    let sim = NodeSim::new(config);
-    let report = sim.run_spmd(|rank, core| {
-        let base = (rank as u64 + 1) << 40;
-        copy_sweep(base, base + (1 << 32), inner as u64, halo as u64, HALO_ROWS).drive(core);
-    });
+    config
+}
+
+fn copy_halo_point(
+    inner: usize,
+    halo: usize,
+    prefetchers: bool,
+    total: &clover_cachesim::MemCounters,
+) -> CopyHaloPoint {
     CopyHaloPoint {
         inner,
         halo,
         prefetchers,
-        ratio: report.total.read_bytes() / report.total.write_bytes().max(1.0),
+        ratio: total.read_bytes() / total.write_bytes().max(1.0),
     }
 }
 
@@ -206,6 +250,22 @@ mod tests {
             on.ratio
         );
         assert!(!off.prefetchers && on.prefetchers);
+    }
+
+    #[test]
+    fn memoized_copy_points_are_bit_identical() {
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        for threads in [1usize, 9, 17, 18, 19, 36] {
+            let plain = copy_volume_per_iteration(&m, threads);
+            let memoized = copy_volume_per_iteration_memo(&m, threads, &memo);
+            assert_eq!(plain, memoized, "threads={threads}");
+        }
+        for (inner, halo, pf) in [(216usize, 5usize, true), (1920, 0, true), (216, 3, false)] {
+            let plain = copy_halo_ratio(&m, inner, halo, pf);
+            let memoized = copy_halo_ratio_memo(&m, inner, halo, pf, &memo);
+            assert_eq!(plain, memoized, "inner={inner} halo={halo} pf={pf}");
+        }
     }
 
     #[test]

@@ -6,8 +6,7 @@
 //! divided by the explicitly initiated store volume: 2.0 means every store
 //! needs a write-allocate, 1.0 means all write-allocates are evaded.
 
-use clover_cachesim::patterns::{StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, NodeSim, SimConfig};
+use clover_cachesim::{AccessKind, KernelSpec, NodeSim, RankBase, SimConfig, SimMemo, SpecOperand};
 use clover_machine::Machine;
 
 /// Store flavour used by the benchmark.
@@ -37,9 +36,12 @@ pub struct StoreRatioPoint {
 /// evasion statistics to converge, which keeps the sweep fast.
 const ELEMENTS_PER_STREAM: u64 = 32 * 1024;
 
-/// Measure the store ratio for `cores` active cores, `streams` store streams
-/// per core and the given store kind.
-pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreKind) -> f64 {
+/// The SPMD kernel of the store benchmark as a typed, memoizable spec:
+/// `streams` independent store streams per core.  Streams live far apart so
+/// they form independent write streams (identical to the likwid-bench store
+/// kernels); one operand per stream reproduces the element-interleaved
+/// store order of the real kernel through the batched line-granular driver.
+pub fn store_kernel_spec(streams: usize, kind: StoreKind) -> KernelSpec {
     assert!(
         (1..=3).contains(&streams),
         "the paper uses 1-3 store streams"
@@ -48,31 +50,52 @@ pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreK
         StoreKind::Normal => AccessKind::Store,
         StoreKind::NonTemporal => AccessKind::StoreNT,
     };
+    KernelSpec {
+        rank_base: RankBase::Shifted { shift: 40, plus: 1 },
+        operands: (0..streams as u64)
+            .map(|s| SpecOperand {
+                offset: s << 30,
+                points: vec![(0, 0)],
+                kind: access,
+            })
+            .collect(),
+        row_stride: ELEMENTS_PER_STREAM,
+        i0: 0,
+        inner: ELEMENTS_PER_STREAM,
+        k0: 0,
+        rows: 1,
+    }
+}
+
+/// Measure the store ratio for `cores` active cores, `streams` store streams
+/// per core and the given store kind.
+pub fn store_ratio(machine: &Machine, cores: usize, streams: usize, kind: StoreKind) -> f64 {
+    let spec = store_kernel_spec(streams, kind);
     let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
-    let report = sim.run_spmd(|rank, core| {
-        let rank_base = (rank as u64 + 1) << 40;
-        // Streams live far apart so they form independent write streams
-        // (identical to the likwid-bench store kernels).  One operand per
-        // stream reproduces the element-interleaved store order of the real
-        // kernel through the batched line-granular driver.
-        let sweep = StencilRowSweep {
-            operands: (0..streams as u64)
-                .map(|s| StencilOperand {
-                    base: rank_base + (s << 30),
-                    offsets: vec![(0, 0)],
-                    kind: access,
-                })
-                .collect(),
-            row_stride: ELEMENTS_PER_STREAM,
-            i0: 0,
-            inner: ELEMENTS_PER_STREAM,
-            k0: 0,
-            rows: 1,
-        };
-        sweep.drive(core);
-    });
+    let report = sim.run_spmd(|rank, core| spec.drive(rank, core));
+    store_ratio_of(&report.total_bytes(), cores, streams)
+}
+
+/// [`store_ratio`] through a cross-sweep [`SimMemo`]: bit-identical, but a
+/// curve over many core counts simulates each distinct domain-load context
+/// only once per memo lifetime.
+pub fn store_ratio_memo(
+    machine: &Machine,
+    cores: usize,
+    streams: usize,
+    kind: StoreKind,
+    memo: &SimMemo,
+) -> f64 {
+    let spec = store_kernel_spec(streams, kind);
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), cores));
+    let report = sim.run_spmd_memo(&spec, memo);
+    store_ratio_of(&report.total_bytes(), cores, streams)
+}
+
+/// Actual traffic over initiated store volume.
+fn store_ratio_of(total_bytes: &f64, cores: usize, streams: usize) -> f64 {
     let initiated = (cores as u64 * streams as u64 * ELEMENTS_PER_STREAM * 8) as f64;
-    report.total_bytes() / initiated
+    total_bytes / initiated
 }
 
 /// Sweep the store ratio over core counts `1..=max_cores`.
@@ -192,5 +215,26 @@ mod tests {
     fn invalid_stream_count_panics() {
         let m = icelake_sp_8360y();
         let _ = store_ratio(&m, 1, 4, StoreKind::Normal);
+    }
+
+    #[test]
+    fn memoized_ratio_is_bit_identical_to_unmemoized() {
+        // One memo spans the whole mini-curve, so later points are served
+        // partly from cache — the ratios must not change in a single bit.
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        for kind in [StoreKind::Normal, StoreKind::NonTemporal] {
+            for streams in 1..=3 {
+                for cores in [1usize, 2, 18, 19, 20, 36, 37] {
+                    let plain = store_ratio(&m, cores, streams, kind);
+                    let memoized = store_ratio_memo(&m, cores, streams, kind, &memo);
+                    assert!(
+                        plain == memoized,
+                        "cores={cores} streams={streams} {kind:?}: {plain} vs {memoized}"
+                    );
+                }
+            }
+        }
+        assert!(memo.stats().hits > 0, "the curve must reuse contexts");
     }
 }

@@ -7,7 +7,8 @@
 use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
 use cloverleaf_wa::cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
 use cloverleaf_wa::cachesim::{
-    AccessKind, AccessRun, CoreSim, NodeSim, PrefetcherConfig, SimConfig,
+    AccessKind, AccessRun, CoreSim, KernelSpec, NodeSim, PrefetcherConfig, RankBase, SimConfig,
+    SimMemo, SpecOperand,
 };
 use cloverleaf_wa::machine::{icelake_sp_8360y, Machine};
 use proptest::prelude::*;
@@ -162,6 +163,90 @@ proptest! {
         sweep.drive_scalar(&mut slow);
         prop_assert_eq!(fast.cache_stats(), slow.cache_stats());
         prop_assert_eq!(fast.flush(), slow.flush());
+    }
+
+    /// The cross-sweep memo is exact: for arbitrary kernel specs (operand
+    /// mixes, stencil shapes, rank-base schemes) and any rank count,
+    /// `run_spmd_memo` through a fresh memo reproduces the unmemoized
+    /// closure path bit for bit.
+    #[test]
+    fn run_spmd_memo_matches_run_spmd(
+        operand_mix in 0usize..4,
+        inner in 8u64..300,
+        rows in 1u64..4,
+        stride_extra in 0u64..6,
+        rank_base_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 2, 17, 18, 19, 20, 36, 37, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let rank_base = [
+            RankBase::Shared,
+            RankBase::Shifted { shift: 40, plus: 1 },
+            RankBase::Shifted { shift: 36, plus: 0 },
+        ][rank_base_idx];
+        let mut operands = vec![SpecOperand {
+            offset: 1 << 33,
+            points: vec![(0, 0)],
+            kind: AccessKind::Store,
+        }];
+        if operand_mix % 2 == 1 {
+            operands.push(SpecOperand {
+                offset: 1 << 30,
+                points: vec![(0, 0), (1, 0), (0, -1)],
+                kind: AccessKind::Load,
+            });
+        }
+        if operand_mix >= 2 {
+            operands.push(SpecOperand {
+                offset: 1 << 34,
+                points: vec![(0, 0)],
+                kind: AccessKind::StoreNT,
+            });
+        }
+        let spec = KernelSpec {
+            rank_base,
+            operands,
+            row_stride: inner + stride_extra + 2,
+            i0: 1,
+            inner,
+            k0: 1,
+            rows,
+        };
+        let sim = NodeSim::new(SimConfig::new(machine, ranks));
+        let plain = sim.run_spmd(|rank, core| spec.drive(rank, core));
+        let memoized = sim.run_spmd_memo(&spec, &SimMemo::new());
+        prop_assert_eq!(plain.total, memoized.total);
+        prop_assert_eq!(plain.per_rank, memoized.per_rank);
+        prop_assert_eq!(plain.cores_per_domain, memoized.cores_per_domain);
+    }
+
+    /// Sharing one memo across a whole rank-count curve (the cross-sweep
+    /// case: later points are served from contexts simulated for earlier
+    /// points, possibly as a different representative rank) changes no bit
+    /// either.
+    #[test]
+    fn shared_memo_across_a_curve_matches_run_spmd(
+        elements in 64u64..2048,
+        kind_idx in 0usize..3,
+    ) {
+        let machine = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let memo = SimMemo::new();
+        for ranks in [1usize, 18, 19, 20, 35, 36, 37, 54, 72] {
+            let sim = NodeSim::new(SimConfig::new(machine.clone(), ranks));
+            let plain = sim.run_spmd(|rank, core| spec.drive(rank, core));
+            let memoized = sim.run_spmd_memo(&spec, &memo);
+            prop_assert_eq!(plain.total, memoized.total, "ranks={}", ranks);
+            prop_assert_eq!(plain.per_rank, memoized.per_rank, "ranks={}", ranks);
+        }
+        // The full-domain levels of 19..72 ranks overlap: the memo must
+        // have avoided simulations.
+        prop_assert!(memo.stats().hits > 0);
     }
 
     /// Regression for the `CoreSim::reset` reuse inside the node loops:

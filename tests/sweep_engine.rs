@@ -11,9 +11,11 @@
 //!   `figures --check` gate.
 
 use clover_bench::{run_artifact, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
+use cloverleaf_wa::core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions};
 use cloverleaf_wa::golden::{check_artifact, golden, Artifact};
-use cloverleaf_wa::machine::MachinePreset;
-use cloverleaf_wa::scenario::{render_block, run_plan, RankRange, Stage, SweepPlan};
+use cloverleaf_wa::machine::{icelake_sp_8360y, MachinePreset};
+use cloverleaf_wa::scenario::{evaluate, render_block, run_plan, RankRange, Stage, SweepPlan};
+use proptest::prelude::*;
 
 fn small_plan() -> SweepPlan {
     SweepPlan::new()
@@ -68,6 +70,85 @@ fn parallel_runner_is_byte_identical_to_sequential() {
     for (scenario, artifact) in plan.expand().iter().zip(&sequential) {
         assert_eq!(scenario.id(), artifact.id);
     }
+}
+
+proptest! {
+    /// The nested-parallel, plan-wide-memoized runner is byte-identical to
+    /// mapping the sequential per-scenario evaluator over the expansion,
+    /// for random plans (axes, overlapping rank ranges) and job counts.
+    #[test]
+    fn memoized_nested_run_plan_matches_sequential_evaluate(
+        second_machine in prop::sample::select(vec![false, true]),
+        grid in prop::sample::select(vec![960usize, 1920]),
+        start_a in 1usize..4,
+        len_a in 0usize..12,
+        start_b in 1usize..20,
+        len_b in 0usize..8,
+        stage_mask in 1usize..8,
+        jobs in 1usize..6,
+    ) {
+        let mut plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(grid)
+            // Two (often overlapping) rank ranges: the memoized engine must
+            // not leak one range's speedup normalisation into the other.
+            .ranks(RankRange::new(start_a, start_a + len_a))
+            .ranks(RankRange::new(start_b, start_b + len_b));
+        if second_machine {
+            plan = plan.machine(MachinePreset::SapphireRapids8480);
+        }
+        for (i, stage) in Stage::all().into_iter().enumerate() {
+            if stage_mask & (1 << i) != 0 {
+                plan = plan.stage(stage);
+            }
+        }
+        let reference: Vec<Artifact> = plan.expand().iter().map(evaluate).collect();
+        let nested = run_plan(&plan, jobs);
+        prop_assert_eq!(rendered(&reference), rendered(&nested));
+        prop_assert_eq!(reference, nested);
+    }
+
+    /// The hoisted scaling engine reproduces the reference model bit for
+    /// bit over random rank counts, stages and layer-condition settings —
+    /// with and without a shared memo.
+    #[test]
+    fn scaling_engine_point_matches_model(
+        ranks in 1usize..=72,
+        stage_idx in 0usize..3,
+        layer_condition in prop::sample::select(vec![false, true]),
+        grid in prop::sample::select(vec![960usize, 1920]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let model = ScalingModel::new(machine.clone()).with_grid(grid);
+        let engine = ScalingEngine::new(machine, grid);
+        let opts = Stage::all()[stage_idx]
+            .options(ranks)
+            .with_layer_condition(layer_condition);
+        let reference = model.point(ranks, &opts);
+        prop_assert_eq!(&reference, &engine.point(ranks, &opts));
+        let memo = SweepMemo::new();
+        prop_assert_eq!(&reference, &engine.point_memo(ranks, &opts, &memo));
+        // Second lookup is a hit and still identical.
+        prop_assert_eq!(&reference, &engine.point_memo(ranks, &opts, &memo));
+        prop_assert_eq!(memo.stats(), (1, 1));
+    }
+}
+
+#[test]
+fn memoized_sweep_range_matches_model_sweep_range() {
+    let machine = icelake_sp_8360y();
+    let model = ScalingModel::new(machine.clone());
+    let engine = ScalingEngine::new(machine, cloverleaf_wa::core::TINY_GRID);
+    let memo = SweepMemo::new();
+    // Overlapping ranges exercise cold, mixed and fully-warm lookups.
+    for range in [1..=72usize, 1..=36, 17..=54] {
+        let reference = model.sweep_range(range.clone(), TrafficOptions::original);
+        let memoized = engine.sweep_range_memo(range.clone(), TrafficOptions::original, &memo);
+        assert_eq!(reference, memoized, "range {range:?}");
+    }
+    let (hits, misses) = memo.stats();
+    assert_eq!(misses, 72, "each distinct point evaluated exactly once");
+    assert_eq!(hits, 36 + 38, "overlapping ranges served from the memo");
 }
 
 #[test]
