@@ -20,7 +20,7 @@ fn cache_probe_fill(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(LINES));
     g.bench_function("probe_fill_stream", |b| {
-        let mut cache = SetAssocCache::new(48 * 1024, 12);
+        let mut cache: SetAssocCache = SetAssocCache::new(48 * 1024, 12);
         b.iter(|| {
             cache.reset();
             for line in 0..LINES {
@@ -56,7 +56,7 @@ fn scalar_vs_batched(c: &mut Criterion) {
     let elements = LINES * 8;
     let serial = OccupancyContext::serial(&machine);
     let options = CoreSimOptions::default();
-    let mut core = CoreSim::new(&machine, serial, options);
+    let mut core: CoreSim = CoreSim::new(&machine, serial, options);
     let mut g = c.benchmark_group("cachesim_hot/store_sweep");
     g.sample_size(10);
     g.throughput(Throughput::Elements(elements));
@@ -84,7 +84,7 @@ fn stencil_drivers(c: &mut Criterion) {
     let machine = icelake_sp_8360y();
     let serial = OccupancyContext::serial(&machine);
     let options = CoreSimOptions::default();
-    let mut core = CoreSim::new(&machine, serial, options);
+    let mut core: CoreSim = CoreSim::new(&machine, serial, options);
     let sweep = StencilRowSweep {
         operands: vec![
             StencilOperand {

@@ -14,9 +14,15 @@
 //! figures --perturb 10 --check all   # sanity check of the harness: a 10%
 //!                                    # model error must make --check fail
 //! figures sweep --machine icx-8360y --grid 4000 --ranks 1..72 \
-//!     --stage all [--jobs N] [--json]   # scenario sweep engine: cartesian
-//!                                       # machine × grid × ranks × stage
-//!                                       # plan on N worker threads
+//!     --stage all [--replacement lru|plru|srrip|random|all] \
+//!     [--write-policy allocate|no-allocate|non-temporal|all] \
+//!     [--layer-condition ok|broken|all] [--jobs N] [--json]
+//!                                # scenario sweep engine: cartesian
+//!                                # machine × grid × ranks × stage
+//!                                # (× cache-policy axes) plan on N worker
+//!                                # threads; the policy axes default to the
+//!                                # paper's LRU + write-allocate + fulfilled
+//!                                # layer condition
 //! figures bench [--json] [--quick] [--label <name>]
 //!               [--baseline <BENCH_*.json> [--max-regression <pct>]]
 //!                                # perf-trajectory harness: simulator
@@ -36,8 +42,10 @@ use std::process::ExitCode;
 
 use clover_bench::{check_experiment, delta_table, run_artifact, EXPERIMENTS};
 use clover_golden::check_artifact;
-use clover_machine::preset_names;
-use clover_scenario::{render_block, run_plan, RankRange, Stage, SweepPlan};
+use clover_machine::{
+    preset_names, replacement_names, write_policy_names, ReplacementPolicyKind, WritePolicyKind,
+};
+use clover_scenario::{render_block, run_plan, LayerCondition, RankRange, Stage, SweepPlan};
 
 /// Write to stdout, exiting quietly if the reader went away (`figures all |
 /// head` must not panic with a broken-pipe backtrace).
@@ -73,6 +81,9 @@ fn sweep_usage_error(message: &str) -> ExitCode {
     eprintln!(
         "usage: figures sweep --machine <name> --ranks <A..B> \
          [--grid <cells>] [--stage original|speci2m-off|optimized|all] \
+         [--replacement lru|plru|srrip|random|all] \
+         [--write-policy allocate|no-allocate|non-temporal|all] \
+         [--layer-condition ok|broken|all] \
          [--jobs <n>] [--json]  (axis flags repeat to span a cartesian plan)"
     );
     ExitCode::from(2)
@@ -173,8 +184,10 @@ struct SweepOptions {
 }
 
 /// Parse the arguments after the `sweep` keyword.  Repeatable axis flags
-/// (`--machine`, `--grid`, `--ranks`, `--stage`) span the cartesian plan;
-/// `--grid` defaults to the Tiny grid and `--stage` to `original`.
+/// (`--machine`, `--grid`, `--ranks`, `--stage`, `--replacement`,
+/// `--write-policy`, `--layer-condition`) span the cartesian plan; `--grid`
+/// defaults to the Tiny grid, `--stage` to `original`, and the cache-policy
+/// axes to the paper's LRU + write-allocate + fulfilled layer condition.
 fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
     let mut plan = SweepPlan::new();
     let mut jobs: Option<usize> = None;
@@ -234,6 +247,70 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
                         return Err(format!("duplicate stage '{stage}'"));
                     }
                     plan.stages.push(stage);
+                }
+            }
+            "--replacement" => {
+                let value = iter.next().ok_or_else(|| {
+                    format!(
+                        "--replacement needs a policy name ({}) or 'all'",
+                        replacement_names().join(", ")
+                    )
+                })?;
+                let kinds = if value == "all" {
+                    ReplacementPolicyKind::all()
+                } else {
+                    vec![ReplacementPolicyKind::parse(value).ok_or_else(|| {
+                        format!(
+                            "--replacement: unknown policy '{value}' (known: {}, all)",
+                            replacement_names().join(", ")
+                        )
+                    })?]
+                };
+                for kind in kinds {
+                    if plan.replacements.contains(&kind) {
+                        return Err(format!("--replacement: duplicate policy '{kind}'"));
+                    }
+                    plan.replacements.push(kind);
+                }
+            }
+            "--write-policy" => {
+                let value = iter.next().ok_or_else(|| {
+                    format!(
+                        "--write-policy needs a policy name ({}) or 'all'",
+                        write_policy_names().join(", ")
+                    )
+                })?;
+                let kinds = if value == "all" {
+                    WritePolicyKind::all()
+                } else {
+                    vec![WritePolicyKind::parse(value).ok_or_else(|| {
+                        format!(
+                            "--write-policy: unknown policy '{value}' (known: {}, all)",
+                            write_policy_names().join(", ")
+                        )
+                    })?]
+                };
+                for kind in kinds {
+                    if plan.write_policies.contains(&kind) {
+                        return Err(format!("--write-policy: duplicate policy '{kind}'"));
+                    }
+                    plan.write_policies.push(kind);
+                }
+            }
+            "--layer-condition" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--layer-condition needs 'ok', 'broken' or 'all'".to_string())?;
+                let conditions = LayerCondition::parse(value).ok_or_else(|| {
+                    format!("--layer-condition: unknown condition '{value}' (ok, broken, all)")
+                })?;
+                for condition in conditions {
+                    if plan.layer_conditions.contains(&condition) {
+                        return Err(format!(
+                            "--layer-condition: duplicate condition '{condition}'"
+                        ));
+                    }
+                    plan.layer_conditions.push(condition);
                 }
             }
             "--jobs" => {
@@ -656,6 +733,80 @@ mod tests {
             "fig2"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn sweep_policy_flags_span_the_plan() {
+        let opts = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--replacement",
+            "all",
+            "--write-policy",
+            "no-allocate",
+            "--write-policy",
+            "non-temporal",
+            "--layer-condition",
+            "all",
+        ]))
+        .unwrap();
+        assert_eq!(opts.plan.replacements, ReplacementPolicyKind::all());
+        assert_eq!(
+            opts.plan.write_policies,
+            vec![WritePolicyKind::NoAllocate, WritePolicyKind::NonTemporal]
+        );
+        assert_eq!(opts.plan.layer_conditions, LayerCondition::all());
+        assert_eq!(opts.plan.len(), 1 * 1 * 1 * 1 * 4 * 2 * 2);
+        // Unset policy axes stay empty (pinned to the defaults on expand).
+        let opts = parse_sweep_args(&args(&["--machine", "icx-8360y", "--ranks", "1..4"])).unwrap();
+        assert!(opts.plan.replacements.is_empty());
+        assert!(opts.plan.write_policies.is_empty());
+        assert!(opts.plan.layer_conditions.is_empty());
+        assert_eq!(opts.plan.len(), 1);
+    }
+
+    #[test]
+    fn sweep_policy_flags_reject_unknown_and_duplicate_values() {
+        let base = ["--machine", "icx-8360y", "--ranks", "1..4"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            parse_sweep_args(&args(&v))
+        };
+        // Unknown names are rejected, naming the flag and the registry.
+        let err = with(&["--replacement", "fifo"]).unwrap_err();
+        assert!(
+            err.contains("--replacement") && err.contains("lru"),
+            "{err}"
+        );
+        let err = with(&["--write-policy", "write-back"]).unwrap_err();
+        assert!(
+            err.contains("--write-policy") && err.contains("allocate"),
+            "{err}"
+        );
+        let err = with(&["--layer-condition", "maybe"]).unwrap_err();
+        assert!(err.contains("--layer-condition"), "{err}");
+        // Missing values name the flag too.
+        assert!(with(&["--replacement"])
+            .unwrap_err()
+            .contains("--replacement"));
+        assert!(with(&["--write-policy"])
+            .unwrap_err()
+            .contains("--write-policy"));
+        assert!(with(&["--layer-condition"])
+            .unwrap_err()
+            .contains("--layer-condition"));
+        // Duplicates (directly or via 'all') are rejected.
+        let err = with(&["--replacement", "plru", "--replacement", "plru"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = with(&["--replacement", "lru", "--replacement", "all"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = with(&["--write-policy", "all", "--write-policy", "allocate"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = with(&["--layer-condition", "ok", "--layer-condition", "ok"]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! `--baseline` comparisons can additionally be turned into a hard gate
 //! with `--max-regression <pct>` ([`BenchReport::regressions`]).
 //!
+//! PR 6 adds the `policy_grid_spmd` pattern: the whole 4 replacement × 3
+//! write-policy grid through the monomorphised dispatcher, with the
+//! `policy_dispatch` in-run ratio against the default-only `node_spmd_store`
+//! pattern guarding that the policy space keeps compiling out to zero cost
+//! on the paper's configuration.
+//!
 //! Timing uses best-of-`reps` wall-clock (the standard throughput
 //! estimator: the minimum is the run least disturbed by the machine).  The
 //! numbers are hardware-dependent by nature; the JSON is for trajectory
@@ -29,9 +35,13 @@ use std::time::Instant;
 
 use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
 use clover_cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
-use clover_cachesim::{AccessKind, AccessRun, CoreSim, NodeSim, SimConfig, SimMemo};
+use clover_cachesim::{
+    AccessKind, AccessRun, CoreSim, KernelSpec, NodeSim, RankBase, SimConfig, SimMemo,
+};
 use clover_core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions, TINY_GRID};
-use clover_machine::{icelake_sp_8360y, Machine, MachinePreset};
+use clover_machine::{
+    icelake_sp_8360y, Machine, MachinePreset, ReplacementPolicyKind, WritePolicyKind,
+};
 use clover_scenario::{run_scenarios_with, RankRange, Stage, SweepPlan};
 use clover_ubench::{store_ratio, store_ratio_memo, StoreKind};
 
@@ -521,6 +531,46 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
         }));
     }
 
+    // Policy-space pattern (PR 6): the full 4 replacement × 3 write-policy
+    // grid driven through the monomorphised dispatcher, one shared memo
+    // (each combination is a distinct `SimKey`, so all twelve simulate).
+    // The `policy_dispatch` ratio against the default-only `node_spmd_store`
+    // pattern — both sides measured in this run — is the zero-cost gate:
+    // per-element throughput across the grid must stay comparable to the
+    // paper's LRU + write-allocate monomorphisation, and a collapse means
+    // the dispatch stopped compiling out.
+    {
+        let ranks = 19;
+        let per_rank = n / 16;
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            per_rank,
+            AccessKind::Store,
+        );
+        let combos: Vec<(ReplacementPolicyKind, WritePolicyKind)> = ReplacementPolicyKind::all()
+            .into_iter()
+            .flat_map(|r| WritePolicyKind::all().into_iter().map(move |w| (r, w)))
+            .collect();
+        results.push(measure(
+            "policy_grid_spmd",
+            per_rank * 2 * combos.len() as u64,
+            reps,
+            || {
+                let memo = SimMemo::new();
+                for &(r, w) in &combos {
+                    let sim = NodeSim::new(
+                        SimConfig::new(machine.clone(), ranks)
+                            .with_replacement(r)
+                            .with_write_policy(w),
+                    );
+                    let report = sim.run_spmd_memo(&spec, &memo);
+                    assert!(report.total.total_bytes() > 0.0);
+                }
+            },
+        ));
+    }
+
     // Sweep-level patterns (PR 5): whole curves and plans, each measured
     // twice — once replayed on the PR 4 code path (per-point `ScalingModel`
     // / unmemoized `run_spmd`) and once through the cross-sweep memo +
@@ -632,6 +682,10 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
             name: "sweep_plan_nested".to_string(),
             factor: ratio("sweep_plan_pr4", "sweep_plan_nested"),
         },
+        Speedup {
+            name: "policy_dispatch".to_string(),
+            factor: ratio("node_spmd_store", "policy_grid_spmd"),
+        },
     ];
     // The store-curve pair is tracked as plain measurements: its memo win
     // is the within-curve context dedup (~140 -> ~75 representative sims on
@@ -664,6 +718,7 @@ mod tests {
             "copy_interleaved_batched",
             "stencil_hotspot_batched",
             "node_spmd_store",
+            "policy_grid_spmd",
             "scaling_curve_pair_pr4",
             "scaling_curve_pair_memo",
             "sweep_plan_pr4",
@@ -681,6 +736,7 @@ mod tests {
             "load_sweep",
             "scaling_curve_72",
             "sweep_plan_nested",
+            "policy_dispatch",
         ] {
             assert!(report.speedup(name).unwrap() > 0.0, "{name}");
         }
@@ -731,6 +787,7 @@ mod tests {
             "load_sweep",
             "scaling_curve_72",
             "sweep_plan_nested",
+            "policy_dispatch",
         ] {
             let s = report.speedup(name).unwrap();
             assert!(s.is_finite() && s > 0.0, "{name}: {s}");

@@ -1,10 +1,17 @@
-//! Set-associative cache with true-LRU replacement and write-back lines.
+//! Set-associative cache with pluggable replacement and write-back lines.
 //!
 //! Storage is a single flat arena (`Box<[CacheLine]>`) with a fixed
 //! `ways` stride per set and mask-derived set indices, so a probe is one
 //! contiguous scan of at most `ways` entries — no per-set `Vec`, no pointer
 //! chasing, no allocation after construction.  Validity is encoded in the
 //! entry itself (`line == INVALID_LINE`).
+//!
+//! The victim-selection strategy is a zero-cost generic parameter
+//! ([`ReplacementPolicy`], default [`TrueLru`]).  True LRU keeps the
+//! original fused probe scan (the stamp words double as the recency
+//! order); other policies carry their own per-set state and are consulted
+//! through compile-time-guarded hooks, so the default monomorphisation is
+//! the pre-refactor hot path instruction for instruction.
 //!
 //! Three invariants keep the scans short:
 //!
@@ -18,6 +25,8 @@
 //!   received a fill, so reset/flush cost O(resident), not O(capacity).
 
 use std::collections::HashMap;
+
+use crate::policy::{ReplacementPolicy, TrueLru};
 
 /// Sentinel line index marking an empty arena slot.  Real line indices are
 /// `addr / 64 <= 2^58`, so the all-ones value can never collide.
@@ -41,13 +50,14 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
-/// A single set-associative cache level with true-LRU replacement.
+/// A single set-associative cache level with a pluggable replacement
+/// policy (true LRU by default).
 ///
 /// Lines are identified by their global line index (`addr / 64`); the set
 /// index is derived from the line index, the tag is the full line index
 /// (simple and unambiguous).
 #[derive(Debug, Clone)]
-pub struct SetAssocCache {
+pub struct SetAssocCache<R: ReplacementPolicy = TrueLru> {
     /// Flat arena: `sets × ways` entries, set-major.  Slot validity is
     /// encoded in the entry (`line == INVALID_LINE`).
     entries: Box<[CacheLine]>,
@@ -63,6 +73,8 @@ pub struct SetAssocCache {
     ///
     /// [`touch`]: Self::touch
     miss_memo: Option<MissMemo>,
+    /// Replacement-policy state (zero-sized for [`TrueLru`]).
+    policy: R,
     ways: usize,
     set_mask: u64,
     hits: u64,
@@ -114,7 +126,7 @@ const EMPTY_SLOT: CacheLine = CacheLine {
     lru_dirty: 0,
 };
 
-impl SetAssocCache {
+impl<R: ReplacementPolicy> SetAssocCache<R> {
     /// Create a cache with `capacity_bytes` total capacity, `ways`
     /// associativity and 64-byte lines.  The number of sets is rounded down
     /// to the next power of two so the set index is a simple mask; capacity
@@ -126,6 +138,7 @@ impl SetAssocCache {
             used_sets: Vec::new(),
             used_bitmap: vec![0u64; sets.div_ceil(64)].into_boxed_slice(),
             miss_memo: None,
+            policy: R::new(sets, effective_ways),
             ways: effective_ways,
             set_mask: (sets - 1) as u64,
             hits: 0,
@@ -192,6 +205,7 @@ impl SetAssocCache {
         self.used_sets.clear();
         self.used_bitmap.fill(0);
         self.miss_memo = None;
+        self.policy.reset();
     }
 
     /// Record that `set_idx` holds (or held) lines, so draining operations
@@ -265,9 +279,13 @@ impl SetAssocCache {
         let set = &mut self.entries[start..start + self.ways];
         let mut victim = 0usize;
         let mut victim_lru = u64::MAX;
+        let mut empty_found = false;
         for (idx, entry) in set.iter_mut().enumerate() {
             if entry.line == line {
                 entry.refresh(stamp, write);
+                if !R::LRU_SCAN {
+                    self.policy.on_hit(set_idx, idx);
+                }
                 self.hits += 1;
                 return LookupResult::Hit;
             }
@@ -275,6 +293,7 @@ impl SetAssocCache {
                 // Prefix invariant: nothing valid beyond; a fill would use
                 // this slot.
                 victim = idx;
+                empty_found = true;
                 break;
             }
             if entry.lru_dirty < victim_lru {
@@ -283,11 +302,16 @@ impl SetAssocCache {
             }
         }
         self.misses += 1;
-        self.miss_memo = Some(MissMemo {
-            line,
-            slot: victim,
-            stamp,
-        });
+        // For non-LRU policies a full set has no victim yet (the policy is
+        // consulted — and possibly aged — only by the fill itself), so only
+        // an empty slot can be remembered.
+        if R::LRU_SCAN || empty_found {
+            self.miss_memo = Some(MissMemo {
+                line,
+                slot: victim,
+                stamp,
+            });
+        }
         LookupResult::Miss
     }
 
@@ -304,10 +328,14 @@ impl SetAssocCache {
             return true;
         }
         let stamp = self.next_stamp();
+        let set_idx = (line & self.set_mask) as usize;
         let range = self.set_range(line);
-        for entry in &mut self.entries[range] {
+        for (idx, entry) in self.entries[range].iter_mut().enumerate() {
             if entry.line == line {
                 entry.refresh(stamp, false);
+                if !R::LRU_SCAN {
+                    self.policy.on_hit(set_idx, idx);
+                }
                 self.hits += n;
                 return true;
             }
@@ -334,15 +362,20 @@ impl SetAssocCache {
         let set = &mut self.entries[start..start + self.ways];
         let mut victim = 0usize;
         let mut victim_lru = u64::MAX;
+        let mut empty_found = false;
         for (idx, entry) in set.iter_mut().enumerate() {
             if entry.line == line {
                 entry.refresh(stamp, write);
+                if !R::LRU_SCAN {
+                    self.policy.on_hit(set_idx, idx);
+                }
                 self.hits += 1;
                 return (LookupResult::Hit, None);
             }
             if entry.line == INVALID_LINE {
                 // Prefix invariant: nothing valid beyond; insert here.
                 victim = idx;
+                empty_found = true;
                 break;
             }
             if entry.lru_dirty < victim_lru {
@@ -350,7 +383,10 @@ impl SetAssocCache {
                 victim_lru = entry.lru_dirty;
             }
         }
-        let slot = &mut set[victim];
+        if !(R::LRU_SCAN || empty_found) {
+            victim = self.policy.pick_victim(set_idx, self.ways);
+        }
+        let slot = &mut self.entries[start + victim];
         let evicted = if slot.line != INVALID_LINE {
             Some(Eviction {
                 line: slot.line,
@@ -360,6 +396,9 @@ impl SetAssocCache {
             None
         };
         *slot = CacheLine::make(line, stamp, write);
+        if !R::LRU_SCAN {
+            self.policy.on_fill(set_idx, victim);
+        }
         self.misses += 1;
         self.mark_used(set_idx);
         (LookupResult::Miss, evicted)
@@ -387,6 +426,9 @@ impl SetAssocCache {
                     None
                 };
                 *slot = CacheLine::make(line, stamp, dirty);
+                if !R::LRU_SCAN {
+                    self.policy.on_fill(set_idx, memo.slot);
+                }
                 self.mark_used(set_idx);
                 return evicted;
             }
@@ -397,15 +439,20 @@ impl SetAssocCache {
         let set = &mut self.entries[start..start + self.ways];
         let mut victim = 0usize;
         let mut victim_lru = u64::MAX;
+        let mut empty_found = false;
         for (idx, entry) in set.iter_mut().enumerate() {
             if entry.line == line {
                 // Already present (e.g. racing prefetch): refresh.
                 entry.refresh(stamp, dirty);
+                if !R::LRU_SCAN {
+                    self.policy.on_hit(set_idx, idx);
+                }
                 return None;
             }
             if entry.line == INVALID_LINE {
                 // Prefix invariant: nothing valid beyond; insert here.
                 victim = idx;
+                empty_found = true;
                 break;
             }
             if entry.lru_dirty < victim_lru {
@@ -413,7 +460,10 @@ impl SetAssocCache {
                 victim_lru = entry.lru_dirty;
             }
         }
-        let slot = &mut set[victim];
+        if !(R::LRU_SCAN || empty_found) {
+            victim = self.policy.pick_victim(set_idx, self.ways);
+        }
+        let slot = &mut self.entries[start + victim];
         let evicted = if slot.line != INVALID_LINE {
             Some(Eviction {
                 line: slot.line,
@@ -423,6 +473,9 @@ impl SetAssocCache {
             None
         };
         *slot = CacheLine::make(line, stamp, dirty);
+        if !R::LRU_SCAN {
+            self.policy.on_fill(set_idx, victim);
+        }
         self.mark_used(set_idx);
         evicted
     }
@@ -432,6 +485,7 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         // The removal moves entries around; a remembered slot may go stale.
         self.miss_memo = None;
+        let set_idx = (line & self.set_mask) as usize;
         let range = self.set_range(line);
         let set = &mut self.entries[range];
         let mut found: Option<(usize, bool)> = None;
@@ -450,6 +504,9 @@ impl SetAssocCache {
         // the hole (the same reordering the old `Vec::swap_remove` did).
         set[idx] = set[valid - 1];
         set[valid - 1] = EMPTY_SLOT;
+        if !R::LRU_SCAN {
+            self.policy.on_invalidate(set_idx, idx, valid - 1);
+        }
         Some(dirty)
     }
 
@@ -476,6 +533,7 @@ impl SetAssocCache {
         self.used_sets.clear();
         self.used_bitmap.fill(0);
         self.miss_memo = None;
+        self.policy.reset();
         dirty
     }
 
@@ -553,10 +611,17 @@ impl<V> LruTable<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{RandomEvict, Srrip, TreePlru};
+
+    /// Default-policy cache (the bare `SetAssocCache::new` call would leave
+    /// the replacement parameter unconstrained in a `let`).
+    fn lru(capacity_bytes: usize, ways: usize) -> SetAssocCache {
+        SetAssocCache::new(capacity_bytes, ways)
+    }
 
     #[test]
     fn miss_then_hit() {
-        let mut c = SetAssocCache::new(4096, 8);
+        let mut c = lru(4096, 8);
         assert_eq!(c.touch(42, false), LookupResult::Miss);
         assert!(c.fill(42, false).is_none());
         assert_eq!(c.touch(42, false), LookupResult::Hit);
@@ -568,7 +633,7 @@ mod tests {
     fn capacity_and_eviction() {
         // 8 lines total, fully associative in one set is unlikely; use a
         // direct check of capacity.
-        let mut c = SetAssocCache::new(8 * 64, 8);
+        let mut c = lru(8 * 64, 8);
         assert_eq!(c.capacity_lines(), 8);
         for line in 0..8 {
             c.touch(line, false);
@@ -584,7 +649,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // Single-set cache with 2 ways.
-        let mut c = SetAssocCache::new(2 * 64, 2);
+        let mut c = lru(2 * 64, 2);
         c.touch(0, false);
         c.fill(0, false);
         c.touch(1, false);
@@ -599,7 +664,7 @@ mod tests {
 
     #[test]
     fn dirty_eviction_reports_writeback() {
-        let mut c = SetAssocCache::new(2 * 64, 2);
+        let mut c = lru(2 * 64, 2);
         c.fill(0, true);
         c.fill(1, false);
         let ev = c.fill(2, false).expect("eviction");
@@ -610,7 +675,7 @@ mod tests {
 
     #[test]
     fn write_hit_marks_dirty() {
-        let mut c = SetAssocCache::new(4 * 64, 4);
+        let mut c = lru(4 * 64, 4);
         c.fill(7, false);
         c.touch(7, true);
         let dirty = c.flush_dirty();
@@ -619,7 +684,7 @@ mod tests {
 
     #[test]
     fn invalidate_removes_line() {
-        let mut c = SetAssocCache::new(4 * 64, 4);
+        let mut c = lru(4 * 64, 4);
         c.fill(3, true);
         assert_eq!(c.invalidate(3), Some(true));
         assert_eq!(c.invalidate(3), None);
@@ -628,7 +693,7 @@ mod tests {
 
     #[test]
     fn fill_existing_line_is_idempotent() {
-        let mut c = SetAssocCache::new(4 * 64, 4);
+        let mut c = lru(4 * 64, 4);
         c.fill(5, false);
         assert!(c.fill(5, true).is_none());
         assert_eq!(c.resident_lines(), 1);
@@ -639,10 +704,10 @@ mod tests {
     #[test]
     fn geometry_rounded_to_power_of_two_sets_preserves_capacity() {
         // 48 KiB, 12-way: 768 lines, 64 sets (power of two already).
-        let c = SetAssocCache::new(48 * 1024, 12);
+        let c = lru(48 * 1024, 12);
         assert_eq!(c.capacity_lines(), 768);
         // 54 MiB, 12-way: 884736 lines; sets rounded to power of two.
-        let c = SetAssocCache::new(54 * 1024 * 1024, 12);
+        let c = lru(54 * 1024 * 1024, 12);
         let lines = c.capacity_lines();
         assert!(
             lines >= 800_000,
@@ -655,8 +720,8 @@ mod tests {
         // Drive two caches with the same line stream, one through the
         // combined probe and one through the two-step path; every counter
         // and the final eviction behaviour must agree.
-        let mut combined = SetAssocCache::new(4 * 64, 2);
-        let mut twostep = SetAssocCache::new(4 * 64, 2);
+        let mut combined = lru(4 * 64, 2);
+        let mut twostep = lru(4 * 64, 2);
         let stream = [0u64, 2, 4, 0, 6, 2, 8, 10, 0, 4, 6];
         for (n, &line) in stream.iter().enumerate() {
             let write = n % 3 == 0;
@@ -681,7 +746,7 @@ mod tests {
 
     #[test]
     fn touch_repeat_counts_bulk_hits() {
-        let mut c = SetAssocCache::new(4 * 64, 4);
+        let mut c = lru(4 * 64, 4);
         c.fill(9, false);
         assert!(c.touch_repeat(9, 7));
         assert_eq!(c.hits(), 7);
@@ -696,7 +761,7 @@ mod tests {
 
     #[test]
     fn reset_restores_fresh_state() {
-        let mut c = SetAssocCache::new(8 * 64, 4);
+        let mut c = lru(8 * 64, 4);
         for line in 0..12u64 {
             c.probe_fill(line, line % 2 == 0);
         }
@@ -705,7 +770,7 @@ mod tests {
         assert_eq!(c.resident_lines(), 0);
         assert_eq!((c.hits(), c.misses()), (0, 0));
         // Behaves exactly like a fresh cache afterwards.
-        let mut fresh = SetAssocCache::new(8 * 64, 4);
+        let mut fresh = lru(8 * 64, 4);
         for line in [3u64, 7, 3, 11, 3] {
             assert_eq!(c.probe_fill(line, false), fresh.probe_fill(line, false));
         }
@@ -715,7 +780,7 @@ mod tests {
 
     #[test]
     fn flush_drains_and_tracking_restarts() {
-        let mut c = SetAssocCache::new(64 * 64, 4);
+        let mut c = lru(64 * 64, 4);
         c.fill(1, true);
         c.fill(2, false);
         c.fill(65, true); // second set
@@ -728,6 +793,95 @@ mod tests {
         assert!(c.flush_dirty().is_empty());
         c.fill(130, true);
         assert_eq!(c.flush_dirty(), vec![130]);
+    }
+
+    /// Mirror of `probe_fill_matches_touch_then_fill` for every non-LRU
+    /// policy: the combined scan and the two-step path must stay equivalent
+    /// when the victim comes from policy state instead of the probe scan.
+    fn probe_fill_equivalence_generic<R: ReplacementPolicy>() {
+        let mut combined: SetAssocCache<R> = SetAssocCache::new(4 * 64, 2);
+        let mut twostep: SetAssocCache<R> = SetAssocCache::new(4 * 64, 2);
+        let stream = [0u64, 2, 4, 0, 6, 2, 8, 10, 0, 4, 6, 12, 2, 14, 0];
+        for (n, &line) in stream.iter().enumerate() {
+            let write = n % 3 == 0;
+            let (r1, ev1) = combined.probe_fill(line, write);
+            let r2 = twostep.touch(line, write);
+            let ev2 = if r2 == LookupResult::Miss {
+                twostep.fill(line, write)
+            } else {
+                None
+            };
+            assert_eq!(r1, r2, "{}: access {n}", R::KIND);
+            assert_eq!(ev1, ev2, "{}: access {n}", R::KIND);
+        }
+        assert_eq!(combined.hits(), twostep.hits());
+        assert_eq!(combined.misses(), twostep.misses());
+        let mut d1 = combined.flush_dirty();
+        let mut d2 = twostep.flush_dirty();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2, "{}", R::KIND);
+    }
+
+    #[test]
+    fn probe_fill_equivalence_holds_for_every_policy() {
+        probe_fill_equivalence_generic::<TrueLru>();
+        probe_fill_equivalence_generic::<TreePlru>();
+        probe_fill_equivalence_generic::<Srrip>();
+        probe_fill_equivalence_generic::<RandomEvict>();
+    }
+
+    #[test]
+    fn non_lru_policies_reset_to_fresh_state() {
+        fn check<R: ReplacementPolicy>() {
+            let mut c: SetAssocCache<R> = SetAssocCache::new(8 * 64, 4);
+            for line in 0..32u64 {
+                c.probe_fill(line, line % 2 == 0);
+            }
+            c.reset();
+            let mut fresh: SetAssocCache<R> = SetAssocCache::new(8 * 64, 4);
+            for line in [3u64, 7, 3, 11, 3, 19, 27, 3, 35, 43, 7] {
+                assert_eq!(
+                    c.probe_fill(line, false),
+                    fresh.probe_fill(line, false),
+                    "{}: reset must replay like a fresh cache",
+                    R::KIND
+                );
+            }
+        }
+        check::<TreePlru>();
+        check::<Srrip>();
+        check::<RandomEvict>();
+    }
+
+    #[test]
+    fn non_lru_victims_diverge_from_lru_under_pressure() {
+        // Sanity check that the policies actually differ: overflow one set
+        // and compare eviction orders against true LRU.
+        fn victims<R: ReplacementPolicy>() -> Vec<u64> {
+            let mut c: SetAssocCache<R> = SetAssocCache::new(2 * 64, 2);
+            let mut out = Vec::new();
+            // Re-reference both resident lines in opposite order before the
+            // next insertion: LRU tracks the exact recency, SRRIP collapses
+            // both to "recent" and falls back to way order.
+            for line in [0u64, 1, 1, 0, 2, 3, 4, 4, 3, 5, 6, 7] {
+                if let (_, Some(ev)) = c.probe_fill(line, false) {
+                    out.push(ev.line);
+                }
+            }
+            out
+        }
+        let lru_order = victims::<TrueLru>();
+        assert!(!lru_order.is_empty());
+        // SRRIP inserts at distant-future, so its order deviates from LRU.
+        assert_ne!(victims::<Srrip>(), lru_order);
+        // Tree-PLRU with 2 ways degenerates to true LRU on this pattern —
+        // only assert it produced the same number of evictions.
+        assert_eq!(victims::<TreePlru>().len(), lru_order.len());
+        // A different victim choice changes which later accesses hit, so
+        // the deterministic-random policy may evict more lines than LRU —
+        // only its sequence must deviate.
+        assert_ne!(victims::<RandomEvict>(), lru_order);
     }
 
     #[test]

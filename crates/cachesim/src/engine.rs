@@ -7,11 +7,15 @@
 //! domain load and scales the counters — with an exact per-rank mode kept
 //! for validation (see the `row_sampling` ablation bench).
 
-use clover_machine::Machine;
+use clover_machine::{Machine, ReplacementPolicyKind, WritePolicyKind};
 
 use crate::counters::MemCounters;
 use crate::hierarchy::{CoreSim, CoreSimOptions, DomainOccupancy, OccupancyContext};
 use crate::memo::{KernelSpec, SimMemo};
+use crate::policy::{
+    NoWriteAllocate, NonTemporal, RandomEvict, ReplacementPolicy, Srrip, TreePlru, TrueLru,
+    WriteAllocate, WritePolicy,
+};
 use crate::prefetch::PrefetcherConfig;
 
 /// Configuration of one node-level simulation run.
@@ -25,16 +29,23 @@ pub struct SimConfig {
     pub speci2m_enabled: bool,
     /// Hardware prefetcher configuration.
     pub prefetchers: PrefetcherConfig,
+    /// Replacement policy of the simulated hierarchy (all levels).
+    pub replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the simulated hierarchy.
+    pub write_policy: WritePolicyKind,
 }
 
 impl SimConfig {
-    /// Default configuration: all features on, `ranks` ranks on `machine`.
+    /// Default configuration: all features on, `ranks` ranks on `machine`,
+    /// the paper's LRU + write-allocate hierarchy.
     pub fn new(machine: Machine, ranks: usize) -> Self {
         Self {
             machine,
             ranks,
             speci2m_enabled: true,
             prefetchers: PrefetcherConfig::enabled(),
+            replacement: ReplacementPolicyKind::default(),
+            write_policy: WritePolicyKind::default(),
         }
     }
 
@@ -47,6 +58,18 @@ impl SimConfig {
     /// Disable all hardware prefetchers.
     pub fn without_prefetchers(mut self) -> Self {
         self.prefetchers = PrefetcherConfig::disabled();
+        self
+    }
+
+    /// Select the replacement policy of every cache level.
+    pub fn with_replacement(mut self, replacement: ReplacementPolicyKind) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Select the store-miss policy of the hierarchy.
+    pub fn with_write_policy(mut self, write_policy: WritePolicyKind) -> Self {
+        self.write_policy = write_policy;
         self
     }
 
@@ -109,6 +132,18 @@ impl NodeSim {
         &self.config
     }
 
+    /// The closure-based entry points always simulate the default
+    /// LRU + write-allocate hierarchy; a non-default policy configuration
+    /// would be silently ignored there, so flag it in debug builds.
+    fn assert_default_policies(&self, entry: &str) {
+        debug_assert!(
+            self.config.replacement == ReplacementPolicyKind::default()
+                && self.config.write_policy == WritePolicyKind::default(),
+            "{entry} always simulates the default LRU + write-allocate hierarchy; \
+             use run_spmd_memo for policy sweeps"
+        );
+    }
+
     /// Run an SPMD kernel, simulating one representative core per distinct
     /// domain occupancy and scaling the counters by the number of ranks at
     /// that occupancy.
@@ -119,6 +154,7 @@ impl NodeSim {
     where
         F: Fn(usize, &mut CoreSim),
     {
+        self.assert_default_policies("run_spmd");
         let machine = &self.config.machine;
         let occ = DomainOccupancy::compact(machine, self.config.ranks);
 
@@ -179,7 +215,58 @@ impl NodeSim {
     /// cache arenas are reused across calls as well.
     ///
     /// [`run_spmd`]: Self::run_spmd
+    ///
+    /// Honours the configuration's [`replacement`](SimConfig::replacement)
+    /// and [`write_policy`](SimConfig::write_policy) selectors by
+    /// dispatching to the matching monomorphised hierarchy.
     pub fn run_spmd_memo(&self, kernel: &KernelSpec, memo: &SimMemo) -> NodeSimReport {
+        use ReplacementPolicyKind as R;
+        use WritePolicyKind as W;
+        match (self.config.replacement, self.config.write_policy) {
+            (R::Lru, W::Allocate) => {
+                self.run_spmd_memo_typed::<TrueLru, WriteAllocate>(kernel, memo)
+            }
+            (R::Lru, W::NoAllocate) => {
+                self.run_spmd_memo_typed::<TrueLru, NoWriteAllocate>(kernel, memo)
+            }
+            (R::Lru, W::NonTemporal) => {
+                self.run_spmd_memo_typed::<TrueLru, NonTemporal>(kernel, memo)
+            }
+            (R::Plru, W::Allocate) => {
+                self.run_spmd_memo_typed::<TreePlru, WriteAllocate>(kernel, memo)
+            }
+            (R::Plru, W::NoAllocate) => {
+                self.run_spmd_memo_typed::<TreePlru, NoWriteAllocate>(kernel, memo)
+            }
+            (R::Plru, W::NonTemporal) => {
+                self.run_spmd_memo_typed::<TreePlru, NonTemporal>(kernel, memo)
+            }
+            (R::Srrip, W::Allocate) => {
+                self.run_spmd_memo_typed::<Srrip, WriteAllocate>(kernel, memo)
+            }
+            (R::Srrip, W::NoAllocate) => {
+                self.run_spmd_memo_typed::<Srrip, NoWriteAllocate>(kernel, memo)
+            }
+            (R::Srrip, W::NonTemporal) => {
+                self.run_spmd_memo_typed::<Srrip, NonTemporal>(kernel, memo)
+            }
+            (R::Random, W::Allocate) => {
+                self.run_spmd_memo_typed::<RandomEvict, WriteAllocate>(kernel, memo)
+            }
+            (R::Random, W::NoAllocate) => {
+                self.run_spmd_memo_typed::<RandomEvict, NoWriteAllocate>(kernel, memo)
+            }
+            (R::Random, W::NonTemporal) => {
+                self.run_spmd_memo_typed::<RandomEvict, NonTemporal>(kernel, memo)
+            }
+        }
+    }
+
+    fn run_spmd_memo_typed<RP: ReplacementPolicy, WP: WritePolicy>(
+        &self,
+        kernel: &KernelSpec,
+        memo: &SimMemo,
+    ) -> NodeSimReport {
         let machine = &self.config.machine;
         let occ = DomainOccupancy::compact(machine, self.config.ranks);
 
@@ -197,7 +284,13 @@ impl NodeSim {
             } else {
                 let ctx = OccupancyContext::domain_load(machine, count, occ.active_domains);
                 let options = self.config.core_options(count);
-                let c = memo.counters(machine, ctx, options, kernel, first_rank_of_domain);
+                let c = memo.counters_for::<RP, WP>(
+                    machine,
+                    ctx,
+                    options,
+                    kernel,
+                    first_rank_of_domain,
+                );
                 by_load[count] = Some(c);
                 c
             };
@@ -224,6 +317,7 @@ impl NodeSim {
     where
         F: Fn(usize, &mut CoreSim),
     {
+        self.assert_default_policies("run_spmd_exact");
         let machine = &self.config.machine;
         let occ = DomainOccupancy::compact(machine, self.config.ranks);
 
@@ -381,6 +475,37 @@ mod tests {
             ratio > 1.95,
             "without SpecI2M all stores write-allocate, got {ratio}"
         );
+    }
+
+    #[test]
+    fn policy_selectors_change_the_memoized_simulation() {
+        use crate::access::AccessKind;
+        use crate::memo::RankBase;
+        let m = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            4096,
+            AccessKind::Store,
+        );
+        let memo = SimMemo::new();
+        let run = |cfg: SimConfig| NodeSim::new(cfg).run_spmd_memo(&spec, &memo);
+        let wa = run(SimConfig::new(m.clone(), 1));
+        let nowa = run(SimConfig::new(m.clone(), 1).with_write_policy(WritePolicyKind::NoAllocate));
+        let nt = run(SimConfig::new(m.clone(), 1).with_write_policy(WritePolicyKind::NonTemporal));
+        // Serial write-allocate reads every store line back; no-allocate
+        // writes it through without a read; the NT policy also avoids the
+        // read-for-ownership on full lines.
+        assert!(wa.total.read_lines > 0.9 * 512.0);
+        assert!(nowa.total.read_lines < 1.0, "{}", nowa.total.read_lines);
+        assert!(nt.total.read_lines < 0.2 * 512.0, "{}", nt.total.read_lines);
+        assert!(nowa.total.write_lines > 0.95 * 512.0);
+        // A non-LRU replacement policy still runs end to end and produces
+        // a distinct memo entry (same kernel, different key).
+        let before = memo.len();
+        let plru = run(SimConfig::new(m, 1).with_replacement(ReplacementPolicyKind::Plru));
+        assert_eq!(plru.ranks, 1);
+        assert!(memo.len() > before);
     }
 
     #[test]

@@ -16,13 +16,18 @@
 //! reads, partial write-combine flushes) use fractional accounting so the
 //! results are deterministic.
 
+use std::marker::PhantomData;
+
 use clover_machine::speci2m::EvasionContext;
-use clover_machine::Machine;
+use clover_machine::{Machine, WritePolicyKind};
 
 use crate::access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
 use crate::cache::{LookupResult, SetAssocCache};
 use crate::coalescer::{FinalizedLine, WriteCoalescer};
 use crate::counters::MemCounters;
+use crate::policy::{
+    NoWriteAllocate, NonTemporal, ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy,
+};
 use crate::prefetch::{PrefetcherConfig, StreamerPrefetcher};
 
 /// Per-domain activity of a compactly pinned job — the statistics that
@@ -129,11 +134,16 @@ impl Default for CoreSimOptions {
 }
 
 /// Cache hierarchy + store path of a single core.
+///
+/// Generic over the replacement policy `R` of all three levels and the
+/// store-miss policy `W`; both default to the paper's configuration
+/// (true-LRU, write-allocate), for which the monomorphised code is
+/// instruction-identical to the pre-policy-space simulator.
 #[derive(Debug, Clone)]
-pub struct CoreSim {
-    l1: SetAssocCache,
-    l2: SetAssocCache,
-    l3: SetAssocCache,
+pub struct CoreSim<R: ReplacementPolicy = TrueLru, W: WritePolicy = WriteAllocate> {
+    l1: SetAssocCache<R>,
+    l2: SetAssocCache<R>,
+    l3: SetAssocCache<R>,
     coalescer: WriteCoalescer,
     nt_coalescer: WriteCoalescer,
     streamer: StreamerPrefetcher,
@@ -148,6 +158,7 @@ pub struct CoreSim {
     l3_full_bytes: usize,
     l3_ways: usize,
     counters: MemCounters,
+    _write: PhantomData<W>,
 }
 
 /// The per-core L3 share for a sharer count, floored at 64 lines.
@@ -155,7 +166,7 @@ fn l3_share_bytes(l3_full_bytes: usize, sharers: usize) -> usize {
     (l3_full_bytes / sharers.max(1)).max(64 * 64)
 }
 
-impl CoreSim {
+impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
     /// Build a core simulator for `machine` under the given occupancy and
     /// options.
     pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
@@ -181,6 +192,7 @@ impl CoreSim {
             l3_full_bytes: caches.l3.capacity_bytes,
             l3_ways: caches.l3.associativity,
             counters: MemCounters::new(),
+            _write: PhantomData,
         }
     }
 
@@ -345,7 +357,7 @@ impl CoreSim {
                 self.handle_nt_line(ev);
             }
         } else if let Some(ev) = self.coalescer.store_segment(line, offset, len) {
-            self.handle_store_line(ev);
+            W::handle_store_line(self, ev);
         }
     }
 
@@ -377,7 +389,7 @@ impl CoreSim {
     pub fn flush(&mut self) -> MemCounters {
         let events = self.coalescer.flush();
         for ev in events {
-            self.handle_store_line(ev);
+            W::handle_store_line(self, ev);
         }
         let nt_events = self.nt_coalescer.flush();
         for ev in nt_events {
@@ -517,33 +529,6 @@ impl CoreSim {
         }
     }
 
-    fn handle_store_line(&mut self, ev: FinalizedLine) {
-        if self.hierarchy_hit(ev.line, true) {
-            // Store hit: no memory traffic now; the dirty line is written
-            // back on eviction.
-            return;
-        }
-        let ectx = self.evasion_context(&ev);
-        let params = &self.speci2m_store;
-        let pf_factor = self.options.prefetchers.evasion_factor();
-        let (evaded, spec_read) = if ev.full {
-            let e = params.evasion_fraction(&ectx) * pf_factor;
-            let s = params.speculative_read_fraction(&ectx);
-            (e.clamp(0.0, 1.0), s)
-        } else {
-            // Partially written lines can never be claimed without a read;
-            // under load they still trigger speculative activity.
-            (0.0, params.speculative_read_fraction(&ectx))
-        };
-        self.counters.itom_lines += evaded;
-        self.counters.write_allocate_lines += 1.0 - evaded;
-        self.counters.read_lines += 1.0 - evaded;
-        self.counters.read_lines += spec_read;
-        self.counters.speculative_read_lines += spec_read;
-        // The line now lives dirty in the hierarchy either way.
-        self.fill_all(ev.line, true);
-    }
-
     fn handle_nt_line(&mut self, ev: FinalizedLine) {
         // NT stores bypass the hierarchy; stale copies must be invalidated.
         self.l1.invalidate(ev.line);
@@ -562,6 +547,63 @@ impl CoreSim {
         } else {
             self.counters.read_lines += 1.0;
         }
+    }
+}
+
+impl WritePolicy for WriteAllocate {
+    const KIND: WritePolicyKind = WritePolicyKind::Allocate;
+
+    /// The paper machines' store-miss path: a write-allocate read unless
+    /// SpecI2M claims the line without one (ITOM).
+    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
+        if core.hierarchy_hit(ev.line, true) {
+            // Store hit: no memory traffic now; the dirty line is written
+            // back on eviction.
+            return;
+        }
+        let ectx = core.evasion_context(&ev);
+        let params = &core.speci2m_store;
+        let pf_factor = core.options.prefetchers.evasion_factor();
+        let (evaded, spec_read) = if ev.full {
+            let e = params.evasion_fraction(&ectx) * pf_factor;
+            let s = params.speculative_read_fraction(&ectx);
+            (e.clamp(0.0, 1.0), s)
+        } else {
+            // Partially written lines can never be claimed without a read;
+            // under load they still trigger speculative activity.
+            (0.0, params.speculative_read_fraction(&ectx))
+        };
+        core.counters.itom_lines += evaded;
+        core.counters.write_allocate_lines += 1.0 - evaded;
+        core.counters.read_lines += 1.0 - evaded;
+        core.counters.read_lines += spec_read;
+        core.counters.speculative_read_lines += spec_read;
+        // The line now lives dirty in the hierarchy either way.
+        core.fill_all(ev.line, true);
+    }
+}
+
+impl WritePolicy for NoWriteAllocate {
+    const KIND: WritePolicyKind = WritePolicyKind::NoAllocate;
+
+    /// No-write-allocate: a store miss writes the line through to memory
+    /// without claiming it in the hierarchy — no read-for-ownership, no
+    /// fill, no SpecI2M involvement.  Store hits stay write-back.
+    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
+        if core.hierarchy_hit(ev.line, true) {
+            return;
+        }
+        core.counters.write_lines += 1.0;
+    }
+}
+
+impl WritePolicy for NonTemporal {
+    const KIND: WritePolicyKind = WritePolicyKind::NonTemporal;
+
+    /// Every regular store behaves like a non-temporal streaming store:
+    /// the coalesced line bypasses the hierarchy entirely.
+    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
+        core.handle_nt_line(ev);
     }
 }
 

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod memo;
 pub mod patterns;
+pub mod policy;
 pub mod prefetch;
 
 pub use access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
@@ -54,4 +55,8 @@ pub use engine::{NodeSim, NodeSimReport, SimConfig};
 pub use hierarchy::{CoreSim, DomainOccupancy, OccupancyContext};
 pub use memo::{with_pooled_core, KernelSpec, MemoStats, RankBase, SimKey, SimMemo, SpecOperand};
 pub use patterns::{ArraySweep, RowSweep, StencilRowSweep};
+pub use policy::{
+    NoWriteAllocate, NonTemporal, RandomEvict, ReplacementPolicy, Srrip, TreePlru, TrueLru,
+    WriteAllocate, WritePolicy,
+};
 pub use prefetch::PrefetcherConfig;

@@ -37,13 +37,14 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use clover_machine::Machine;
+use clover_machine::{Machine, ReplacementPolicyKind, WritePolicyKind};
 use parking_lot::Mutex;
 
 use crate::access::AccessKind;
 use crate::counters::MemCounters;
 use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
 use crate::patterns::{StencilOperand, StencilRowSweep};
+use crate::policy::{ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy};
 
 /// Smallest [`RankBase::Shifted`] shift the memo accepts: 2^30-aligned
 /// rank windows are a multiple of every cache level's `sets × line` span
@@ -165,7 +166,11 @@ impl KernelSpec {
     }
 
     /// Drive the kernel through `core` as rank `rank`.
-    pub fn drive(&self, rank: usize, core: &mut CoreSim) {
+    pub fn drive<R: ReplacementPolicy, W: WritePolicy>(
+        &self,
+        rank: usize,
+        core: &mut CoreSim<R, W>,
+    ) {
         self.sweep(rank).drive(core);
     }
 
@@ -203,18 +208,44 @@ pub struct SimKey {
     pub pf_off_evasion_bits: u64,
     /// Cores sharing the L3.
     pub l3_sharers: usize,
+    /// Replacement policy of the simulated hierarchy.
+    pub replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the simulated hierarchy.
+    pub write_policy: WritePolicyKind,
     /// The SPMD kernel.
     pub kernel: KernelSpec,
 }
 
 impl SimKey {
     /// Key of the simulation of `kernel` on `machine` under `ctx` and
-    /// `options`.
+    /// `options` with the paper's default policies (true-LRU,
+    /// write-allocate).
     pub fn new(
         machine: &Machine,
         ctx: OccupancyContext,
         options: CoreSimOptions,
         kernel: &KernelSpec,
+    ) -> Self {
+        Self::for_policies(
+            machine,
+            ctx,
+            options,
+            kernel,
+            ReplacementPolicyKind::Lru,
+            WritePolicyKind::Allocate,
+        )
+    }
+
+    /// Key of the simulation of `kernel` under an explicit policy pair.
+    /// Keys of distinct policies never collide, so one memo can span a
+    /// sweep that mixes policy configurations.
+    pub fn for_policies(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        replacement: ReplacementPolicyKind,
+        write_policy: WritePolicyKind,
     ) -> Self {
         // The key omits the rank: that is only sound when the rank base
         // cannot change any set index (see `MIN_MEMO_SHIFT`).
@@ -237,6 +268,8 @@ impl SimKey {
             streamer_distance: options.prefetchers.streamer_distance,
             pf_off_evasion_bits: options.prefetchers.pf_off_evasion_factor.to_bits(),
             l3_sharers: options.l3_sharers,
+            replacement,
+            write_policy,
             kernel: kernel.clone(),
         }
     }
@@ -313,8 +346,9 @@ impl SimMemo {
         value
     }
 
-    /// Counters of `kernel` on `machine` under `ctx`/`options`, simulated
-    /// as rank `rank` on a miss (via the thread-local core pool).
+    /// Counters of `kernel` on `machine` under `ctx`/`options` with the
+    /// paper's default policies, simulated as rank `rank` on a miss (via
+    /// the thread-local core pool).
     pub fn counters(
         &self,
         machine: &Machine,
@@ -323,11 +357,34 @@ impl SimMemo {
         kernel: &KernelSpec,
         rank: usize,
     ) -> MemCounters {
-        self.get_or_insert_with(SimKey::new(machine, ctx, options, kernel), || {
-            with_pooled_core(machine, ctx, options, |core| {
-                kernel.drive(rank, core);
+        self.counters_for::<TrueLru, WriteAllocate>(machine, ctx, options, kernel, rank)
+    }
+
+    /// Counters of `kernel` under an explicit policy pair `(R, W)`.  The
+    /// key carries the policy kinds, so a hit can never be served from a
+    /// different policy's entry.  The default pair reuses the thread-local
+    /// core pool; other pairs build a fresh typed core (the branch is a
+    /// compile-time constant per monomorphisation).
+    pub fn counters_for<R: ReplacementPolicy, W: WritePolicy>(
+        &self,
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        rank: usize,
+    ) -> MemCounters {
+        let key = SimKey::for_policies(machine, ctx, options, kernel, R::KIND, W::KIND);
+        self.get_or_insert_with(key, || {
+            if R::KIND == ReplacementPolicyKind::Lru && W::KIND == WritePolicyKind::Allocate {
+                with_pooled_core(machine, ctx, options, |core| {
+                    kernel.drive(rank, core);
+                    core.flush()
+                })
+            } else {
+                let mut core = CoreSim::<R, W>::new(machine, ctx, options);
+                kernel.drive(rank, &mut core);
                 core.flush()
-            })
+            }
         })
     }
 
@@ -503,7 +560,7 @@ mod tests {
                 spec.drive(0, core);
                 core.flush()
             });
-            let mut fresh = CoreSim::new(machine, ctx, options);
+            let mut fresh: CoreSim = CoreSim::new(machine, ctx, options);
             spec.drive(0, &mut fresh);
             assert_eq!(pooled, fresh.flush(), "machine {}", machine.id);
         }
@@ -531,6 +588,28 @@ mod tests {
         // The (18 cores, 2 domains) level is shared by ranks 19, 20 and 36.
         let stats = SimMemo::stats(&memo);
         assert!(stats.hits >= 2, "expected cross-point reuse: {stats:?}");
+    }
+
+    #[test]
+    fn memo_never_serves_across_policies() {
+        use crate::policy::{NoWriteAllocate, TreePlru};
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        let spec = store_spec(1024);
+        let ctx = OccupancyContext::serial(&m);
+        let options = CoreSimOptions::default();
+        let lru = memo.counters_for::<TrueLru, WriteAllocate>(&m, ctx, options, &spec, 0);
+        let nowa = memo.counters_for::<TrueLru, NoWriteAllocate>(&m, ctx, options, &spec, 0);
+        let _plru = memo.counters_for::<TreePlru, WriteAllocate>(&m, ctx, options, &spec, 0);
+        // Three distinct entries: the policy pair is part of the key.
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.stats().misses, 3);
+        // No-write-allocate genuinely changes the counters (no WA reads),
+        // so serving it from the write-allocate entry would be wrong.
+        assert!(nowa.write_allocate_lines < lru.write_allocate_lines);
+        // The untyped default path hits the TrueLru+WriteAllocate entry.
+        assert_eq!(memo.counters(&m, ctx, options, &spec, 0), lru);
+        assert_eq!(memo.stats().hits, 1);
     }
 
     #[test]

@@ -13,9 +13,14 @@
 pub use crate::access::ELEM_BYTES;
 use crate::access::{line_of, AccessKind, AccessRun, LINE_BYTES};
 use crate::hierarchy::CoreSim;
+use crate::policy::{ReplacementPolicy, WritePolicy};
 
 /// Issue one scalar 8-byte access of the given kind.
-fn scalar_access(core: &mut CoreSim, kind: AccessKind, addr: u64) {
+fn scalar_access<R: ReplacementPolicy, W: WritePolicy>(
+    core: &mut CoreSim<R, W>,
+    kind: AccessKind,
+    addr: u64,
+) {
     match kind {
         AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
         AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
@@ -36,7 +41,7 @@ pub struct ArraySweep {
 
 impl ArraySweep {
     /// Drive the sweep through a core simulator (batched fast path).
-    pub fn drive(&self, core: &mut CoreSim) {
+    pub fn drive<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         core.drive_run(AccessRun {
             base: self.base,
             elements: self.elements,
@@ -45,7 +50,7 @@ impl ArraySweep {
     }
 
     /// Per-element reference implementation (bit-identical, slower).
-    pub fn drive_scalar(&self, core: &mut CoreSim) {
+    pub fn drive_scalar<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         for i in 0..self.elements {
             scalar_access(core, self.kind, self.base + i * ELEM_BYTES);
         }
@@ -87,7 +92,7 @@ impl RowSweep {
     }
 
     /// Drive the sweep through a core simulator: one batched run per row.
-    pub fn drive(&self, core: &mut CoreSim) {
+    pub fn drive<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         for row in 0..self.rows {
             core.drive_run(AccessRun {
                 base: self.addr(row, 0),
@@ -98,7 +103,7 @@ impl RowSweep {
     }
 
     /// Per-element reference implementation (bit-identical, slower).
-    pub fn drive_scalar(&self, core: &mut CoreSim) {
+    pub fn drive_scalar<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         for row in 0..self.rows {
             for i in 0..self.inner {
                 scalar_access(core, self.kind, self.addr(row, i));
@@ -183,7 +188,7 @@ impl StencilRowSweep {
     /// cannot be proven (a misaligned operand base, a line evicted or a
     /// stream displaced within the first iteration) it falls back to the
     /// scalar path for the affected span.
-    pub fn drive(&self, core: &mut CoreSim) {
+    pub fn drive<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         // Element accesses below assume 8-byte-aligned operands (true for
         // every simulated allocation); otherwise elements straddle lines
         // and the segment bookkeeping no longer holds.
@@ -207,7 +212,11 @@ impl StencilRowSweep {
     }
 
     /// Drive one row given the flattened streams positioned at `i0`.
-    fn drive_row(&self, core: &mut CoreSim, streams: &[StencilStream]) {
+    fn drive_row<R: ReplacementPolicy, W: WritePolicy>(
+        &self,
+        core: &mut CoreSim<R, W>,
+        streams: &[StencilStream],
+    ) {
         let mut done = 0u64; // inner iterations completed
         while done < self.inner {
             // Execute the segment's first iteration faithfully, in the
@@ -274,7 +283,7 @@ impl StencilRowSweep {
     }
 
     /// Per-element reference implementation (bit-identical, slower).
-    pub fn drive_scalar(&self, core: &mut CoreSim) {
+    pub fn drive_scalar<R: ReplacementPolicy, W: WritePolicy>(&self, core: &mut CoreSim<R, W>) {
         for k in self.k0..self.k0 + self.rows {
             for i in self.i0..self.i0 + self.inner {
                 for op in &self.operands {

@@ -287,7 +287,7 @@ pub fn timestep_traffic(
     total_ranks: usize,
 ) -> Vec<KernelTrafficReport> {
     let (ctx, options) = replay_config(machine, total_ranks);
-    let mut core = CoreSim::new(machine, ctx, options);
+    let mut core: CoreSim = CoreSim::new(machine, ctx, options);
     let mut first = true;
     timestep_kernels()
         .into_iter()
@@ -320,7 +320,7 @@ mod tests {
         let m = icelake_sp_8360y();
         for kernel in timestep_kernels() {
             let sweep = kernel.sweep(216, 16);
-            let mk = || {
+            let mk = || -> CoreSim {
                 CoreSim::new(
                     &m,
                     OccupancyContext::compact(&m, m.total_cores()),

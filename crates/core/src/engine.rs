@@ -37,7 +37,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use clover_machine::speci2m::EvasionContext;
-use clover_machine::{Machine, SpecI2MParams};
+use clover_machine::{Machine, SpecI2MParams, WritePolicyKind};
 use clover_stencil::{cloverleaf_loops, CodeBalance, LoopSpec};
 use parking_lot::Mutex;
 
@@ -181,16 +181,25 @@ impl ScalingEngine {
         };
         let nt_flush =
             params.nt_partial_flush_fraction(domain_utilization, active_domains, total_domains);
+        // Replacement-policy reuse efficiency, hoisted (see
+        // `TrafficModel::predict_loop` for the blending rationale).
+        let eff = opts.replacement.reuse_efficiency();
 
         self.specs
             .iter()
             .zip(&self.bounds)
             .map(|(spec, &bounds)| {
+                let rd_lcf = spec.rd_lcf() as f64;
+                let rd_lcb = spec.rd_lcb() as f64;
                 let rd_base = if opts.layer_condition_ok {
-                    spec.rd_lcf()
+                    if eff >= 1.0 {
+                        rd_lcf
+                    } else {
+                        rd_lcf + (rd_lcb - rd_lcf) * (1.0 - eff)
+                    }
                 } else {
-                    spec.rd_lcb()
-                } as f64;
+                    rd_lcb
+                };
                 let wr = spec.wr() as f64;
                 let mut evadable = spec.evadable_write_streams() as f64;
                 let read_halo_overhead = rd_base * elem * row_overhead;
@@ -212,6 +221,18 @@ impl ScalingEngine {
                 if opts.variant == CodeVariant::Optimized && evadable >= 1.0 {
                     nt_streams = 1.0;
                     evadable -= 1.0;
+                }
+
+                match opts.write_policy {
+                    WritePolicyKind::Allocate => {}
+                    WritePolicyKind::NoAllocate => {
+                        nt_streams = 0.0;
+                        evadable = 0.0;
+                    }
+                    WritePolicyKind::NonTemporal => {
+                        nt_streams += evadable;
+                        evadable = 0.0;
+                    }
                 }
 
                 let evasion = if blocked {
@@ -332,12 +353,18 @@ mod tests {
     use crate::{ScalingModel, TINY_GRID};
     use clover_machine::{icelake_sp_8360y, sapphire_rapids_8480};
 
-    fn all_options(ranks: usize) -> [TrafficOptions; 4] {
+    fn all_options(ranks: usize) -> [TrafficOptions; 7] {
+        use clover_machine::ReplacementPolicyKind;
         [
             TrafficOptions::original(ranks),
             TrafficOptions::optimized(ranks),
             TrafficOptions::speci2m_off(ranks),
             TrafficOptions::original(ranks).with_layer_condition(false),
+            TrafficOptions::original(ranks).with_replacement(ReplacementPolicyKind::Srrip),
+            TrafficOptions::original(ranks).with_write_policy(WritePolicyKind::NoAllocate),
+            TrafficOptions::optimized(ranks)
+                .with_replacement(ReplacementPolicyKind::Random)
+                .with_write_policy(WritePolicyKind::NonTemporal),
         ]
     }
 

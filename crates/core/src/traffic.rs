@@ -15,7 +15,7 @@
 //! produced by this module.
 
 use clover_machine::speci2m::EvasionContext;
-use clover_machine::Machine;
+use clover_machine::{Machine, ReplacementPolicyKind, WritePolicyKind};
 use clover_stencil::{CodeBalance, LoopSpec};
 
 use crate::decomp::Decomposition;
@@ -47,6 +47,12 @@ pub struct TrafficOptions {
     /// Whether the layer condition is fulfilled (it always is for the Tiny
     /// working set on the evaluated machines; exposed for what-if studies).
     pub layer_condition_ok: bool,
+    /// Cache replacement policy of the modelled hierarchy.  Non-LRU
+    /// policies hold stencil rows less reliably, pushing the read balance
+    /// from the LC-fulfilled towards the LC-broken value.
+    pub replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the modelled hierarchy.
+    pub write_policy: WritePolicyKind,
 }
 
 impl TrafficOptions {
@@ -74,6 +80,8 @@ impl TrafficOptions {
             variant,
             ranks,
             layer_condition_ok: true,
+            replacement: ReplacementPolicyKind::default(),
+            write_policy: WritePolicyKind::default(),
         }
     }
 
@@ -81,6 +89,18 @@ impl TrafficOptions {
     /// large for the caches).
     pub fn with_layer_condition(mut self, ok: bool) -> Self {
         self.layer_condition_ok = ok;
+        self
+    }
+
+    /// Model a different cache replacement policy.
+    pub fn with_replacement(mut self, replacement: ReplacementPolicyKind) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Model a different store-miss policy.
+    pub fn with_write_policy(mut self, write_policy: WritePolicyKind) -> Self {
+        self.write_policy = write_policy;
         self
     }
 }
@@ -167,11 +187,22 @@ impl TrafficModel {
         let local_inner = decomp.typical_local_inner().max(1);
         let elem = 8.0;
 
+        // An imperfect replacement policy evicts held stencil rows with
+        // probability (1 - reuse efficiency), blending the read balance
+        // from the LC-fulfilled towards the LC-broken value.  LRU has
+        // efficiency 1, so the default takes the exact LCF branch.
+        let rd_lcf = spec.rd_lcf() as f64;
+        let rd_lcb = spec.rd_lcb() as f64;
+        let eff = opts.replacement.reuse_efficiency();
         let rd_base = if opts.layer_condition_ok {
-            spec.rd_lcf()
+            if eff >= 1.0 {
+                rd_lcf
+            } else {
+                rd_lcf + (rd_lcb - rd_lcf) * (1.0 - eff)
+            }
         } else {
-            spec.rd_lcb()
-        } as f64;
+            rd_lcb
+        };
         let wr = spec.wr() as f64;
         let mut evadable = spec.evadable_write_streams() as f64;
 
@@ -202,6 +233,23 @@ impl TrafficModel {
             // (alignable) write stream; the rest stays with SpecI2M.
             nt_streams = 1.0;
             evadable -= 1.0;
+        }
+
+        match opts.write_policy {
+            // The paper machines: store misses allocate, SpecI2M may evade.
+            WritePolicyKind::Allocate => {}
+            // No-write-allocate hardware never reads for ownership: no WA
+            // reads, no speculative reads, and the NT directive is moot.
+            WritePolicyKind::NoAllocate => {
+                nt_streams = 0.0;
+                evadable = 0.0;
+            }
+            // Every store behaves like a streaming store: all evadable
+            // streams move to the NT path (partial-flush reads only).
+            WritePolicyKind::NonTemporal => {
+                nt_streams += evadable;
+                evadable = 0.0;
+            }
         }
 
         let evasion = if blocked {
@@ -387,6 +435,47 @@ mod tests {
             rel_impr.iter().all(|&r| r > -1e-9),
             "optimization must never hurt"
         );
+    }
+
+    #[test]
+    fn policy_axes_shift_the_balance_in_the_expected_direction() {
+        let m = model();
+        let spec = loop_by_name("am04").unwrap();
+        let base = TrafficOptions::original(1);
+        let lru = m.predict_loop(&spec, &base, &decomp(1));
+        // Imperfect replacement: balance rises towards the LC-broken value
+        // but never beyond it.
+        let random = m.predict_loop(
+            &spec,
+            &base.with_replacement(ReplacementPolicyKind::Random),
+            &decomp(1),
+        );
+        let broken = m.predict_loop(&spec, &base.with_layer_condition(false), &decomp(1));
+        assert!(random.code_balance() > lru.code_balance());
+        assert!(random.code_balance() <= broken.code_balance() + 1e-9);
+        // Policy ordering follows the reuse efficiencies.
+        let plru = m.predict_loop(
+            &spec,
+            &base.with_replacement(ReplacementPolicyKind::Plru),
+            &decomp(1),
+        );
+        assert!(plru.code_balance() < random.code_balance());
+        // No-write-allocate removes the WA reads entirely: serial balance
+        // drops below the LRU+WA value.
+        let nowa = m.predict_loop(
+            &spec,
+            &base.with_write_policy(WritePolicyKind::NoAllocate),
+            &decomp(1),
+        );
+        assert!(nowa.code_balance() < lru.code_balance());
+        // Forcing all stores non-temporal also avoids WA reads serially.
+        let nt = m.predict_loop(
+            &spec,
+            &base.with_write_policy(WritePolicyKind::NonTemporal),
+            &decomp(1),
+        );
+        assert!(nt.code_balance() < lru.code_balance());
+        assert!(nt.code_balance() >= nowa.code_balance() - 1e-9);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Cache hierarchy specifications.
 //!
-//! The cache specs only describe *capacity and organisation*; the actual
-//! simulation of hits/misses/write-allocates lives in `clover-cachesim`.
+//! The cache specs only describe *capacity, organisation and policy
+//! selectors*; the actual simulation of hits/misses/write-allocates lives
+//! in `clover-cachesim`.
+
+use crate::policy::{ReplacementPolicyKind, WritePolicyKind};
 
 /// Cache line size in bytes on every evaluated platform.
 pub const CACHE_LINE_BYTES: usize = 64;
@@ -47,6 +50,8 @@ pub struct CacheSpec {
     pub line_bytes: usize,
     /// Whether the cache is shared between cores (`true` for L3).
     pub shared: bool,
+    /// Replacement policy of this level (LRU on every paper machine).
+    pub replacement: ReplacementPolicyKind,
 }
 
 impl CacheSpec {
@@ -74,7 +79,14 @@ impl CacheSpec {
             associativity,
             line_bytes,
             shared,
+            replacement: ReplacementPolicyKind::default(),
         }
+    }
+
+    /// Same spec with a different replacement policy.
+    pub fn with_replacement(mut self, replacement: ReplacementPolicyKind) -> Self {
+        self.replacement = replacement;
+        self
     }
 
     /// Number of sets.
@@ -99,9 +111,17 @@ pub struct MemoryHierarchySpec {
     pub l3: CacheSpec,
     /// Number of cores sharing the L3.
     pub l3_sharers: usize,
+    /// What a store miss does (write-allocate on every paper machine).
+    pub write_policy: WritePolicyKind,
 }
 
 impl MemoryHierarchySpec {
+    /// Same hierarchy with a different store-miss policy.
+    pub fn with_write_policy(mut self, write_policy: WritePolicyKind) -> Self {
+        self.write_policy = write_policy;
+        self
+    }
+
     /// Look up a level's spec.
     pub fn level(&self, level: CacheLevel) -> &CacheSpec {
         match level {
@@ -178,5 +198,17 @@ mod tests {
     fn display_names() {
         assert_eq!(CacheLevel::L1.to_string(), "L1");
         assert_eq!(CacheLevel::L3.to_string(), "L3");
+    }
+
+    #[test]
+    fn policy_fields_default_to_the_papers_configuration() {
+        let m = icelake_sp_8360y();
+        for lvl in CacheLevel::ALL {
+            assert_eq!(m.caches.level(lvl).replacement, ReplacementPolicyKind::Lru);
+        }
+        assert_eq!(m.caches.write_policy, WritePolicyKind::Allocate);
+        let spec = CacheSpec::new(CacheLevel::L1, 32 * 1024, 8, 64, false)
+            .with_replacement(ReplacementPolicyKind::Random);
+        assert_eq!(spec.replacement, ReplacementPolicyKind::Random);
     }
 }

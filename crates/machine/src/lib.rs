@@ -21,15 +21,17 @@
 
 pub mod bandwidth;
 pub mod cache;
+pub mod policy;
 pub mod presets;
 pub mod speci2m;
 pub mod topology;
 
 pub use bandwidth::{BandwidthModel, SaturationCurve};
 pub use cache::{CacheLevel, CacheSpec, MemoryHierarchySpec, CACHE_LINE_BYTES};
+pub use policy::{replacement_names, write_policy_names, ReplacementPolicyKind, WritePolicyKind};
 pub use presets::{
-    icelake_sp_8360y, preset_by_name, preset_names, sapphire_rapids_8470, sapphire_rapids_8480,
-    MachinePreset,
+    cva6_like, icelake_sp_8360y, preset_by_name, preset_names, sapphire_rapids_8470,
+    sapphire_rapids_8480, MachinePreset,
 };
 pub use speci2m::{SpecI2MParams, StreamCountResponse};
 pub use topology::{CcNumaDomain, CoreId, DomainId, Pinning, SocketId, Topology};

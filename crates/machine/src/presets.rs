@@ -2,6 +2,7 @@
 
 use crate::bandwidth::{BandwidthModel, SaturationCurve};
 use crate::cache::{CacheLevel, CacheSpec, MemoryHierarchySpec, CACHE_LINE_BYTES};
+use crate::policy::{ReplacementPolicyKind, WritePolicyKind};
 use crate::speci2m::{SpecI2MParams, StreamCountResponse};
 use crate::topology::Topology;
 use crate::Machine;
@@ -18,6 +19,9 @@ pub enum MachinePreset {
     },
     /// Intel Xeon Platinum 8480+, "Sapphire Rapids", SNC off.
     SapphireRapids8480,
+    /// CVA6-like embedded quad-core: write-back + no-write-allocate d-cache
+    /// with pseudo-random replacement, no SpecI2M.
+    Cva6Like,
 }
 
 impl MachinePreset {
@@ -27,16 +31,19 @@ impl MachinePreset {
             MachinePreset::IceLakeSp8360y => icelake_sp_8360y(),
             MachinePreset::SapphireRapids8470 { snc } => sapphire_rapids_8470(*snc),
             MachinePreset::SapphireRapids8480 => sapphire_rapids_8480(),
+            MachinePreset::Cva6Like => cva6_like(),
         }
     }
 
-    /// All presets used in the paper's figures.
+    /// All registered presets: the paper's figure machines plus the
+    /// CVA6-like policy-exploration config (which no figure uses).
     pub fn all() -> Vec<MachinePreset> {
         vec![
             MachinePreset::IceLakeSp8360y,
             MachinePreset::SapphireRapids8470 { snc: true },
             MachinePreset::SapphireRapids8470 { snc: false },
             MachinePreset::SapphireRapids8480,
+            MachinePreset::Cva6Like,
         ]
     }
 
@@ -48,6 +55,7 @@ impl MachinePreset {
             MachinePreset::SapphireRapids8470 { snc: true } => "spr-8470-sncon",
             MachinePreset::SapphireRapids8470 { snc: false } => "spr-8470-sncoff",
             MachinePreset::SapphireRapids8480 => "spr-8480plus",
+            MachinePreset::Cva6Like => "cva6-nowa",
         }
     }
 }
@@ -69,6 +77,7 @@ pub fn preset_by_name(name: &str) -> Option<MachinePreset> {
         "spr-8470-sncon" | "spr-8470-snc" => Some(MachinePreset::SapphireRapids8470 { snc: true }),
         "spr-8470-sncoff" => Some(MachinePreset::SapphireRapids8470 { snc: false }),
         "spr-8480plus" | "spr-8480" => Some(MachinePreset::SapphireRapids8480),
+        "cva6-nowa" | "cva6" => Some(MachinePreset::Cva6Like),
         _ => None,
     }
 }
@@ -79,6 +88,7 @@ fn icx_caches() -> MemoryHierarchySpec {
         l2: CacheSpec::new(CacheLevel::L2, 1280 * 1024, 20, CACHE_LINE_BYTES, false),
         l3: CacheSpec::new(CacheLevel::L3, 54 * 1024 * 1024, 12, CACHE_LINE_BYTES, true),
         l3_sharers: 36,
+        write_policy: WritePolicyKind::Allocate,
     }
 }
 
@@ -94,6 +104,7 @@ fn spr_caches(l3_sharers: usize) -> MemoryHierarchySpec {
             true,
         ),
         l3_sharers,
+        write_policy: WritePolicyKind::Allocate,
     }
 }
 
@@ -160,6 +171,36 @@ pub fn sapphire_rapids_8470(snc: bool) -> Machine {
         },
         clock_hz: 2.0e9,
         dp_flops_per_cycle: 16.0,
+    }
+}
+
+/// CVA6-like embedded quad-core node.
+///
+/// Models the policy corner documented for the CVA6 (Ariane) d-cache:
+/// write-back + **no-write-allocate** with pseudo-random replacement, and of
+/// course no SpecI2M — store misses never fetch the line, so the
+/// write-allocate-evasion question does not arise.  The preset exists to
+/// exercise the policy fields of the machine model and the policy-generic
+/// simulator; no paper figure uses it.
+pub fn cva6_like() -> Machine {
+    Machine {
+        name: "CVA6-like embedded quad-core (write-back, no-write-allocate)".to_string(),
+        id: "cva6-nowa".to_string(),
+        topology: Topology::homogeneous(1, 1, 4),
+        caches: MemoryHierarchySpec {
+            l1: CacheSpec::new(CacheLevel::L1, 32 * 1024, 8, CACHE_LINE_BYTES, false)
+                .with_replacement(ReplacementPolicyKind::Random),
+            l2: CacheSpec::new(CacheLevel::L2, 512 * 1024, 8, CACHE_LINE_BYTES, false)
+                .with_replacement(ReplacementPolicyKind::Random),
+            l3: CacheSpec::new(CacheLevel::L3, 2 * 1024 * 1024, 16, CACHE_LINE_BYTES, true)
+                .with_replacement(ReplacementPolicyKind::Plru),
+            l3_sharers: 4,
+            write_policy: WritePolicyKind::NoAllocate,
+        },
+        bandwidth: BandwidthModel::new(10e9, 3e9, SaturationCurve::new(2.0, 4.0)),
+        speci2m: SpecI2MParams::disabled(),
+        clock_hz: 1.5e9,
+        dp_flops_per_cycle: 2.0,
     }
 }
 
@@ -259,9 +300,24 @@ mod tests {
             preset_by_name("spr-8480"),
             Some(MachinePreset::SapphireRapids8480)
         );
+        assert_eq!(preset_by_name("cva6"), Some(MachinePreset::Cva6Like));
         assert_eq!(preset_by_name("epyc-9654"), None);
         assert_eq!(preset_by_name(""), None);
-        assert_eq!(preset_names().len(), 4);
+        assert_eq!(preset_names().len(), 5);
+    }
+
+    #[test]
+    fn cva6_preset_exercises_the_policy_fields() {
+        let m = cva6_like();
+        assert_eq!(m.total_cores(), 4);
+        assert_eq!(m.caches.write_policy, WritePolicyKind::NoAllocate);
+        assert_eq!(m.caches.l1.replacement, ReplacementPolicyKind::Random);
+        assert_eq!(m.caches.l3.replacement, ReplacementPolicyKind::Plru);
+        assert!(!m.speci2m.enabled, "CVA6 has no write-allocate to evade");
+        // The Xeon presets keep the paper's default policy corner.
+        let icx = icelake_sp_8360y();
+        assert_eq!(icx.caches.write_policy, WritePolicyKind::Allocate);
+        assert_eq!(icx.caches.l1.replacement, ReplacementPolicyKind::Lru);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn measure_loop(machine: &Machine, spec: &LoopSpec, cfg: &MeasureConfig) -> 
     let ctx = OccupancyContext::compact(machine, cfg.ranks);
     let occ = DomainOccupancy::compact(machine, cfg.ranks);
     let sharers = DomainOccupancy::l3_sharers(machine, occ.busiest);
-    let mut core = CoreSim::new(
+    let mut core: CoreSim = CoreSim::new(
         machine,
         ctx,
         CoreSimOptions {

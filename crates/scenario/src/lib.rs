@@ -21,7 +21,7 @@
 pub mod plan;
 pub mod runner;
 
-pub use plan::{RankRange, Scenario, Stage, SweepPlan};
+pub use plan::{LayerCondition, RankRange, Scenario, Stage, SweepPlan};
 pub use runner::{run_scenario_items_with, run_scenarios_with};
 
 use clover_core::{normalise_speedups, ScalingEngine, ScalingModel, ScalingPoint, SweepMemo};
@@ -61,12 +61,24 @@ pub fn sweep_artifact(scenario: &Scenario, points: &[ScalingPoint]) -> Artifact 
             (p.volume_per_step / 1e6).into(),
         ]);
     }
-    a.push_note(format!(
+    let mut note = format!(
         "machine: {}; grid {g}x{g}; stage: {}",
         machine.name,
         stage.name(),
         g = scenario.grid,
-    ));
+    );
+    // Policy axes annotate the note only off the paper's defaults, keeping
+    // every pre-existing artifact byte-identical.
+    if scenario.replacement != Default::default() {
+        note.push_str(&format!("; replacement: {}", scenario.replacement));
+    }
+    if scenario.write_policy != Default::default() {
+        note.push_str(&format!("; write policy: {}", scenario.write_policy));
+    }
+    if scenario.layer_condition != Default::default() {
+        note.push_str(&format!("; layer condition: {}", scenario.layer_condition));
+    }
+    a.push_note(note);
     a
 }
 
@@ -75,8 +87,7 @@ pub fn sweep_artifact(scenario: &Scenario, points: &[ScalingPoint]) -> Artifact 
 pub fn evaluate(scenario: &Scenario) -> Artifact {
     let machine = scenario.machine.machine();
     let model = ScalingModel::new(machine.clone()).with_grid(scenario.grid);
-    let stage = scenario.stage;
-    let points = model.sweep_range(scenario.ranks.iter(), |r| stage.options(r));
+    let points = model.sweep_range(scenario.ranks.iter(), |r| scenario.options(r));
     sweep_artifact(scenario, &points)
 }
 
@@ -119,7 +130,7 @@ pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
         |s| s.ranks.len(),
         |s, i| {
             let ranks = s.ranks.start + i;
-            engine_for(s).point_memo(ranks, &s.stage.options(ranks), &memo)
+            engine_for(s).point_memo(ranks, &s.options(ranks), &memo)
         },
         |s, mut points| {
             normalise_speedups(&mut points);
@@ -140,6 +151,9 @@ mod tests {
             grid: 1920,
             ranks: RankRange::new(1, 18),
             stage: Stage::Original,
+            replacement: Default::default(),
+            write_policy: Default::default(),
+            layer_condition: Default::default(),
         };
         let a = evaluate(&scenario);
         assert_eq!(a.rows.len(), 18);
@@ -156,6 +170,9 @@ mod tests {
             grid: 1920,
             ranks: RankRange::new(18, 18),
             stage,
+            replacement: Default::default(),
+            write_policy: Default::default(),
+            layer_condition: Default::default(),
         };
         let original = evaluate(&mk(Stage::Original));
         let off = evaluate(&mk(Stage::SpecI2MOff));

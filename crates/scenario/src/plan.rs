@@ -3,7 +3,7 @@
 use std::fmt;
 
 use clover_core::{CodeVariant, TrafficOptions};
-use clover_machine::MachinePreset;
+use clover_machine::{MachinePreset, ReplacementPolicyKind, WritePolicyKind};
 
 /// Code stage of a scenario: which variant of CloverLeaf the traffic model
 /// evaluates.
@@ -59,6 +59,55 @@ impl Stage {
 }
 
 impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Layer-condition axis of a sweep: whether the stencil rows of the local
+/// grid fit the caches.  The paper's Tiny working set always fulfils the
+/// layer condition on the evaluated machines; `Broken` exposes the dormant
+/// what-if hook of the traffic model as a sweepable axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayerCondition {
+    /// Stencil rows fit: reads follow the LC-fulfilled balance (default).
+    #[default]
+    Ok,
+    /// Rows evicted between uses: reads follow the LC-broken balance.
+    Broken,
+}
+
+impl LayerCondition {
+    /// Both settings, default first.
+    pub fn all() -> Vec<LayerCondition> {
+        vec![LayerCondition::Ok, LayerCondition::Broken]
+    }
+
+    /// Stable name used in artifact ids and on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerCondition::Ok => "ok",
+            LayerCondition::Broken => "broken",
+        }
+    }
+
+    /// Parse a `--layer-condition` argument: a name or `"all"`.
+    pub fn parse(s: &str) -> Option<Vec<LayerCondition>> {
+        match s {
+            "all" => Some(Self::all()),
+            "ok" => Some(vec![LayerCondition::Ok]),
+            "broken" => Some(vec![LayerCondition::Broken]),
+            _ => None,
+        }
+    }
+
+    /// The flag value the traffic model consumes.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, LayerCondition::Ok)
+    }
+}
+
+impl fmt::Display for LayerCondition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -125,18 +174,49 @@ pub struct Scenario {
     pub ranks: RankRange,
     /// Code stage.
     pub stage: Stage,
+    /// Cache replacement policy of the modelled hierarchy.
+    pub replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the modelled hierarchy.
+    pub write_policy: WritePolicyKind,
+    /// Layer-condition assumption of the traffic model.
+    pub layer_condition: LayerCondition,
 }
 
 impl Scenario {
     /// Stable identifier, used as the artifact id of the default evaluator.
+    /// Policy axes append a suffix only when they deviate from the paper's
+    /// defaults, so every pre-existing artifact id is unchanged.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "sweep-{}-g{}-r{}-{}",
             self.machine.name(),
             self.grid,
             self.ranks,
             self.stage
-        )
+        );
+        if self.replacement != ReplacementPolicyKind::default() {
+            id.push('-');
+            id.push_str(self.replacement.name());
+        }
+        if self.write_policy != WritePolicyKind::default() {
+            id.push('-');
+            id.push_str(self.write_policy.name());
+        }
+        if self.layer_condition != LayerCondition::default() {
+            id.push_str("-lc-");
+            id.push_str(self.layer_condition.name());
+        }
+        id
+    }
+
+    /// Traffic-model options of this scenario at `ranks` ranks: the stage's
+    /// options refined by the policy and layer-condition axes.
+    pub fn options(&self, ranks: usize) -> TrafficOptions {
+        self.stage
+            .options(ranks)
+            .with_layer_condition(self.layer_condition.is_ok())
+            .with_replacement(self.replacement)
+            .with_write_policy(self.write_policy)
     }
 
     /// Human-readable artifact title.
@@ -181,7 +261,9 @@ impl Scenario {
 }
 
 /// A cartesian grid of scenarios: every machine × grid × rank range × stage
-/// combination.
+/// (× replacement × write policy × layer condition) combination.  The three
+/// policy axes are optional: leaving one empty pins it to the paper's
+/// default instead of emptying the plan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepPlan {
     /// Machine axis.
@@ -192,6 +274,12 @@ pub struct SweepPlan {
     pub rank_ranges: Vec<RankRange>,
     /// Code-stage axis.
     pub stages: Vec<Stage>,
+    /// Replacement-policy axis (empty = the default LRU).
+    pub replacements: Vec<ReplacementPolicyKind>,
+    /// Write-policy axis (empty = the default write-allocate).
+    pub write_policies: Vec<WritePolicyKind>,
+    /// Layer-condition axis (empty = the default fulfilled).
+    pub layer_conditions: Vec<LayerCondition>,
 }
 
 impl SweepPlan {
@@ -224,31 +312,75 @@ impl SweepPlan {
         self
     }
 
-    /// Number of scenarios the plan expands to (the product of the axis
-    /// lengths).
-    pub fn len(&self) -> usize {
-        self.machines.len() * self.grids.len() * self.rank_ranges.len() * self.stages.len()
+    /// Add a replacement policy to the (optional) replacement axis.
+    pub fn replacement(mut self, replacement: ReplacementPolicyKind) -> Self {
+        self.replacements.push(replacement);
+        self
     }
 
-    /// True when any axis is empty.
+    /// Add a write policy to the (optional) write-policy axis.
+    pub fn write_policy(mut self, write_policy: WritePolicyKind) -> Self {
+        self.write_policies.push(write_policy);
+        self
+    }
+
+    /// Add a layer condition to the (optional) layer-condition axis.
+    pub fn layer_condition(mut self, layer_condition: LayerCondition) -> Self {
+        self.layer_conditions.push(layer_condition);
+        self
+    }
+
+    /// Number of scenarios the plan expands to (the product of the axis
+    /// lengths; the optional policy axes count 1 when left empty).
+    pub fn len(&self) -> usize {
+        self.machines.len()
+            * self.grids.len()
+            * self.rank_ranges.len()
+            * self.stages.len()
+            * self.replacements.len().max(1)
+            * self.write_policies.len().max(1)
+            * self.layer_conditions.len().max(1)
+    }
+
+    /// True when any mandatory axis is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Expand the cartesian product in deterministic order: machines
-    /// outermost, then grids, then rank ranges, stages innermost.
+    /// outermost, then grids, rank ranges, stages, and the policy axes
+    /// innermost (replacement, then write policy, then layer condition).
     pub fn expand(&self) -> Vec<Scenario> {
+        fn or_default<T: Copy + Default>(axis: &[T]) -> Vec<T> {
+            if axis.is_empty() {
+                vec![T::default()]
+            } else {
+                axis.to_vec()
+            }
+        }
+        let replacements = or_default(&self.replacements);
+        let write_policies = or_default(&self.write_policies);
+        let layer_conditions = or_default(&self.layer_conditions);
         let mut scenarios = Vec::with_capacity(self.len());
         for &machine in &self.machines {
             for &grid in &self.grids {
                 for &ranks in &self.rank_ranges {
                     for &stage in &self.stages {
-                        scenarios.push(Scenario {
-                            machine,
-                            grid,
-                            ranks,
-                            stage,
-                        });
+                        for &replacement in &replacements {
+                            for &write_policy in &write_policies {
+                                for &layer_condition in &layer_conditions {
+                                    scenarios.push(Scenario {
+                                        machine,
+                                        grid,
+                                        ranks,
+                                        stage,
+                                        replacement,
+                                        write_policy,
+                                        layer_condition,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -325,6 +457,68 @@ mod tests {
     }
 
     #[test]
+    fn policy_axes_multiply_the_expansion_and_suffix_the_ids() {
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(1920)
+            .ranks(RankRange::new(1, 4))
+            .stage(Stage::Original)
+            .replacement(ReplacementPolicyKind::Lru)
+            .replacement(ReplacementPolicyKind::Plru)
+            .write_policy(WritePolicyKind::Allocate)
+            .write_policy(WritePolicyKind::NoAllocate)
+            .layer_condition(LayerCondition::Broken);
+        assert_eq!(plan.len(), 2 * 2);
+        let scenarios = plan.expand();
+        assert_eq!(scenarios.len(), 4);
+        // Innermost nesting: replacement, then write policy, then LC.
+        assert_eq!(scenarios[0].replacement, ReplacementPolicyKind::Lru);
+        assert_eq!(scenarios[0].write_policy, WritePolicyKind::Allocate);
+        assert_eq!(scenarios[1].write_policy, WritePolicyKind::NoAllocate);
+        assert_eq!(scenarios[2].replacement, ReplacementPolicyKind::Plru);
+        // Ids carry suffixes only for the non-default choices.
+        assert_eq!(
+            scenarios[0].id(),
+            "sweep-icx-8360y-g1920-r1..4-original-lc-broken"
+        );
+        assert_eq!(
+            scenarios[3].id(),
+            "sweep-icx-8360y-g1920-r1..4-original-plru-no-allocate-lc-broken"
+        );
+        let mut ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), scenarios.len());
+    }
+
+    #[test]
+    fn default_scenario_ids_are_byte_stable() {
+        // Plans that never touch the policy axes must keep their pre-policy
+        // artifact ids so `figures all --check` stays byte-identical.
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(1920)
+            .ranks(RankRange::new(1, 18))
+            .stage(Stage::Original);
+        let scenarios = plan.expand();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].id(), "sweep-icx-8360y-g1920-r1..18-original");
+    }
+
+    #[test]
+    fn layer_condition_parses_names_and_all() {
+        assert_eq!(LayerCondition::parse("ok"), Some(vec![LayerCondition::Ok]));
+        assert_eq!(
+            LayerCondition::parse("broken"),
+            Some(vec![LayerCondition::Broken])
+        );
+        assert_eq!(LayerCondition::parse("all"), Some(LayerCondition::all()));
+        assert_eq!(LayerCondition::parse("maybe"), None);
+        assert!(LayerCondition::Ok.is_ok());
+        assert!(!LayerCondition::Broken.is_ok());
+    }
+
+    #[test]
     fn empty_axis_empties_the_plan() {
         let plan = SweepPlan::new().grid(1920).ranks(RankRange::new(1, 4));
         assert!(plan.is_empty());
@@ -338,6 +532,9 @@ mod tests {
             grid: 1920,
             ranks: RankRange::new(1, 72),
             stage: Stage::Original,
+            replacement: ReplacementPolicyKind::default(),
+            write_policy: WritePolicyKind::default(),
+            layer_condition: LayerCondition::default(),
         };
         assert!(base.validate().is_ok());
         let mut s = base.clone();

@@ -7,10 +7,11 @@
 use cloverleaf_wa::cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
 use cloverleaf_wa::cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
 use cloverleaf_wa::cachesim::{
-    AccessKind, AccessRun, CoreSim, KernelSpec, NodeSim, PrefetcherConfig, RankBase, SimConfig,
-    SimMemo, SpecOperand,
+    AccessKind, AccessRun, CoreSim, KernelSpec, NoWriteAllocate, NodeSim, NonTemporal,
+    PrefetcherConfig, RandomEvict, RankBase, ReplacementPolicy, SimConfig, SimMemo, SpecOperand,
+    Srrip, TreePlru, TrueLru, WriteAllocate, WritePolicy,
 };
-use cloverleaf_wa::machine::{icelake_sp_8360y, Machine};
+use cloverleaf_wa::machine::{icelake_sp_8360y, Machine, ReplacementPolicyKind, WritePolicyKind};
 use proptest::prelude::*;
 
 const KINDS: [AccessKind; 3] = [AccessKind::Load, AccessKind::Store, AccessKind::StoreNT];
@@ -33,7 +34,10 @@ fn core_for(machine: &Machine, ranks: usize, prefetchers: bool) -> CoreSim {
 }
 
 /// Feed one run element by element through the scalar API.
-fn drive_scalar_run(core: &mut CoreSim, run: AccessRun) {
+fn drive_scalar_run<R: ReplacementPolicy, W: WritePolicy>(
+    core: &mut CoreSim<R, W>,
+    run: AccessRun,
+) {
     for i in 0..run.elements {
         let addr = run.base + i * 8;
         match run.kind {
@@ -58,6 +62,60 @@ fn assert_equivalent(machine: &Machine, ranks: usize, prefetchers: bool, runs: &
         "hit/miss mismatch for {runs:?}"
     );
     assert_eq!(scalar.flush(), batched.flush(), "counter mismatch");
+}
+
+/// Scalar vs. batched equivalence of one policy monomorphisation.
+fn assert_policy_equivalent<R: ReplacementPolicy, W: WritePolicy>(
+    machine: &Machine,
+    ranks: usize,
+    runs: &[AccessRun],
+) {
+    let mk = || {
+        let ctx = OccupancyContext::compact(machine, ranks);
+        CoreSim::<R, W>::new(
+            machine,
+            ctx,
+            CoreSimOptions {
+                l3_sharers: ranks.min(36),
+                ..Default::default()
+            },
+        )
+    };
+    let mut scalar = mk();
+    let mut batched = mk();
+    for &run in runs {
+        drive_scalar_run(&mut scalar, run);
+        batched.drive_run(run);
+    }
+    assert_eq!(
+        scalar.cache_stats(),
+        batched.cache_stats(),
+        "{:?}+{:?}: hit/miss mismatch for {runs:?}",
+        R::KIND,
+        W::KIND
+    );
+    assert_eq!(
+        scalar.flush(),
+        batched.flush(),
+        "{:?}+{:?}: counter mismatch",
+        R::KIND,
+        W::KIND
+    );
+}
+
+/// Run [`assert_policy_equivalent`] for every replacement × write policy
+/// monomorphisation the dispatcher can reach.
+fn assert_equivalent_for_all_policies(machine: &Machine, ranks: usize, runs: &[AccessRun]) {
+    macro_rules! combos {
+        ($($r:ty),*) => {
+            $(
+                assert_policy_equivalent::<$r, WriteAllocate>(machine, ranks, runs);
+                assert_policy_equivalent::<$r, NoWriteAllocate>(machine, ranks, runs);
+                assert_policy_equivalent::<$r, NonTemporal>(machine, ranks, runs);
+            )*
+        };
+    }
+    combos!(TrueLru, TreePlru, Srrip, RandomEvict);
 }
 
 proptest! {
@@ -247,6 +305,108 @@ proptest! {
         // The full-domain levels of 19..72 ranks overlap: the memo must
         // have avoided simulations.
         prop_assert!(memo.stats().hits > 0);
+    }
+
+    /// The batched fast path stays bit-identical to the scalar reference
+    /// under every replacement × write policy monomorphisation, not just
+    /// the paper's LRU + write-allocate default: mixed load/store/NT rows
+    /// with halo misalignment across all 12 combinations.
+    #[test]
+    fn batched_path_matches_scalar_under_every_policy(
+        inner in 1u64..180,
+        halo in 0u64..10,
+        rows in 1u64..4,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let mut runs = Vec::new();
+        for row in 0..rows {
+            let off = row * (inner + halo) * 8;
+            runs.push(AccessRun::load((1 << 33) + off, inner));
+            runs.push(AccessRun {
+                base: (1 << 30) + off,
+                elements: inner,
+                kind: KINDS[kind_idx],
+            });
+        }
+        assert_equivalent_for_all_policies(&machine, ranks, &runs);
+    }
+
+    /// The policy-generic dispatcher under the default LRU + write-allocate
+    /// selectors is bit-identical to the pre-refactor closure path *and*
+    /// shares its memo entries with an explicitly-defaulted config: the
+    /// policy space costs the paper configuration nothing.
+    #[test]
+    fn default_policy_dispatch_matches_the_closure_path_and_shares_the_memo(
+        elements in 64u64..1024,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 37, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let memo = SimMemo::new();
+        let implicit = NodeSim::new(SimConfig::new(machine.clone(), ranks));
+        let closure = implicit.run_spmd(|rank, core| spec.drive(rank, core));
+        let defaulted = implicit.run_spmd_memo(&spec, &memo);
+        prop_assert_eq!(&closure.total, &defaulted.total);
+        prop_assert_eq!(&closure.per_rank, &defaulted.per_rank);
+        // An explicit LRU + write-allocate selection is the same SimKey:
+        // every context is served from the memo, no new simulation runs.
+        let explicit = NodeSim::new(
+            SimConfig::new(machine, ranks)
+                .with_replacement(ReplacementPolicyKind::Lru)
+                .with_write_policy(WritePolicyKind::Allocate),
+        );
+        let before = memo.stats();
+        let again = explicit.run_spmd_memo(&spec, &memo);
+        prop_assert_eq!(&defaulted.total, &again.total);
+        prop_assert_eq!(&defaulted.per_rank, &again.per_rank);
+        let after = memo.stats();
+        prop_assert_eq!(after.misses, before.misses, "explicit defaults must not re-simulate");
+        prop_assert!(after.hits > before.hits);
+    }
+
+    /// Sharing one `SimMemo` across policy selections never changes a bit:
+    /// the policy kinds are part of the memo key, so a cross-policy lookup
+    /// can never be served a stale entry.
+    #[test]
+    fn shared_memo_never_serves_a_cross_policy_hit(
+        elements in 64u64..1024,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let shared = SimMemo::new();
+        for replacement in ReplacementPolicyKind::all() {
+            for write_policy in WritePolicyKind::all() {
+                let cfg = SimConfig::new(machine.clone(), ranks)
+                    .with_replacement(replacement)
+                    .with_write_policy(write_policy);
+                let sim = NodeSim::new(cfg);
+                let with_shared = sim.run_spmd_memo(&spec, &shared);
+                let with_fresh = sim.run_spmd_memo(&spec, &SimMemo::new());
+                prop_assert_eq!(
+                    &with_shared.total, &with_fresh.total,
+                    "{:?}+{:?}", replacement, write_policy
+                );
+                prop_assert_eq!(
+                    &with_shared.per_rank, &with_fresh.per_rank,
+                    "{:?}+{:?}", replacement, write_policy
+                );
+            }
+        }
     }
 
     /// Regression for the `CoreSim::reset` reuse inside the node loops:

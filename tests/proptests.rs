@@ -97,7 +97,7 @@ proptest! {
     fn store_traffic_is_bounded(elements in 64u64..4096, ranks in prop::sample::select(vec![1usize, 9, 18, 36, 72])) {
         let machine = icelake_sp_8360y();
         let ctx = OccupancyContext::compact(&machine, ranks);
-        let mut core = CoreSim::new(&machine, ctx, CoreSimOptions::default());
+        let mut core: CoreSim = CoreSim::new(&machine, ctx, CoreSimOptions::default());
         for i in 0..elements {
             core.store(i * 8, 8);
         }
@@ -119,7 +119,7 @@ proptest! {
         span in 1u64..512,
         capacity_lines in prop::sample::select(vec![8usize, 64, 256]),
     ) {
-        let mut cache = SetAssocCache::new(capacity_lines * 64, 8);
+        let mut cache: SetAssocCache = SetAssocCache::new(capacity_lines * 64, 8);
         for i in 0..accesses as u64 {
             // Deterministic but scattered line sequence with re-use.
             let line = (i.wrapping_mul(2654435761) >> 7) % span;
@@ -145,7 +145,7 @@ proptest! {
     ) {
         let machine = icelake_sp_8360y();
         let ctx = OccupancyContext::compact(&machine, 18);
-        let mut core = CoreSim::new(&machine, ctx, CoreSimOptions::default());
+        let mut core: CoreSim = CoreSim::new(&machine, ctx, CoreSimOptions::default());
         let mut lines = std::collections::HashSet::new();
         for row in 0..rows {
             let base = row * (inner + gap) * 8;

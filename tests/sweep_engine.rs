@@ -13,8 +13,12 @@
 use clover_bench::{run_artifact, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
 use cloverleaf_wa::core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions};
 use cloverleaf_wa::golden::{check_artifact, golden, Artifact};
-use cloverleaf_wa::machine::{icelake_sp_8360y, MachinePreset};
-use cloverleaf_wa::scenario::{evaluate, render_block, run_plan, RankRange, Stage, SweepPlan};
+use cloverleaf_wa::machine::{
+    icelake_sp_8360y, MachinePreset, ReplacementPolicyKind, WritePolicyKind,
+};
+use cloverleaf_wa::scenario::{
+    evaluate, render_block, run_plan, LayerCondition, RankRange, Stage, SweepPlan,
+};
 use proptest::prelude::*;
 
 fn small_plan() -> SweepPlan {
@@ -132,6 +136,75 @@ proptest! {
         prop_assert_eq!(&reference, &engine.point_memo(ranks, &opts, &memo));
         prop_assert_eq!(memo.stats(), (1, 1));
     }
+}
+
+#[test]
+fn every_policy_combination_is_selectable_end_to_end() {
+    // The full policy grid — 4 replacement × 3 write policies — swept
+    // through the same engine `figures sweep --replacement all
+    // --write-policy all` drives.
+    let mut plan = SweepPlan::new()
+        .machine(MachinePreset::IceLakeSp8360y)
+        .grid(1920)
+        .ranks(RankRange::new(4, 8))
+        .stage(Stage::Original);
+    for r in ReplacementPolicyKind::all() {
+        plan = plan.replacement(r);
+    }
+    for w in WritePolicyKind::all() {
+        plan = plan.write_policy(w);
+    }
+    assert_eq!(plan.len(), 4 * 3);
+    assert!(plan.validate().is_ok());
+    let artifacts = run_plan(&plan, 3);
+    assert_eq!(artifacts.len(), 12);
+    // Parallel equals sequential on the policy grid too.
+    assert_eq!(artifacts, run_plan(&plan, 1));
+    // Every combination produced a distinct, fully-populated artifact…
+    let mut ids: Vec<&str> = artifacts.iter().map(|a| a.id.as_str()).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), 12);
+    for a in &artifacts {
+        assert_eq!(a.rows.len(), 5, "{}", a.id);
+    }
+    // …and the policy axes actually steer the model: the default LRU +
+    // write-allocate scenario moves the most memory per step, a broken
+    // layer condition more than a fulfilled one.
+    let volume_of = |a: &Artifact| {
+        let col = a.column_index("volume_per_step").unwrap();
+        a.rows[0][col].as_f64().unwrap()
+    };
+    let scenarios = plan.expand();
+    let default_idx = scenarios
+        .iter()
+        .position(|s| {
+            s.replacement == ReplacementPolicyKind::Lru
+                && s.write_policy == WritePolicyKind::Allocate
+        })
+        .unwrap();
+    assert_eq!(
+        artifacts[default_idx].id,
+        "sweep-icx-8360y-g1920-r4..8-original"
+    );
+    for (s, a) in scenarios.iter().zip(&artifacts) {
+        assert_eq!(s.id(), a.id);
+        if s.write_policy != WritePolicyKind::Allocate {
+            assert!(
+                volume_of(a) < volume_of(&artifacts[default_idx]),
+                "{}: write-allocate evasion must shrink the volume",
+                a.id
+            );
+        }
+    }
+    // The layer-condition axis is live as well.
+    let broken = evaluate(&{
+        let mut s = scenarios[default_idx].clone();
+        s.layer_condition = LayerCondition::Broken;
+        s
+    });
+    assert!(volume_of(&broken) > volume_of(&artifacts[default_idx]));
+    assert!(broken.id.ends_with("-lc-broken"));
 }
 
 #[test]
