@@ -16,13 +16,23 @@
 //! figures sweep --machine icx-8360y --grid 4000 --ranks 1..72 \
 //!     --stage all [--replacement lru|plru|srrip|random|all] \
 //!     [--write-policy allocate|no-allocate|non-temporal|all] \
-//!     [--layer-condition ok|broken|all] [--jobs N] [--json]
+//!     [--layer-condition ok|broken|all] [--jobs N] [--json] \
+//!     [--store <path>]
 //!                                # scenario sweep engine: cartesian
 //!                                # machine × grid × ranks × stage
 //!                                # (× cache-policy axes) plan on N worker
 //!                                # threads; the policy axes default to the
 //!                                # paper's LRU + write-allocate + fulfilled
-//!                                # layer condition
+//!                                # layer condition; `--store` warm-loads a
+//!                                # persistent memo store first and writes
+//!                                # it back after the sweep (stale or
+//!                                # corrupt stores are rebuilt)
+//! figures serve [--store <path>] [--socket <path>]
+//!                                # long-running sweep daemon: line-based
+//!                                # requests (`sweep <flags>`, `stats`,
+//!                                # `save`, `ping`, `quit`) over stdin or a
+//!                                # unix socket, answered from one warm
+//!                                # memo state shared by every client
 //! figures bench [--json] [--quick] [--label <name>]
 //!               [--baseline <BENCH_*.json> [--max-regression <pct>]]
 //!                                # perf-trajectory harness: simulator
@@ -41,11 +51,11 @@ use std::io::{ErrorKind, Write};
 use std::process::ExitCode;
 
 use clover_bench::{check_experiment, delta_table, run_artifact, EXPERIMENTS};
+use clover_cachesim::SimMemo;
+use clover_core::SweepMemo;
 use clover_golden::check_artifact;
-use clover_machine::{
-    preset_names, replacement_names, write_policy_names, ReplacementPolicyKind, WritePolicyKind,
-};
-use clover_scenario::{render_block, run_plan, LayerCondition, RankRange, Stage, SweepPlan};
+use clover_scenario::{render_block, run_plan_memo, SweepArgs, SweepPlan};
+use clover_service::{LoadOutcome, PersistentStore, SweepService};
 
 /// Write to stdout, exiting quietly if the reader went away (`figures all |
 /// head` must not panic with a broken-pipe backtrace).
@@ -84,8 +94,15 @@ fn sweep_usage_error(message: &str) -> ExitCode {
          [--replacement lru|plru|srrip|random|all] \
          [--write-policy allocate|no-allocate|non-temporal|all] \
          [--layer-condition ok|broken|all] \
-         [--jobs <n>] [--json]  (axis flags repeat to span a cartesian plan)"
+         [--jobs <n>] [--json] [--store <path>]  \
+         (axis flags repeat to span a cartesian plan)"
     );
+    ExitCode::from(2)
+}
+
+fn serve_usage_error(message: &str) -> ExitCode {
+    eprintln!("figures serve: {message}");
+    eprintln!("usage: figures serve [--store <path>] [--socket <path>]");
     ExitCode::from(2)
 }
 
@@ -181,182 +198,43 @@ struct SweepOptions {
     plan: SweepPlan,
     jobs: usize,
     json: bool,
+    store: Option<String>,
 }
 
-/// Parse the arguments after the `sweep` keyword.  Repeatable axis flags
-/// (`--machine`, `--grid`, `--ranks`, `--stage`, `--replacement`,
-/// `--write-policy`, `--layer-condition`) span the cartesian plan; `--grid`
-/// defaults to the Tiny grid, `--stage` to `original`, and the cache-policy
-/// axes to the paper's LRU + write-allocate + fulfilled layer condition.
-fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
-    let mut plan = SweepPlan::new();
-    let mut jobs: Option<usize> = None;
-    let mut json = false;
+/// Extract a repeat-checked `--store <path>` / `--socket <path>` style
+/// flag from `args`, returning the remaining arguments and the value.
+fn extract_path_flag(args: &[String], flag: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--machine" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--machine needs a machine name".to_string())?;
-                let preset = clover_machine::preset_by_name(value).ok_or_else(|| {
-                    format!(
-                        "unknown machine '{value}'; known machines: {}",
-                        preset_names().join(", ")
-                    )
-                })?;
-                if plan.machines.contains(&preset) {
-                    return Err(format!("duplicate machine '{value}'"));
-                }
-                plan.machines.push(preset);
+        if arg == flag {
+            let path = iter
+                .next()
+                .ok_or_else(|| format!("{flag} needs a file path"))?;
+            if value.is_some() {
+                return Err(format!("{flag} given twice"));
             }
-            "--grid" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--grid needs a cell count".to_string())?;
-                let grid: usize = value
-                    .parse()
-                    .ok()
-                    .filter(|&g| g >= 1)
-                    .ok_or_else(|| format!("--grid: '{value}' is not a positive cell count"))?;
-                if plan.grids.contains(&grid) {
-                    return Err(format!("duplicate grid size {grid}"));
-                }
-                plan.grids.push(grid);
-            }
-            "--ranks" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--ranks needs a range (e.g. 1..72)".to_string())?;
-                let range = RankRange::parse(value)
-                    .ok_or_else(|| format!("--ranks: '{value}' is not a range like 1..72"))?;
-                if plan.rank_ranges.contains(&range) {
-                    return Err(format!("duplicate rank range {range}"));
-                }
-                plan.rank_ranges.push(range);
-            }
-            "--stage" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--stage needs a stage name or 'all'".to_string())?;
-                let stages = Stage::parse(value).ok_or_else(|| {
-                    format!("unknown stage '{value}' (original, speci2m-off, optimized, all)")
-                })?;
-                for stage in stages {
-                    if plan.stages.contains(&stage) {
-                        return Err(format!("duplicate stage '{stage}'"));
-                    }
-                    plan.stages.push(stage);
-                }
-            }
-            "--replacement" => {
-                let value = iter.next().ok_or_else(|| {
-                    format!(
-                        "--replacement needs a policy name ({}) or 'all'",
-                        replacement_names().join(", ")
-                    )
-                })?;
-                let kinds = if value == "all" {
-                    ReplacementPolicyKind::all()
-                } else {
-                    vec![ReplacementPolicyKind::parse(value).ok_or_else(|| {
-                        format!(
-                            "--replacement: unknown policy '{value}' (known: {}, all)",
-                            replacement_names().join(", ")
-                        )
-                    })?]
-                };
-                for kind in kinds {
-                    if plan.replacements.contains(&kind) {
-                        return Err(format!("--replacement: duplicate policy '{kind}'"));
-                    }
-                    plan.replacements.push(kind);
-                }
-            }
-            "--write-policy" => {
-                let value = iter.next().ok_or_else(|| {
-                    format!(
-                        "--write-policy needs a policy name ({}) or 'all'",
-                        write_policy_names().join(", ")
-                    )
-                })?;
-                let kinds = if value == "all" {
-                    WritePolicyKind::all()
-                } else {
-                    vec![WritePolicyKind::parse(value).ok_or_else(|| {
-                        format!(
-                            "--write-policy: unknown policy '{value}' (known: {}, all)",
-                            write_policy_names().join(", ")
-                        )
-                    })?]
-                };
-                for kind in kinds {
-                    if plan.write_policies.contains(&kind) {
-                        return Err(format!("--write-policy: duplicate policy '{kind}'"));
-                    }
-                    plan.write_policies.push(kind);
-                }
-            }
-            "--layer-condition" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--layer-condition needs 'ok', 'broken' or 'all'".to_string())?;
-                let conditions = LayerCondition::parse(value).ok_or_else(|| {
-                    format!("--layer-condition: unknown condition '{value}' (ok, broken, all)")
-                })?;
-                for condition in conditions {
-                    if plan.layer_conditions.contains(&condition) {
-                        return Err(format!(
-                            "--layer-condition: duplicate condition '{condition}'"
-                        ));
-                    }
-                    plan.layer_conditions.push(condition);
-                }
-            }
-            "--jobs" => {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| "--jobs needs a worker count".to_string())?;
-                if jobs.is_some() {
-                    return Err("--jobs given twice".to_string());
-                }
-                jobs =
-                    Some(
-                        value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                            format!("--jobs: '{value}' is not a worker count >= 1")
-                        })?,
-                    );
-            }
-            "--json" => json = true,
-            other => {
-                return Err(format!("sweep: unexpected argument '{other}'"));
-            }
+            value = Some(path.clone());
+        } else {
+            rest.push(arg.clone());
         }
     }
-    if plan.machines.is_empty() {
-        return Err(format!(
-            "sweep needs at least one --machine; known machines: {}",
-            preset_names().join(", ")
-        ));
-    }
-    if plan.rank_ranges.is_empty() {
-        return Err("sweep needs at least one --ranks range (e.g. --ranks 1..72)".to_string());
-    }
-    if plan.grids.is_empty() {
-        plan.grids.push(clover_core::TINY_GRID);
-    }
-    if plan.stages.is_empty() {
-        plan.stages.push(Stage::Original);
-    }
-    // Every scenario must be evaluable (non-empty range, ranks within the
-    // machine's core count) before any worker starts.
-    plan.validate()?;
-    let jobs = jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    Ok(SweepOptions { plan, jobs, json })
+    Ok((rest, value))
+}
+
+/// Parse the arguments after the `sweep` keyword.  The axis grammar lives
+/// in `clover_scenario::SweepArgs` (shared with the `figures serve`
+/// daemon); the CLI adds only the `--store <path>` persistence flag.
+fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
+    let (rest, store) = extract_path_flag(args, "--store")?;
+    let parsed = SweepArgs::parse(&rest)?;
+    Ok(SweepOptions {
+        plan: parsed.plan,
+        jobs: parsed.jobs,
+        json: parsed.json,
+        store,
+    })
 }
 
 fn bench_usage_error(message: &str) -> ExitCode {
@@ -470,6 +348,18 @@ fn bench_main(args: &[String], out: &mut impl Write) -> ExitCode {
             },
         },
     };
+    if let Some(baseline) = &baseline {
+        // A pre-PR7 baseline without the field still gates throughput
+        // (missing `quick` is treated as comparable), but the comparison
+        // may mix sizings — say so instead of silently weakening the gate.
+        if baseline.quick.is_none() {
+            eprintln!(
+                "figures bench: warning: baseline '{}' has no quick/full marker; \
+                 comparing throughput anyway (sizings may differ)",
+                baseline.label
+            );
+        }
+    }
     let mut report = clover_bench::run_perf_bench(opts.quick, &opts.label);
     if let Some(baseline) = &baseline {
         report.with_baseline(baseline);
@@ -500,7 +390,33 @@ fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
         Ok(opts) => opts,
         Err(message) => return sweep_usage_error(&message),
     };
-    let artifacts = run_plan(&opts.plan, opts.jobs);
+    // With `--store` the memo outlives the process: warm-load before the
+    // sweep, write back after.  The store only changes *when* points are
+    // evaluated, never their values, so stdout stays byte-identical to a
+    // storeless run.
+    let store = opts.store.as_deref().map(PersistentStore::new);
+    let memo = SweepMemo::new();
+    let sim = SimMemo::new();
+    if let Some(store) = &store {
+        match store.warm_load(&sim, &memo) {
+            LoadOutcome::Warm(n) => {
+                eprintln!(
+                    "figures sweep: store {}: {n} entries warm",
+                    store.path().display()
+                );
+            }
+            LoadOutcome::ColdMissing => {}
+            LoadOutcome::ColdStale => eprintln!(
+                "figures sweep: store {}: model hash changed, rebuilding",
+                store.path().display()
+            ),
+            LoadOutcome::ColdCorrupt => eprintln!(
+                "figures sweep: store {}: unreadable or truncated, rebuilding",
+                store.path().display()
+            ),
+        }
+    }
+    let artifacts = run_plan_memo(&opts.plan, opts.jobs, &memo);
     if opts.json {
         let blocks: Vec<String> = artifacts.iter().map(|a| a.to_json()).collect();
         emit(out, format_args!("[{}]\n", blocks.join(",")));
@@ -509,7 +425,79 @@ fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
             emit(out, format_args!("{}", render_block(artifact)));
         }
     }
+    if let Some(store) = &store {
+        let (hits, misses) = memo.stats();
+        let rate = if hits + misses > 0 {
+            100.0 * hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        match store.save(&sim, &memo) {
+            Ok(n) => eprintln!(
+                "figures sweep: store {}: {n} entries saved (memo hit rate {rate:.1}%)",
+                store.path().display()
+            ),
+            Err(e) => {
+                eprintln!(
+                    "figures sweep: store {}: save failed: {e}",
+                    store.path().display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Run the `figures serve` subcommand: the sweep daemon over stdin (the
+/// default) or a unix socket (`--socket <path>`), optionally backed by a
+/// persistent store (`--store <path>`).
+fn serve_main(args: &[String]) -> ExitCode {
+    let (rest, store_path) = match extract_path_flag(args, "--store") {
+        Ok(split) => split,
+        Err(message) => return serve_usage_error(&message),
+    };
+    let (rest, socket) = match extract_path_flag(&rest, "--socket") {
+        Ok(split) => split,
+        Err(message) => return serve_usage_error(&message),
+    };
+    if let Some(extra) = rest.first() {
+        return serve_usage_error(&format!("unexpected argument '{extra}'"));
+    }
+    let service = match store_path {
+        None => SweepService::new(),
+        Some(path) => {
+            let store = PersistentStore::new(&path);
+            let (service, outcome) = SweepService::with_store(store);
+            match outcome {
+                LoadOutcome::Warm(n) => eprintln!("figures serve: store {path}: {n} entries warm"),
+                LoadOutcome::ColdMissing => {
+                    eprintln!("figures serve: store {path}: starting cold")
+                }
+                LoadOutcome::ColdStale => {
+                    eprintln!("figures serve: store {path}: model hash changed, rebuilding")
+                }
+                LoadOutcome::ColdCorrupt => {
+                    eprintln!("figures serve: store {path}: unreadable or truncated, rebuilding")
+                }
+            }
+            service
+        }
+    };
+    let result = match socket {
+        Some(path) => {
+            eprintln!("figures serve: listening on {path}");
+            clover_service::serve_unix(std::sync::Arc::new(service), std::path::Path::new(&path))
+        }
+        None => clover_service::serve_stdin(&service),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("figures serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -519,6 +507,9 @@ fn main() -> ExitCode {
 
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep_main(&args[1..], &mut out);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("bench") {
         return bench_main(&args[1..], &mut out);
@@ -602,6 +593,8 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clover_machine::{ReplacementPolicyKind, WritePolicyKind};
+    use clover_scenario::{LayerCondition, Stage};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -660,6 +653,44 @@ mod tests {
         assert_eq!(opts.plan.len(), 2 * 1 * 1 * 3);
         assert_eq!(opts.jobs, 4);
         assert!(!opts.json);
+    }
+
+    #[test]
+    fn sweep_store_flag_is_extracted_from_the_axis_grammar() {
+        // --store can sit anywhere between axis flags.
+        let opts = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--store",
+            "/tmp/clover.store",
+            "--ranks",
+            "1..4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.store.as_deref(), Some("/tmp/clover.store"));
+        assert_eq!(opts.plan.len(), 1);
+        // Missing value / duplicate flag are usage errors.
+        let err = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--store",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--store"), "{err}");
+        let err = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--store",
+            "a",
+            "--store",
+            "b",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("twice"), "{err}");
     }
 
     #[test]

@@ -134,11 +134,15 @@ impl BenchReport {
     ///
     /// Two comparison families:
     ///
-    /// * **throughputs** — compared only when both runs used the same
-    ///   sizing (`quick` flag): patterns with per-measurement fixed costs
-    ///   report far lower element throughput at the reduced sizing, so a
-    ///   quick CI run gating against a full-sizing record would flag
-    ///   phantom regressions;
+    /// * **throughputs** — skipped only on a *known* sizing mismatch
+    ///   (`quick` flags recorded on both sides and different): patterns
+    ///   with per-measurement fixed costs report far lower element
+    ///   throughput at the reduced sizing, so a quick CI run gating
+    ///   against a full-sizing record would flag phantom regressions.  A
+    ///   record predating the flag (`baseline.quick == None`) is compared
+    ///   anyway — the caller warns about the unknown sizing, but silently
+    ///   dropping every throughput row would let real regressions sail
+    ///   through the gate;
     /// * **in-run speedup factors** (e.g. `scaling_curve_72`) — always
     ///   compared: both sides of each ratio were measured in the same run,
     ///   making them robust to hardware and sizing differences, and a
@@ -147,7 +151,7 @@ impl BenchReport {
     pub fn regressions(&self, baseline: &BaselineReport, max_pct: f64) -> Vec<Speedup> {
         let floor = 1.0 - max_pct / 100.0;
         let mut flagged = Vec::new();
-        if baseline.quick == Some(self.quick) {
+        if baseline.quick.map_or(true, |q| q == self.quick) {
             for r in &self.results {
                 if let Some(base) = baseline.throughput(r.name) {
                     let factor = r.elements_per_sec / base;
@@ -175,6 +179,9 @@ impl BenchReport {
     }
 
     /// Machine-readable JSON rendering (the `BENCH_*.json` format).
+    /// Strings (the label and the pattern/speedup names, which embed
+    /// baseline labels via [`BenchReport::with_baseline`]) are escaped, so
+    /// a hostile label cannot forge report fields.
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self
             .results
@@ -183,20 +190,30 @@ impl BenchReport {
                 format!(
                     "{{\"name\":\"{}\",\"elements\":{},\"reps\":{},\
                      \"best_secs\":{:.6e},\"elements_per_sec\":{:.6e}}}",
-                    r.name, r.elements, r.reps, r.best_secs, r.elements_per_sec
+                    json_escape(r.name),
+                    r.elements,
+                    r.reps,
+                    r.best_secs,
+                    r.elements_per_sec
                 )
             })
             .collect();
         let speedups: Vec<String> = self
             .speedups
             .iter()
-            .map(|s| format!("{{\"name\":\"{}\",\"factor\":{:.3}}}", s.name, s.factor))
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"factor\":{:.3}}}",
+                    json_escape(&s.name),
+                    s.factor
+                )
+            })
             .collect();
         format!(
             "{{\"schema\":{},\"label\":\"{}\",\"quick\":{},\"unit\":\"elements/sec\",\
              \"results\":[{}],\"speedups\":[{}]}}\n",
             self.schema,
-            self.label,
+            json_escape(&self.label),
             self.quick,
             results.join(","),
             speedups.join(",")
@@ -262,28 +279,25 @@ impl BaselineReport {
 
     /// Parse the JSON this harness emits ([`BenchReport::to_json`]).  This
     /// is a schema-specific extractor, not a general JSON parser: it reads
-    /// the top-level `label` and `quick` flags and every `"name":"…"`
-    /// paired with the following `"elements_per_sec":…` (result rows) or
-    /// `"factor":…` (speedup rows), which is exactly what the format
-    /// guarantees.  Returns `None` when the label or all rows are missing
-    /// or malformed.
+    /// the top-level `label` string and `quick` flag with the same
+    /// escape-aware string tokenizer used for row names, then every
+    /// `"name":"…"` paired with the following `"elements_per_sec":…`
+    /// (result rows) or `"factor":…` (speedup rows), which is exactly what
+    /// the format guarantees.  String contents are unescaped, and the
+    /// `quick` flag is only recognised as an actual top-level field — a
+    /// label *containing* `"quick":true` stays data.  Returns `None` when
+    /// the label or all rows are missing or malformed.
     pub fn parse(json: &str) -> Option<Self> {
         let label = extract_string_field(json, "label")?;
-        let quick = if json.contains("\"quick\":true") {
-            Some(true)
-        } else if json.contains("\"quick\":false") {
-            Some(false)
-        } else {
-            None
-        };
+        let quick = extract_bool_field(json, "quick");
         let mut throughputs = Vec::new();
         let mut speedups = Vec::new();
         let mut rest = json;
         while let Some(pos) = rest.find("\"name\":\"") {
             let after = &rest[pos + 8..];
-            let end = after.find('"')?;
-            let name = &after[..end];
-            let after_name = &after[end..];
+            let (name, consumed) = parse_json_string(after)?;
+            // Keep the closing quote: the value scan below starts on it.
+            let after_name = &after[consumed - 1..];
             // The value belongs to the same object: it must appear before
             // the object's closing brace.
             let close = after_name.find('}')?;
@@ -301,13 +315,13 @@ impl BaselineReport {
                 if !value.is_finite() || value <= 0.0 {
                     return None;
                 }
-                throughputs.push((name.to_string(), value));
+                throughputs.push((name, value));
             } else if let Some(value) = field_value("\"factor\":") {
                 let value = value.ok()?;
                 if !value.is_finite() || value <= 0.0 {
                     return None;
                 }
-                speedups.push((name.to_string(), value));
+                speedups.push((name, value));
             }
             rest = &after_name[close..];
         }
@@ -323,13 +337,121 @@ impl BaselineReport {
     }
 }
 
-/// Extract a top-level `"field":"value"` string from the report JSON.
+/// Escape `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Tokenize a JSON string body starting just past its opening quote:
+/// returns the unescaped contents and the byte length consumed
+/// *including* the closing quote.  `None` on an unterminated string or a
+/// malformed escape.
+fn parse_json_string(s: &str) -> Option<(String, usize)> {
+    let bytes = s.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                match bytes.get(i + 1)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let code = u32::from_str_radix(s.get(i + 2..i + 6)?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                // `i` always sits on a char boundary: the arms above only
+                // consume full ASCII escapes, and this arm full chars.
+                let c = s[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Find a field of the report's *top-level* object and return the slice
+/// starting at its value.  Walks the document tracking brace depth and
+/// skipping string contents with the escape-aware tokenizer, so field
+/// names inside nested objects or embedded in string *values* (a hostile
+/// label) never match.
+fn top_level_value<'a>(json: &'a str, field: &str) -> Option<&'a str> {
+    let bytes = json.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'"' => {
+                let (name, consumed) = parse_json_string(&json[i + 1..])?;
+                i += 1 + consumed;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                // A string followed by `:` is a key; a value string is
+                // followed by `,` or a closing bracket and just skipped.
+                if depth == 1 && bytes.get(j) == Some(&b':') && name == field {
+                    let mut k = j + 1;
+                    while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    return Some(&json[k..]);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Extract and unescape a top-level `"field":"value"` string.
 fn extract_string_field(json: &str, field: &str) -> Option<String> {
-    let needle = format!("\"{field}\":\"");
-    let pos = json.find(&needle)?;
-    let after = &json[pos + needle.len()..];
-    let end = after.find('"')?;
-    Some(after[..end].to_string())
+    let value = top_level_value(json, field)?;
+    parse_json_string(value.strip_prefix('"')?).map(|(s, _)| s)
+}
+
+/// Extract a top-level `"field":true|false` flag.
+fn extract_bool_field(json: &str, field: &str) -> Option<bool> {
+    let value = top_level_value(json, field)?;
+    if value.starts_with("true") {
+        Some(true)
+    } else if value.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 /// Time `reps` repetitions of `run` (after one warm-up) and report the
@@ -869,6 +991,86 @@ mod tests {
         let flagged = quick_report.regressions(&baseline, 50.0);
         assert_eq!(flagged.len(), 1);
         assert_eq!(flagged[0].name, "scaling_curve_72_speedup");
+    }
+
+    #[test]
+    fn missing_quick_marker_still_gates_throughputs() {
+        // Regression test: a baseline record predating the `quick` flag
+        // (`quick == None`) used to silently skip *every* throughput
+        // comparison — the gate would pass no matter how far throughput
+        // fell.  A missing marker now means "compare and warn", while a
+        // *known* mismatch still skips.
+        let report = BenchReport {
+            schema: 1,
+            label: "now".into(),
+            quick: false,
+            results: vec![BenchResult {
+                name: "store_sweep_batched",
+                elements: 100,
+                reps: 5,
+                best_secs: 1.0,
+                elements_per_sec: 40.0, // 0.4x of baseline
+            }],
+            speedups: vec![],
+        };
+        let mut baseline = BaselineReport {
+            label: "old".into(),
+            quick: None,
+            throughputs: vec![("store_sweep_batched".into(), 100.0)],
+            speedups: vec![],
+        };
+        let flagged = report.regressions(&baseline, 50.0);
+        assert_eq!(flagged.len(), 1, "None-quick baseline must still gate");
+        assert_eq!(flagged[0].name, "store_sweep_batched");
+        assert!((flagged[0].factor - 0.4).abs() < 1e-9);
+        // An explicit mismatch keeps skipping (phantom-regression guard).
+        baseline.quick = Some(true);
+        assert!(report.regressions(&baseline, 50.0).is_empty());
+        baseline.quick = Some(false);
+        assert_eq!(report.regressions(&baseline, 50.0).len(), 1);
+    }
+
+    #[test]
+    fn adversarial_label_cannot_forge_report_fields() {
+        // The old parser detected `quick` by substring search over the
+        // whole document, so a label *containing* `"quick":true` flipped
+        // the flag of a `quick:false` report.  Labels now round-trip as
+        // data.  (Built through the library API: the CLI rejects such
+        // labels outright, but checked-in JSON is parsed from disk.)
+        let hostile = "evil\",\"quick\":true,\"x\":\"";
+        let report = BenchReport {
+            schema: 1,
+            label: hostile.into(),
+            quick: false,
+            results: vec![BenchResult {
+                name: "store_sweep_scalar",
+                elements: 100,
+                reps: 5,
+                best_secs: 1.0,
+                elements_per_sec: 30.0,
+            }],
+            speedups: vec![Speedup {
+                name: "back\\slash_and_\"quote\"".into(),
+                factor: 2.0,
+            }],
+        };
+        let json = report.to_json();
+        // Escaping keeps the document balanced despite the embedded
+        // quotes and braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let parsed = BaselineReport::parse(&json).unwrap();
+        assert_eq!(parsed.label, hostile, "label must round-trip as data");
+        assert_eq!(parsed.quick, Some(false), "forged quick flag was honored");
+        assert_eq!(parsed.throughput("store_sweep_scalar"), Some(30.0));
+        // The hostile speedup name survives unescaped-equal, and no extra
+        // rows were forged out of the label.
+        assert_eq!(parsed.speedup("back\\slash_and_\"quote\""), Some(2.0));
+        assert_eq!(parsed.throughputs.len(), 1);
+        assert_eq!(parsed.speedups.len(), 1);
+
+        // A record genuinely missing the field parses as unknown sizing.
+        let no_quick = "{\"label\":\"x\",\"results\":[{\"name\":\"a\",\"elements_per_sec\":1.0}]}";
+        assert_eq!(BaselineReport::parse(no_quick).unwrap().quick, None);
     }
 
     #[test]

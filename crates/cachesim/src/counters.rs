@@ -9,7 +9,7 @@ use crate::access::LINE_BYTES;
 
 /// Aggregated traffic counters, mirroring the LIKWID events used in the
 /// paper (`CAS_COUNT_RD`, `CAS_COUNT_WR`, `TOR_INSERTS.IA_ITOM`).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MemCounters {
     /// Cache lines read from main memory (demand misses, write-allocates,
     /// prefetches, speculative reads).

@@ -41,17 +41,28 @@ pub mod cache;
 pub mod coalescer;
 pub mod counters;
 pub mod engine;
+pub mod flight;
 pub mod hierarchy;
 pub mod memo;
 pub mod patterns;
 pub mod policy;
 pub mod prefetch;
 
+/// Schema version of the simulator as seen by persisted memo entries.
+///
+/// Any change that can alter a simulated [`MemCounters`] for an unchanged
+/// [`SimKey`] — new counter semantics, prefetcher model changes, SpecI2M
+/// response changes — must bump this constant.  It feeds the model hash
+/// that versions on-disk memo stores (`clover-service`), so stale stores
+/// are rebuilt instead of silently serving outdated counters.
+pub const SIM_SCHEMA_VERSION: u32 = 1;
+
 pub use access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
 pub use cache::SetAssocCache;
 pub use coalescer::{StreakTracker, WriteCoalescer};
 pub use counters::MemCounters;
 pub use engine::{NodeSim, NodeSimReport, SimConfig};
+pub use flight::FlightMemo;
 pub use hierarchy::{CoreSim, DomainOccupancy, OccupancyContext};
 pub use memo::{with_pooled_core, KernelSpec, MemoStats, RankBase, SimKey, SimMemo, SpecOperand};
 pub use patterns::{ArraySweep, RowSweep, StencilRowSweep};

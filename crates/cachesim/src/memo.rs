@@ -32,16 +32,12 @@
 //! [`NodeSim::run_spmd`]: crate::engine::NodeSim::run_spmd
 
 use std::cell::RefCell;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use clover_machine::{Machine, ReplacementPolicyKind, WritePolicyKind};
-use parking_lot::Mutex;
 
 use crate::access::AccessKind;
 use crate::counters::MemCounters;
+use crate::flight::FlightMemo;
 use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
 use crate::patterns::{StencilOperand, StencilRowSweep};
 use crate::policy::{ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy};
@@ -54,7 +50,7 @@ use crate::policy::{ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy};
 pub const MIN_MEMO_SHIFT: u32 = 30;
 
 /// How an operand's base address depends on the simulated rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum RankBase {
     /// Every rank uses the same addresses (e.g. the CloverLeaf kernel
     /// replay, whose field bases are fixed offsets in a private address
@@ -87,7 +83,7 @@ impl RankBase {
 
 /// One array operand of a [`KernelSpec`]: a byte offset relative to the
 /// rank base plus the stencil points and access kind of the stream.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SpecOperand {
     /// Byte offset added to the rank base.
     pub offset: u64,
@@ -107,7 +103,7 @@ pub struct SpecOperand {
 /// plain contiguous runs) is expressible as a `KernelSpec`; driving the
 /// spec reproduces the exact same [`StencilRowSweep`] the closures built,
 /// so converting a call site changes no output byte.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct KernelSpec {
     /// Rank-dependence of the operand base addresses.
     pub rank_base: RankBase,
@@ -186,7 +182,7 @@ impl KernelSpec {
 /// machines with equal ids are structurally identical), the occupancy
 /// context, the core options (floats keyed by their bit patterns) and the
 /// kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SimKey {
     /// `Machine::id` of the simulated machine.
     pub machine: String,
@@ -275,23 +271,20 @@ impl SimKey {
     }
 }
 
-/// Number of independent shards; a small power of two keeps the map
-/// contention-free for any realistic worker count without wasting memory.
-const SHARDS: usize = 16;
-
 /// Sharded concurrent memo of representative-core simulations.
 ///
 /// One `SimMemo` is meant to span a whole sweep (or a whole plan of
-/// sweeps): every evaluation point consults it before simulating and
-/// publishes its result afterwards.  Lookups and inserts lock only the
-/// shard the key hashes to; the simulation itself runs outside any lock
-/// (two workers may race to simulate the same key — they produce the
-/// identical value, and the first insert wins).
+/// sweeps, or a whole `figures serve` daemon lifetime): every evaluation
+/// point consults it before simulating and publishes its result
+/// afterwards.  Lookups and inserts lock only the shard the key hashes
+/// to; the simulation itself runs outside any lock.  Concurrent lookups
+/// of the same missing key are *single-flight* (via [`FlightMemo`]): one
+/// worker simulates, every other worker waits for that result and counts
+/// as a hit, so the duplicate simulation of the old racing path — and its
+/// double-counted miss — cannot occur.
 #[derive(Debug, Default)]
 pub struct SimMemo {
-    shards: [Mutex<HashMap<SimKey, MemCounters>>; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: FlightMemo<SimKey, MemCounters>,
 }
 
 /// Hit/miss statistics of a [`SimMemo`] (or [`with_pooled_core`]'s pool):
@@ -322,28 +315,17 @@ impl SimMemo {
         Self::default()
     }
 
-    fn shard_of(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, MemCounters>> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
-    }
-
     /// Look up `key`, simulating with `simulate` on a miss and publishing
-    /// the result.  The simulation runs outside the shard lock.
+    /// the result.  The simulation runs outside every lock; concurrent
+    /// lookups of the same key wait for the one in-flight simulation
+    /// (single-flight) instead of repeating it, and exactly one miss is
+    /// counted per simulation actually run.
     pub fn get_or_insert_with(
         &self,
         key: SimKey,
         simulate: impl FnOnce() -> MemCounters,
     ) -> MemCounters {
-        let shard = self.shard_of(&key);
-        if let Some(c) = shard.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *c;
-        }
-        let value = simulate();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().entry(key).or_insert(value);
-        value
+        self.inner.get_or_insert_with(key, simulate)
     }
 
     /// Counters of `kernel` on `machine` under `ctx`/`options` with the
@@ -390,20 +372,35 @@ impl SimMemo {
 
     /// Number of memoized simulations.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.inner.len()
     }
 
     /// True when nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
-    /// Hit/miss statistics since construction.
+    /// Hit/miss statistics since construction.  Waiters of an in-flight
+    /// simulation count as hits, so `misses` is exactly the number of
+    /// simulations run.
     pub fn stats(&self) -> MemoStats {
-        MemoStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        let (hits, misses) = self.inner.stats();
+        MemoStats { hits, misses }
+    }
+
+    /// Snapshot every memoized `(key, counters)` pair, e.g. for
+    /// persistence to an on-disk store.  Simulations still in flight are
+    /// skipped; the order is unspecified.
+    pub fn entries(&self) -> Vec<(SimKey, MemCounters)> {
+        self.inner.entries()
+    }
+
+    /// Publish previously snapshotted entries (warm-loading a persisted
+    /// store).  Keys already present are left untouched and the hit/miss
+    /// statistics are unchanged — preloaded entries surface as hits only
+    /// once a lookup finds them.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (SimKey, MemCounters)>) {
+        self.inner.preload(entries);
     }
 }
 

@@ -31,15 +31,10 @@
 //!
 //! [`SweepPlan`]: ../../clover_scenario/struct.SweepPlan.html
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use clover_cachesim::FlightMemo;
 use clover_machine::speci2m::EvasionContext;
 use clover_machine::{Machine, SpecI2MParams, WritePolicyKind};
 use clover_stencil::{cloverleaf_loops, CodeBalance, LoopSpec};
-use parking_lot::Mutex;
 
 use crate::decomp::{is_prime, Decomposition};
 use crate::scaling::{ScalingPoint, NON_HOTSPOT_FRACTION};
@@ -48,26 +43,31 @@ use crate::traffic::{CodeVariant, LoopTraffic, TrafficOptions};
 /// Identity of one scaling point.  Machines are identified by their preset
 /// id (`Machine::id`); preset machines with equal ids are structurally
 /// identical, so equal keys imply bit-identical points.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PointKey {
-    machine: String,
-    grid: usize,
-    ranks: usize,
-    opts: TrafficOptions,
+///
+/// The fields are public so a persistence layer (`clover-service`) can
+/// serialize and rebuild keys; everything a point depends on is in here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PointKey {
+    /// `Machine::id` of the evaluated machine.
+    pub machine: String,
+    /// Square grid size in cells.
+    pub grid: usize,
+    /// Evaluated rank count.
+    pub ranks: usize,
+    /// Traffic-model options of the evaluation.
+    pub opts: TrafficOptions,
 }
 
-/// Number of independent shards of the point memo.
-const SHARDS: usize = 16;
-
 /// Sharded concurrent memo of evaluated [`ScalingPoint`]s, spanning a whole
-/// sweep plan.  Lookups and inserts lock only the shard the key hashes to;
-/// evaluation runs outside any lock (two workers racing on the same key
-/// produce the identical point — first insert wins).
+/// sweep plan (or a whole `figures serve` daemon lifetime).  Lookups and
+/// inserts lock only the shard the key hashes to; evaluation runs outside
+/// any lock.  Concurrent lookups of the same missing key are
+/// *single-flight* (via [`FlightMemo`]): one worker evaluates, every other
+/// worker waits for that result and counts as a hit, so hit/miss
+/// statistics are exact even under races.
 #[derive(Debug, Default)]
 pub struct SweepMemo {
-    shards: [Mutex<HashMap<PointKey, ScalingPoint>>; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: FlightMemo<PointKey, ScalingPoint>,
 }
 
 impl SweepMemo {
@@ -76,44 +76,45 @@ impl SweepMemo {
         Self::default()
     }
 
-    fn shard_of(&self, key: &PointKey) -> &Mutex<HashMap<PointKey, ScalingPoint>> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
-    }
-
     fn get_or_insert_with(
         &self,
         key: PointKey,
         evaluate: impl FnOnce() -> ScalingPoint,
     ) -> ScalingPoint {
-        let shard = self.shard_of(&key);
-        if let Some(p) = shard.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return p.clone();
-        }
-        let point = evaluate();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().entry(key).or_insert_with(|| point.clone());
-        point
+        self.inner.get_or_insert_with(key, evaluate)
     }
 
     /// Number of memoized points.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.inner.len()
     }
 
     /// True when nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction.  Waiters of an in-flight
+    /// evaluation count as hits, so `misses` is exactly the number of
+    /// evaluations run.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        self.inner.stats()
+    }
+
+    /// Snapshot every memoized `(key, point)` pair, e.g. for persistence
+    /// to an on-disk store.  Evaluations still in flight are skipped; the
+    /// order is unspecified.  Points are stored pre-normalisation
+    /// (`speedup == 0.0`), exactly as the memo holds them.
+    pub fn entries(&self) -> Vec<(PointKey, ScalingPoint)> {
+        self.inner.entries()
+    }
+
+    /// Publish previously snapshotted entries (warm-loading a persisted
+    /// store).  Keys already present are left untouched and the hit/miss
+    /// statistics are unchanged — preloaded entries surface as hits only
+    /// once a lookup finds them.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (PointKey, ScalingPoint)>) {
+        self.inner.preload(entries);
     }
 }
 

@@ -29,12 +29,23 @@ pub mod scaling;
 pub mod traffic;
 
 pub use decomp::{Decomposition, TILE_INNER_FULL};
-pub use engine::{ScalingEngine, SweepMemo};
+pub use engine::{PointKey, ScalingEngine, SweepMemo};
 pub use mpimodel::{CommModel, MpiShare};
 pub use optimize::{relative_improvement, LoopOptimization, OptimizationPlan};
 pub use profile::{hotspot_profile, ProfileEntry};
 pub use scaling::{normalise_speedups, ScalingModel, ScalingPoint};
 pub use traffic::{CodeVariant, LoopTraffic, TrafficModel, TrafficOptions};
+
+/// Schema version of the analytic models as seen by persisted memo
+/// entries.
+///
+/// Any change that can alter an evaluated [`ScalingPoint`] for an
+/// unchanged [`engine::PointKey`] — traffic-model refinements, new loop
+/// catalogue entries, decomposition changes — must bump this constant.  It
+/// feeds the model hash that versions on-disk memo stores
+/// (`clover-service`), so stale stores are rebuilt instead of silently
+/// serving outdated points.
+pub const MODEL_SCHEMA_VERSION: u32 = 1;
 
 /// The "Tiny" working set of SPEChpc 2021 519.clvleaf_t: a square grid of
 /// 15360×15360 cells run for 400 timesteps.

@@ -18,7 +18,7 @@ use crate::{TINY_GRID, TINY_STEPS};
 pub(crate) const NON_HOTSPOT_FRACTION: f64 = 0.31;
 
 /// One point of the scaling study.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ScalingPoint {
     /// Number of ranks.
     pub ranks: usize,

@@ -21,7 +21,7 @@ use clover_stencil::{CodeBalance, LoopSpec};
 use crate::decomp::Decomposition;
 
 /// Code variant being modelled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum CodeVariant {
     /// The unmodified SPEChpc code: plain stores, hardware may apply
     /// SpecI2M where it can.
@@ -38,7 +38,7 @@ pub enum CodeVariant {
 /// Options of one traffic-model evaluation.  All fields are discrete, so
 /// the options double as (part of) a memo key in the cross-sweep scaling
 /// engine (`crate::engine`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct TrafficOptions {
     /// Code variant.
     pub variant: CodeVariant,

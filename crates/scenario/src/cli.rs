@@ -1,0 +1,269 @@
+//! Command-line axis parsing for sweep plans.
+//!
+//! The `figures sweep` subcommand and the `figures serve` daemon
+//! (`clover-service`) accept the same repeatable axis flags; this module is
+//! the single parser both front ends share, so a request line sent to the
+//! daemon means exactly what the same words mean on the command line.
+//!
+//! The grammar: repeatable axis flags (`--machine`, `--grid`, `--ranks`,
+//! `--stage`, `--replacement`, `--write-policy`, `--layer-condition`) span
+//! a cartesian [`SweepPlan`]; `--grid` defaults to the Tiny grid,
+//! `--stage` to `original`, and the cache-policy axes to the paper's LRU +
+//! write-allocate + fulfilled layer condition.  `--jobs <n>` picks the
+//! worker count (default: available parallelism) and `--json` switches the
+//! output format.
+
+use clover_machine::{
+    preset_names, replacement_names, write_policy_names, ReplacementPolicyKind, WritePolicyKind,
+};
+
+use crate::plan::{LayerCondition, RankRange, Stage, SweepPlan};
+
+/// A parsed sweep invocation: the validated plan plus the execution flags
+/// shared by every front end.
+#[derive(Debug)]
+pub struct SweepArgs {
+    /// The validated cartesian plan.
+    pub plan: SweepPlan,
+    /// Worker count (defaults to the available parallelism).
+    pub jobs: usize,
+    /// Emit JSON artifacts instead of text blocks.
+    pub json: bool,
+}
+
+impl SweepArgs {
+    /// Parse the arguments after the `sweep` keyword (or of one daemon
+    /// request).  Unknown arguments are rejected with the exact flag name;
+    /// the returned plan has passed [`SweepPlan::validate`], so every
+    /// scenario is evaluable before any worker starts.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut plan = SweepPlan::new();
+        let mut jobs: Option<usize> = None;
+        let mut json = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--machine" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--machine needs a machine name".to_string())?;
+                    let preset = clover_machine::preset_by_name(value).ok_or_else(|| {
+                        format!(
+                            "unknown machine '{value}'; known machines: {}",
+                            preset_names().join(", ")
+                        )
+                    })?;
+                    if plan.machines.contains(&preset) {
+                        return Err(format!("duplicate machine '{value}'"));
+                    }
+                    plan.machines.push(preset);
+                }
+                "--grid" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--grid needs a cell count".to_string())?;
+                    let grid: usize =
+                        value.parse().ok().filter(|&g| g >= 1).ok_or_else(|| {
+                            format!("--grid: '{value}' is not a positive cell count")
+                        })?;
+                    if plan.grids.contains(&grid) {
+                        return Err(format!("duplicate grid size {grid}"));
+                    }
+                    plan.grids.push(grid);
+                }
+                "--ranks" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--ranks needs a range (e.g. 1..72)".to_string())?;
+                    let range = RankRange::parse(value)
+                        .ok_or_else(|| format!("--ranks: '{value}' is not a range like 1..72"))?;
+                    if plan.rank_ranges.contains(&range) {
+                        return Err(format!("duplicate rank range {range}"));
+                    }
+                    plan.rank_ranges.push(range);
+                }
+                "--stage" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--stage needs a stage name or 'all'".to_string())?;
+                    let stages = Stage::parse(value).ok_or_else(|| {
+                        format!("unknown stage '{value}' (original, speci2m-off, optimized, all)")
+                    })?;
+                    for stage in stages {
+                        if plan.stages.contains(&stage) {
+                            return Err(format!("duplicate stage '{stage}'"));
+                        }
+                        plan.stages.push(stage);
+                    }
+                }
+                "--replacement" => {
+                    let value = iter.next().ok_or_else(|| {
+                        format!(
+                            "--replacement needs a policy name ({}) or 'all'",
+                            replacement_names().join(", ")
+                        )
+                    })?;
+                    let kinds = if value == "all" {
+                        ReplacementPolicyKind::all()
+                    } else {
+                        vec![ReplacementPolicyKind::parse(value).ok_or_else(|| {
+                            format!(
+                                "--replacement: unknown policy '{value}' (known: {}, all)",
+                                replacement_names().join(", ")
+                            )
+                        })?]
+                    };
+                    for kind in kinds {
+                        if plan.replacements.contains(&kind) {
+                            return Err(format!("--replacement: duplicate policy '{kind}'"));
+                        }
+                        plan.replacements.push(kind);
+                    }
+                }
+                "--write-policy" => {
+                    let value = iter.next().ok_or_else(|| {
+                        format!(
+                            "--write-policy needs a policy name ({}) or 'all'",
+                            write_policy_names().join(", ")
+                        )
+                    })?;
+                    let kinds = if value == "all" {
+                        WritePolicyKind::all()
+                    } else {
+                        vec![WritePolicyKind::parse(value).ok_or_else(|| {
+                            format!(
+                                "--write-policy: unknown policy '{value}' (known: {}, all)",
+                                write_policy_names().join(", ")
+                            )
+                        })?]
+                    };
+                    for kind in kinds {
+                        if plan.write_policies.contains(&kind) {
+                            return Err(format!("--write-policy: duplicate policy '{kind}'"));
+                        }
+                        plan.write_policies.push(kind);
+                    }
+                }
+                "--layer-condition" => {
+                    let value = iter.next().ok_or_else(|| {
+                        "--layer-condition needs 'ok', 'broken' or 'all'".to_string()
+                    })?;
+                    let conditions = LayerCondition::parse(value).ok_or_else(|| {
+                        format!("--layer-condition: unknown condition '{value}' (ok, broken, all)")
+                    })?;
+                    for condition in conditions {
+                        if plan.layer_conditions.contains(&condition) {
+                            return Err(format!(
+                                "--layer-condition: duplicate condition '{condition}'"
+                            ));
+                        }
+                        plan.layer_conditions.push(condition);
+                    }
+                }
+                "--jobs" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--jobs needs a worker count".to_string())?;
+                    if jobs.is_some() {
+                        return Err("--jobs given twice".to_string());
+                    }
+                    jobs =
+                        Some(value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs: '{value}' is not a worker count >= 1")
+                        })?);
+                }
+                "--json" => json = true,
+                other => {
+                    return Err(format!("sweep: unexpected argument '{other}'"));
+                }
+            }
+        }
+        if plan.machines.is_empty() {
+            return Err(format!(
+                "sweep needs at least one --machine; known machines: {}",
+                preset_names().join(", ")
+            ));
+        }
+        if plan.rank_ranges.is_empty() {
+            return Err("sweep needs at least one --ranks range (e.g. --ranks 1..72)".to_string());
+        }
+        if plan.grids.is_empty() {
+            plan.grids.push(clover_core::TINY_GRID);
+        }
+        if plan.stages.is_empty() {
+            plan.stages.push(Stage::Original);
+        }
+        // Every scenario must be evaluable (non-empty range, ranks within
+        // the machine's core count) before any worker starts.
+        plan.validate()?;
+        let jobs = jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Ok(SweepArgs { plan, jobs, json })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn axis_flags_build_a_validated_plan() {
+        let parsed = SweepArgs::parse(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--machine",
+            "spr-8480plus",
+            "--grid",
+            "4000",
+            "--ranks",
+            "1..72",
+            "--stage",
+            "all",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.plan.len(), 2 * 3);
+        assert_eq!(parsed.jobs, 4);
+        assert!(!parsed.json);
+    }
+
+    #[test]
+    fn defaults_fill_grid_and_stage() {
+        let parsed =
+            SweepArgs::parse(&args(&["--machine", "icx-8360y", "--ranks", "1..18"])).unwrap();
+        assert_eq!(parsed.plan.grids, vec![clover_core::TINY_GRID]);
+        assert_eq!(parsed.plan.stages, vec![Stage::Original]);
+        assert!(parsed.jobs >= 1);
+    }
+
+    #[test]
+    fn errors_name_the_flag_and_the_registry() {
+        let err = SweepArgs::parse(&args(&["--machine", "epyc", "--ranks", "1..4"])).unwrap_err();
+        assert!(err.contains("unknown machine") && err.contains("icx-8360y"));
+        let err =
+            SweepArgs::parse(&args(&["--machine", "icx-8360y", "--ranks", "5..4"])).unwrap_err();
+        assert!(err.contains("empty rank range"));
+        let err =
+            SweepArgs::parse(&args(&["--machine", "icx-8360y", "--ranks", "1..104"])).unwrap_err();
+        assert!(err.contains("exceeds"));
+        assert!(SweepArgs::parse(&args(&["--ranks", "1..4"])).is_err());
+        assert!(SweepArgs::parse(&args(&["--machine", "icx-8360y"])).is_err());
+        let err = SweepArgs::parse(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "fig2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unexpected argument 'fig2'"));
+    }
+}

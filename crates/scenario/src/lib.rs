@@ -18,9 +18,11 @@
 //! (custom evaluators via [`runner::run_scenarios_with`]), and the `figures
 //! sweep` subcommand exposes the engine on the command line.
 
+pub mod cli;
 pub mod plan;
 pub mod runner;
 
+pub use cli::SweepArgs;
 pub use plan::{LayerCondition, RankRange, Scenario, Stage, SweepPlan};
 pub use runner::{run_scenario_items_with, run_scenarios_with};
 
@@ -101,6 +103,18 @@ pub fn evaluate(scenario: &Scenario) -> Artifact {
 /// are assembled back in plan order — byte-identical to evaluating every
 /// scenario sequentially with [`evaluate`], which the tier-1 suite asserts.
 pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
+    run_plan_memo(plan, jobs, &SweepMemo::new())
+}
+
+/// [`run_plan`] through an external, caller-owned [`SweepMemo`].
+///
+/// The memo may outlive the plan: a persistent store (`clover-service`)
+/// or a `figures serve` daemon passes one memo to every plan it runs, so
+/// points evaluated by earlier plans — or warm-loaded from disk — are
+/// served as hits.  Points are memoized pre-normalisation, so sharing a
+/// memo across plans cannot leak one range's speedup baseline into
+/// another; the output stays byte-identical to a cold [`run_plan`].
+pub fn run_plan_memo(plan: &SweepPlan, jobs: usize, memo: &SweepMemo) -> Vec<Artifact> {
     let scenarios = plan.expand();
     // One engine per (machine, grid) axis pair, shared by every worker; the
     // few-entry list makes the per-item lookup a short scan.
@@ -123,14 +137,13 @@ pub fn run_plan(plan: &SweepPlan, jobs: usize) -> Vec<Artifact> {
             .map(|(_, e)| e)
             .expect("every scenario's engine was built above")
     };
-    let memo = SweepMemo::new();
     runner::run_scenario_items_with(
         &scenarios,
         jobs,
         |s| s.ranks.len(),
         |s, i| {
             let ranks = s.ranks.start + i;
-            engine_for(s).point_memo(ranks, &s.options(ranks), &memo)
+            engine_for(s).point_memo(ranks, &s.options(ranks), memo)
         },
         |s, mut points| {
             normalise_speedups(&mut points);

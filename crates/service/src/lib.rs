@@ -1,0 +1,32 @@
+//! `clover-service` — sweep-as-a-service: persistent memo stores and the
+//! `figures serve` query daemon.
+//!
+//! The paper's whole argument rests on cheap re-evaluation of the traffic
+//! model across machines, grids and policy variants; the memo layers
+//! (`clover_cachesim::SimMemo`, `clover_core::SweepMemo`) make that cheap
+//! *within* a process, and this crate makes it durable *across*
+//! processes:
+//!
+//! * [`model`] — the model hash versioning persisted entries: a
+//!   fingerprint of every machine preset, the policy registries and the
+//!   simulator/model schema versions, so any change that could alter a
+//!   cached value invalidates the store wholesale,
+//! * [`store`] — [`PersistentStore`]: a bit-exact text codec for memo
+//!   snapshots with atomic (temp file + rename) writes and tolerant loads
+//!   (missing, stale or corrupt stores rebuild instead of crashing),
+//! * [`serve`] — [`SweepService`]: a long-running request loop over
+//!   stdin or a unix socket, answering batched `sweep` requests from the
+//!   warm memo state with byte-identical `figures sweep` output, plus
+//!   `stats`/`save`/`ping`/`quit` control verbs.
+//!
+//! `figures serve` (crate `clover-bench`) is a thin front end over this
+//! crate; `figures sweep --store <path>` uses [`PersistentStore`]
+//! directly for one-shot warm restarts.
+
+pub mod model;
+pub mod serve;
+pub mod store;
+
+pub use model::model_hash;
+pub use serve::{serve_stdin, serve_unix, Response, SweepService};
+pub use store::{LoadOutcome, PersistentStore, StoreSnapshot};

@@ -1,0 +1,85 @@
+//! Model-hash versioning of persisted memo stores.
+//!
+//! A persisted memo entry is only valid while *everything it depends on*
+//! is unchanged: the machine presets (topology, caches, bandwidth,
+//! SpecI2M parameters), the policy registries, and the schema of the
+//! simulator and the analytic models.  [`model_hash`] folds all of that
+//! into one 64-bit fingerprint; a store written under a different hash is
+//! stale and is rebuilt from scratch instead of being loaded
+//! ([`crate::store::PersistentStore`]).
+//!
+//! The hash is deterministic across processes and runs: it uses the
+//! standard library's `DefaultHasher` *with its default keys* (SipHash
+//! with fixed zero keys — `RandomState` would differ per process) over
+//! the `Debug` rendering of every preset machine.  The `Debug` view
+//! covers every structural field, so changing a cache size, a bandwidth
+//! curve or a SpecI2M parameter changes the hash without anyone having to
+//! remember to bump a version constant; the schema constants cover
+//! behavioural changes that leave the data structures untouched.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use clover_machine::{replacement_names, write_policy_names, MachinePreset};
+
+/// Fingerprint of everything persisted memo entries depend on.  Equal
+/// hashes mean a store's entries are exactly reproducible by the current
+/// binary; different hashes force a clean rebuild.
+pub fn model_hash() -> u64 {
+    hash_with_schema(
+        clover_cachesim::SIM_SCHEMA_VERSION,
+        clover_core::MODEL_SCHEMA_VERSION,
+    )
+}
+
+/// [`model_hash`] with explicit schema versions — exists so tests can
+/// produce the hash a *different* (past or future) schema would have
+/// written without patching the library.
+pub fn hash_with_schema(sim_schema: u32, model_schema: u32) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    sim_schema.hash(&mut hasher);
+    model_schema.hash(&mut hasher);
+    for preset in MachinePreset::all() {
+        preset.name().hash(&mut hasher);
+        // The Debug rendering enumerates every structural field of the
+        // machine, so any preset change (cache geometry, bandwidth curve,
+        // SpecI2M parameters, topology) lands in the hash.
+        format!("{:?}", preset.machine()).hash(&mut hasher);
+    }
+    for name in replacement_names() {
+        name.hash(&mut hasher);
+    }
+    for name in write_policy_names() {
+        name.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_within_a_process() {
+        assert_eq!(model_hash(), model_hash());
+    }
+
+    #[test]
+    fn schema_bumps_change_the_hash() {
+        let current = model_hash();
+        assert_ne!(
+            current,
+            hash_with_schema(
+                clover_cachesim::SIM_SCHEMA_VERSION + 1,
+                clover_core::MODEL_SCHEMA_VERSION,
+            )
+        );
+        assert_ne!(
+            current,
+            hash_with_schema(
+                clover_cachesim::SIM_SCHEMA_VERSION,
+                clover_core::MODEL_SCHEMA_VERSION + 1,
+            )
+        );
+    }
+}

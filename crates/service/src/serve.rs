@@ -1,0 +1,362 @@
+//! The `figures serve` query daemon: a long-running sweep service over a
+//! warm memo state.
+//!
+//! A [`SweepService`] owns one [`SweepMemo`] + [`SimMemo`] pair for its
+//! whole lifetime (warm-loaded from a [`PersistentStore`] at startup,
+//! written back on shutdown and on request), and answers a line-based
+//! request protocol:
+//!
+//! ```text
+//! sweep <axis flags...>   evaluate a sweep plan; the flags are exactly
+//!                         the `figures sweep` command line (shared
+//!                         parser), the response payload is byte-identical
+//!                         to what `figures sweep` prints
+//! stats                   memo hit/miss/entry counts
+//! save                    persist the memo state now
+//! ping                    liveness probe
+//! quit                    save (if a store is configured) and disconnect
+//! ```
+//!
+//! Responses are framed so payloads of any shape stream unambiguously:
+//! `ok <byte count>\n<payload>` for sweeps, `error <message>\n` for
+//! rejected requests (one line, same wording as the CLI usage errors),
+//! and single `ok ...` lines for the control verbs.
+//!
+//! The daemon front ends ([`serve_stdin`], [`serve_unix`]) share
+//! [`SweepService::serve`] over generic reader/writer pairs, so the whole
+//! protocol is testable in-memory.  Under the unix-socket front end every
+//! client thread shares the same service; identical in-flight keys across
+//! concurrent clients collapse onto one evaluation (single-flight, a
+//! property of the memos themselves).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clover_cachesim::SimMemo;
+use clover_core::SweepMemo;
+use clover_scenario::{render_block, run_plan_memo, SweepArgs};
+
+use crate::store::{LoadOutcome, PersistentStore};
+
+/// A long-lived sweep evaluator: the memo state, optionally backed by a
+/// persistent store.
+pub struct SweepService {
+    sim: SimMemo,
+    sweep: SweepMemo,
+    store: Option<PersistentStore>,
+    /// Requests answered so far (all verbs).
+    requests: AtomicU64,
+}
+
+impl Default for SweepService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepService {
+    /// A service with empty memos and no backing store.
+    pub fn new() -> Self {
+        Self {
+            sim: SimMemo::new(),
+            sweep: SweepMemo::new(),
+            store: None,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// A service backed by `store`: the store is warm-loaded immediately
+    /// (missing/stale/corrupt stores yield empty memos, see
+    /// [`LoadOutcome`]) and written back by `save` requests, `quit` and
+    /// [`serve`](Self::serve) shutdown.
+    pub fn with_store(store: PersistentStore) -> (Self, LoadOutcome) {
+        let mut service = Self::new();
+        let outcome = store.warm_load(&service.sim, &service.sweep);
+        service.store = Some(store);
+        (service, outcome)
+    }
+
+    /// The simulation memo (shared across every request and client).
+    pub fn sim_memo(&self) -> &SimMemo {
+        &self.sim
+    }
+
+    /// The scaling-point memo (shared across every request and client).
+    pub fn sweep_memo(&self) -> &SweepMemo {
+        &self.sweep
+    }
+
+    /// Persist the memo state, if a store is configured.  Returns the
+    /// number of entries written, or `None` without a store.
+    pub fn save(&self) -> io::Result<Option<usize>> {
+        match &self.store {
+            Some(store) => store.save(&self.sim, &self.sweep).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Answer one request line with the response to send back.  Exposed
+    /// for tests and for front ends with their own framing.
+    pub fn handle_request(&self, line: &str) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let trimmed = line.trim();
+        let mut words = trimmed.split_whitespace();
+        match words.next() {
+            None => Response::Empty,
+            Some("ping") => Response::Line("ok pong".into()),
+            Some("stats") => {
+                let (sweep_hits, sweep_misses) = self.sweep.stats();
+                let sim = self.sim.stats();
+                Response::Line(format!(
+                    "ok stats sweep-hits {sweep_hits} sweep-misses {sweep_misses} \
+                     sweep-entries {} sim-hits {} sim-misses {} sim-entries {} \
+                     requests {}",
+                    self.sweep.len(),
+                    sim.hits,
+                    sim.misses,
+                    self.sim.len(),
+                    self.requests.load(Ordering::Relaxed),
+                ))
+            }
+            Some("save") => match self.save() {
+                Ok(Some(n)) => Response::Line(format!("ok saved {n}")),
+                Ok(None) => Response::Line("error no store configured".into()),
+                Err(e) => Response::Line(format!("error save failed: {e}")),
+            },
+            Some("quit") => Response::Quit,
+            Some("sweep") => {
+                let args: Vec<String> = words.map(str::to_string).collect();
+                match SweepArgs::parse(&args) {
+                    Err(message) => Response::Line(format!("error sweep: {message}")),
+                    Ok(parsed) => {
+                        let artifacts = run_plan_memo(&parsed.plan, parsed.jobs, &self.sweep);
+                        // Exactly the bytes `figures sweep` prints for the
+                        // same flags — byte-identity is the contract.
+                        let payload = if parsed.json {
+                            let blocks: Vec<String> =
+                                artifacts.iter().map(|a| a.to_json()).collect();
+                            format!("[{}]\n", blocks.join(","))
+                        } else {
+                            artifacts.iter().map(render_block).collect()
+                        };
+                        Response::Payload(payload)
+                    }
+                }
+            }
+            Some(other) => Response::Line(format!(
+                "error unknown request '{other}' (known: sweep, stats, save, ping, quit)"
+            )),
+        }
+    }
+
+    /// Serve requests from `reader` line by line until `quit` or EOF,
+    /// writing framed responses to `writer`; then persist the memo state
+    /// (when a store is configured).  Batched requests — several lines
+    /// sent at once — are answered in order.
+    pub fn serve(&self, reader: impl BufRead, writer: &mut impl Write) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            match self.handle_request(&line) {
+                Response::Empty => {}
+                Response::Line(text) => {
+                    writer.write_all(text.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                Response::Payload(payload) => {
+                    write!(writer, "ok {}\n", payload.len())?;
+                    writer.write_all(payload.as_bytes())?;
+                    writer.flush()?;
+                }
+                Response::Quit => {
+                    let text = match self.save() {
+                        Ok(Some(n)) => format!("ok bye saved {n}"),
+                        Ok(None) => "ok bye".to_string(),
+                        Err(e) => format!("error save failed: {e}"),
+                    };
+                    writer.write_all(text.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        // EOF: persist like a clean quit, but best-effort (the peer is
+        // gone; nobody can observe an error response).
+        let _ = self.save();
+        Ok(())
+    }
+}
+
+/// One response of [`SweepService::handle_request`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Blank request line; nothing is written.
+    Empty,
+    /// A single response line (without the trailing newline).
+    Line(String),
+    /// A sweep payload, framed as `ok <byte count>\n<payload>`.
+    Payload(String),
+    /// `quit`: acknowledge, save and stop serving this client.
+    Quit,
+}
+
+/// Serve the request protocol over stdin/stdout until EOF or `quit`.
+pub fn serve_stdin(service: &SweepService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    service.serve(stdin.lock(), &mut out)
+}
+
+/// Serve the request protocol on a unix socket, one thread per client,
+/// all clients sharing `service` (and therefore its memos: identical
+/// in-flight keys across clients are evaluated once).  Binds `path`,
+/// removing a stale socket file first; runs until the process is killed.
+pub fn serve_unix(service: Arc<SweepService>, path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A previous daemon's socket file would make bind fail with
+    // AddrInUse; connecting to decide liveness is overkill for a
+    // local tool — take the path over.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut workers = Vec::new();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        workers.push(std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            service.serve(reader, &mut writer)
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sweep_line(rest: &str) -> String {
+        format!("sweep --machine icx-8360y --ranks 1..8 --grid 1920 --jobs 2{rest}")
+    }
+
+    fn run(service: &SweepService, input: &str) -> String {
+        let mut out = Vec::new();
+        service
+            .serve(Cursor::new(input.as_bytes()), &mut out)
+            .unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn ping_and_unknown_requests() {
+        let service = SweepService::new();
+        assert_eq!(
+            service.handle_request("ping"),
+            Response::Line("ok pong".into())
+        );
+        assert_eq!(service.handle_request("  "), Response::Empty);
+        let Response::Line(err) = service.handle_request("launch-missiles") else {
+            panic!("expected an error line");
+        };
+        assert!(err.starts_with("error unknown request 'launch-missiles'"));
+    }
+
+    #[test]
+    fn sweep_payload_is_byte_identical_to_run_plan() {
+        let service = SweepService::new();
+        let args: Vec<String> = [
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..8",
+            "--grid",
+            "1920",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let parsed = SweepArgs::parse(&args).unwrap();
+        let expected: String = run_plan_memo(&parsed.plan, 2, &SweepMemo::new())
+            .iter()
+            .map(render_block)
+            .collect();
+        let Response::Payload(payload) = service.handle_request(&sweep_line("")) else {
+            panic!("expected a payload");
+        };
+        assert_eq!(payload, expected);
+    }
+
+    #[test]
+    fn repeated_sweeps_are_served_warm_and_identical() {
+        let service = SweepService::new();
+        let Response::Payload(cold) = service.handle_request(&sweep_line("")) else {
+            panic!("expected a payload");
+        };
+        let (_, cold_misses) = service.sweep_memo().stats();
+        assert_eq!(cold_misses, 8);
+        let Response::Payload(warm) = service.handle_request(&sweep_line("")) else {
+            panic!("expected a payload");
+        };
+        assert_eq!(cold, warm, "warm responses must be byte-identical");
+        let (hits, misses) = service.sweep_memo().stats();
+        assert_eq!(misses, 8, "second request evaluated nothing");
+        assert_eq!(hits, 8, "second request was served from the memo");
+    }
+
+    #[test]
+    fn malformed_sweeps_error_without_payload() {
+        let service = SweepService::new();
+        let Response::Line(err) = service.handle_request("sweep --machine epyc --ranks 1..4")
+        else {
+            panic!("expected an error line");
+        };
+        assert!(err.starts_with("error sweep:"), "{err}");
+        assert!(err.contains("unknown machine"), "{err}");
+        assert!(err.contains('\n') == false, "errors are one line");
+        assert_eq!(service.sweep_memo().len(), 0);
+    }
+
+    #[test]
+    fn serve_loop_frames_batched_requests_in_order() {
+        let service = SweepService::new();
+        let input = format!("ping\n{}\nstats\n", sweep_line(""));
+        let output = run(&service, &input);
+        let mut lines = output.lines();
+        assert_eq!(lines.next(), Some("ok pong"));
+        let frame = lines.next().unwrap();
+        let payload_len: usize = frame
+            .strip_prefix("ok ")
+            .and_then(|n| n.parse().ok())
+            .expect("ok <len> frame");
+        let rest: Vec<&str> = lines.collect();
+        // The payload spans payload_len bytes; the stats line follows it.
+        let payload_and_stats = rest.join("\n");
+        assert!(payload_and_stats.len() > payload_len);
+        let stats_line = &payload_and_stats[payload_len..];
+        assert!(stats_line.starts_with("ok stats "), "{stats_line}");
+        assert!(stats_line.contains("sweep-misses 8"), "{stats_line}");
+    }
+
+    #[test]
+    fn quit_acknowledges_and_stops() {
+        let service = SweepService::new();
+        let output = run(&service, "ping\nquit\nping\n");
+        assert_eq!(output, "ok pong\nok bye\n");
+    }
+
+    #[test]
+    fn save_without_a_store_is_a_clean_error() {
+        let service = SweepService::new();
+        assert_eq!(
+            service.handle_request("save"),
+            Response::Line("error no store configured".into())
+        );
+    }
+}

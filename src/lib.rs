@@ -19,7 +19,9 @@
 //! * [`golden`] — typed artifacts, the digitised paper reference data and
 //!   the tolerance-aware fidelity diff engine,
 //! * [`scenario`] — the scenario sweep engine (machine × grid × ranks ×
-//!   stage plans with a parallel runner).
+//!   stage plans with a parallel runner),
+//! * [`service`] — sweep-as-a-service: the persistent memo store and the
+//!   `figures serve` query daemon.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-reproduction comparison of every table and figure.
@@ -31,6 +33,7 @@ pub use clover_leaf as leaf;
 pub use clover_machine as machine;
 pub use clover_perfmon as perfmon;
 pub use clover_scenario as scenario;
+pub use clover_service as service;
 pub use clover_simpi as simpi;
 pub use clover_stencil as stencil;
 pub use clover_ubench as ubench;

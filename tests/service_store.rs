@@ -1,0 +1,216 @@
+//! Tier-1 suite of the persistent memo store and the sweep service.
+//!
+//! The acceptance properties of sweep-as-a-service:
+//!
+//! * **warm restart** — a second "process" (fresh memos) loading the
+//!   persisted store answers a repeated plan with ≥ 90% memo hit rate and
+//!   byte-identical output to the cold run,
+//! * **invalidation** — a bumped model hash makes the store load cold and
+//!   forces a clean rebuild (same bytes, recomputed),
+//! * **resilience** — truncated or corrupt store files rebuild instead of
+//!   crashing, and a rebuild-and-save restores a warm store,
+//! * **exact statistics** — the single-flight memo counts one miss per
+//!   computed key no matter how many threads race on it, which is what
+//!   makes the hit-rate acceptance number meaningful.
+
+use std::fs;
+use std::sync::Arc;
+
+use cloverleaf_wa::cachesim::FlightMemo;
+use cloverleaf_wa::core::SweepMemo;
+use cloverleaf_wa::scenario::{run_plan_memo, SweepArgs};
+use cloverleaf_wa::service::{model_hash, LoadOutcome, PersistentStore, Response, SweepService};
+use proptest::prelude::*;
+
+/// Flags of the repeated plan, exactly as a daemon client or the
+/// `figures sweep` command line would spell them.
+const SWEEP_FLAGS: &str = "--machine icx-8360y --grid 1920 --ranks 1..12 --stage all --jobs 2";
+
+fn sweep_words() -> Vec<String> {
+    SWEEP_FLAGS.split_whitespace().map(str::to_string).collect()
+}
+
+/// The payload bytes of one `sweep` request against `service`.
+fn request_sweep(service: &SweepService) -> String {
+    match service.handle_request(&format!("sweep {SWEEP_FLAGS}")) {
+        Response::Payload(payload) => payload,
+        other => panic!("sweep request failed: {other:?}"),
+    }
+}
+
+fn temp_store(name: &str) -> PersistentStore {
+    let dir = std::env::temp_dir().join(format!("clover-service-tier1-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    PersistentStore::new(dir.join("store.txt"))
+}
+
+#[test]
+fn warm_restart_hits_the_memo_and_reproduces_the_cold_bytes() {
+    let store = temp_store("warm-restart");
+    let plan_points = SweepArgs::parse(&sweep_words()).unwrap().plan.len() as u64 * 12; // 12 ranks per scenario curve
+
+    // "Process 1": cold start, first evaluation, persist.
+    let (cold, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::ColdMissing);
+    let cold_bytes = request_sweep(&cold);
+    let (_, cold_misses) = cold.sweep_memo().stats();
+    assert!(cold_misses > 0, "a cold run must compute");
+    let saved = cold.save().unwrap().expect("store is configured");
+    assert_eq!(saved as u64, plan_points, "every point persists");
+
+    // "Process 2": fresh memos, warm-loaded from disk.
+    let (warm, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::Warm(saved), "store loads warm");
+    let warm_bytes = request_sweep(&warm);
+    assert_eq!(
+        warm_bytes, cold_bytes,
+        "warm restart must be byte-identical"
+    );
+    let (hits, misses) = warm.sweep_memo().stats();
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate >= 0.9,
+        "acceptance: warm hit rate ≥ 90%, got {hits} hits / {misses} misses"
+    );
+    assert_eq!(misses, 0, "a persisted identical plan recomputes nothing");
+
+    // "Process 3": the model hash changed — the store is untrusted, the
+    // service rebuilds cleanly and arrives at the same bytes.
+    let bumped = PersistentStore::with_hash(store.path(), model_hash() ^ 1);
+    let (rebuilt, outcome) = SweepService::with_store(bumped);
+    assert_eq!(
+        outcome,
+        LoadOutcome::ColdStale,
+        "bumped hash must invalidate"
+    );
+    let rebuilt_bytes = request_sweep(&rebuilt);
+    assert_eq!(rebuilt_bytes, cold_bytes, "rebuild reproduces the output");
+    let (_, rebuilt_misses) = rebuilt.sweep_memo().stats();
+    assert_eq!(
+        rebuilt_misses, cold_misses,
+        "a stale store recomputes fully"
+    );
+
+    let _ = fs::remove_dir_all(store.path().parent().unwrap());
+}
+
+#[test]
+fn store_round_trip_is_byte_identical_without_the_service_layer() {
+    // The same property straight through `run_plan_memo` + the store —
+    // the path `figures sweep --store <path>` takes.
+    let store = temp_store("round-trip");
+    let parsed = SweepArgs::parse(&sweep_words()).unwrap();
+
+    let cold_memo = SweepMemo::new();
+    let cold_artifacts = run_plan_memo(&parsed.plan, parsed.jobs, &cold_memo);
+    store
+        .save(&cloverleaf_wa::cachesim::SimMemo::new(), &cold_memo)
+        .unwrap();
+
+    let warm_memo = SweepMemo::new();
+    let outcome = store.warm_load(&cloverleaf_wa::cachesim::SimMemo::new(), &warm_memo);
+    assert_eq!(outcome.loaded(), cold_memo.len());
+    let warm_artifacts = run_plan_memo(&parsed.plan, parsed.jobs, &warm_memo);
+    assert_eq!(warm_artifacts, cold_artifacts, "full-precision equality");
+    let (_, misses) = warm_memo.stats();
+    assert_eq!(misses, 0, "the warm run is served from the store");
+
+    let _ = fs::remove_dir_all(store.path().parent().unwrap());
+}
+
+#[test]
+fn truncated_and_corrupt_stores_rebuild_and_resave() {
+    let store = temp_store("corrupt");
+    let (cold, _) = SweepService::with_store(store.clone());
+    let cold_bytes = request_sweep(&cold);
+    cold.save().unwrap();
+
+    // Truncate: drop the `end <count>` trailer (a torn write).
+    let full = fs::read_to_string(store.path()).unwrap();
+    let trailer_at = full.rfind("end ").unwrap();
+    fs::write(store.path(), &full[..trailer_at]).unwrap();
+    let (service, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::ColdCorrupt, "truncation is detected");
+    assert_eq!(request_sweep(&service), cold_bytes, "rebuild is clean");
+    // Saving heals the store for the next process.
+    service.save().unwrap();
+    let (_, outcome) = SweepService::with_store(store.clone());
+    assert!(matches!(outcome, LoadOutcome::Warm(_)), "store was healed");
+
+    // Arbitrary garbage never panics either.
+    fs::write(store.path(), b"\xff\xfe not a store \x00").unwrap();
+    let (service, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::ColdCorrupt);
+    assert_eq!(request_sweep(&service), cold_bytes);
+
+    let _ = fs::remove_dir_all(store.path().parent().unwrap());
+}
+
+#[test]
+fn serve_loop_answers_batched_clients_with_framed_payloads() {
+    // The in-memory daemon loop: a client batch of ping + two identical
+    // sweeps + stats + quit, answered in order with framed payloads.  The
+    // two sweep payloads must be the same bytes — the second one warm.
+    let service = SweepService::new();
+    let batch = format!("ping\nsweep {SWEEP_FLAGS}\nsweep {SWEEP_FLAGS}\nstats\nquit\n");
+    let mut out = Vec::new();
+    service.serve(batch.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    assert!(text.starts_with("ok pong\n"), "{text}");
+    let after_ping = &text["ok pong\n".len()..];
+    let (len_line, rest) = after_ping.split_once('\n').unwrap();
+    let len: usize = len_line.strip_prefix("ok ").unwrap().parse().unwrap();
+    let first = &rest[..len];
+    let (len_line2, rest2) = rest[len..].split_once('\n').unwrap();
+    assert_eq!(len_line2, len_line, "identical request, identical framing");
+    let second = &rest2[..len];
+    assert_eq!(first, second, "repeated sweep is byte-identical");
+    let tail = &rest2[len..];
+    assert!(tail.contains("ok stats "), "{tail}");
+    // 3 stages × 12 ranks: the second sweep hits all 36 points.
+    assert!(
+        tail.contains("sweep-hits 36"),
+        "second sweep fully warm: {tail}"
+    );
+    assert!(tail.ends_with("ok bye\n"), "quit without a store: {tail}");
+}
+
+proptest! {
+    /// The exact-statistics contract of the single-flight memo: for any
+    /// thread count and key set, racing lookups compute every key exactly
+    /// once — misses == distinct keys, hits == the rest, no double-counted
+    /// misses in the duplicate-simulation window.
+    #[test]
+    fn racing_memo_lookups_count_exactly(
+        threads in 2usize..6,
+        keys in 1usize..8,
+        rounds in 1usize..3,
+    ) {
+        let memo: Arc<FlightMemo<usize, usize>> = Arc::new(FlightMemo::new());
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let memo = Arc::clone(&memo);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..rounds {
+                        for key in 0..keys {
+                            let got = memo.get_or_insert_with(key, || key * 7);
+                            assert_eq!(got, key * 7, "round {round}");
+                        }
+                    }
+                });
+            }
+        });
+        let (hits, misses) = memo.stats();
+        prop_assert_eq!(misses as usize, keys, "one miss per distinct key");
+        prop_assert_eq!(
+            (hits + misses) as usize,
+            threads * rounds * keys,
+            "every lookup is either a hit or a miss"
+        );
+        prop_assert_eq!(memo.len(), keys);
+    }
+}
