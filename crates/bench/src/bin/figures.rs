@@ -16,17 +16,27 @@
 //! figures sweep --machine icx-8360y --grid 4000 --ranks 1..72 \
 //!     --stage all [--replacement lru|plru|srrip|random|all] \
 //!     [--write-policy allocate|no-allocate|non-temporal|all] \
-//!     [--layer-condition ok|broken|all] [--jobs N] [--json] \
-//!     [--store <path>]
+//!     [--layer-condition ok|broken|all] \
+//!     [--aggressor none|stream|stream-heavy|thrash|all] \
+//!     [--interleave <lines>] [--jobs N] [--json] [--store <path>]
 //!                                # scenario sweep engine: cartesian
 //!                                # machine × grid × ranks × stage
-//!                                # (× cache-policy axes) plan on N worker
-//!                                # threads; the policy axes default to the
-//!                                # paper's LRU + write-allocate + fulfilled
-//!                                # layer condition; `--store` warm-loads a
+//!                                # (× cache-policy × tenancy axes) plan on
+//!                                # N worker threads; the policy axes
+//!                                # default to the paper's LRU +
+//!                                # write-allocate + fulfilled layer
+//!                                # condition and the tenancy axes to an
+//!                                # exclusive node; `--store` warm-loads a
 //!                                # persistent memo store first and writes
 //!                                # it back after the sweep (stale or
 //!                                # corrupt stores are rebuilt)
+//! figures interfere [--json] [<name> ...]
+//!                                # canned multi-tenant artifacts from the
+//!                                # shared-LLC co-run engine (timestep
+//!                                # inflation, LLC occupancy deltas,
+//!                                # write-allocate evasion under
+//!                                # contention); no golden data, so these
+//!                                # stay outside `all`/`--check`
 //! figures serve [--store <path>] [--socket <path>]
 //!                                # long-running sweep daemon: line-based
 //!                                # requests (`sweep <flags>`, `stats`,
@@ -50,7 +60,10 @@
 use std::io::{ErrorKind, Write};
 use std::process::ExitCode;
 
-use clover_bench::{check_experiment, delta_table, run_artifact, EXPERIMENTS};
+use clover_bench::{
+    check_experiment, delta_table, run_artifact, run_interference_artifact, EXPERIMENTS,
+    INTERFERENCE_EXPERIMENTS,
+};
 use clover_cachesim::SimMemo;
 use clover_core::SweepMemo;
 use clover_golden::check_artifact;
@@ -94,6 +107,8 @@ fn sweep_usage_error(message: &str) -> ExitCode {
          [--replacement lru|plru|srrip|random|all] \
          [--write-policy allocate|no-allocate|non-temporal|all] \
          [--layer-condition ok|broken|all] \
+         [--aggressor none|stream|stream-heavy|thrash|all] \
+         [--interleave <lines>] \
          [--jobs <n>] [--json] [--store <path>]  \
          (axis flags repeat to span a cartesian plan)"
     );
@@ -235,6 +250,67 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         json: parsed.json,
         store,
     })
+}
+
+fn interfere_usage_error(message: &str) -> ExitCode {
+    eprintln!("figures interfere: {message}");
+    eprintln!(
+        "usage: figures interfere [--json] [{}]  (no names runs all three)",
+        INTERFERENCE_EXPERIMENTS.join(" | ")
+    );
+    ExitCode::from(2)
+}
+
+/// Parse the arguments after the `interfere` keyword: an optional `--json`
+/// plus experiment names (empty means all three).
+fn parse_interfere_args(args: &[String]) -> Result<(bool, Vec<&'static str>), String> {
+    let mut json = false;
+    let mut names: Vec<&'static str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            name => match INTERFERENCE_EXPERIMENTS.iter().find(|e| **e == name) {
+                None => {
+                    return Err(format!(
+                        "unknown interference experiment '{name}' (known: {})",
+                        INTERFERENCE_EXPERIMENTS.join(", ")
+                    ))
+                }
+                Some(e) => {
+                    if names.contains(e) {
+                        return Err(format!("duplicate experiment name '{name}'"));
+                    }
+                    names.push(e);
+                }
+            },
+        }
+    }
+    if names.is_empty() {
+        names = INTERFERENCE_EXPERIMENTS.to_vec();
+    }
+    Ok((json, names))
+}
+
+/// Run the `figures interfere` subcommand.
+fn interfere_main(args: &[String], out: &mut impl Write) -> ExitCode {
+    let (json, names) = match parse_interfere_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => return interfere_usage_error(&message),
+    };
+    let mut json_blocks = Vec::new();
+    for name in names {
+        let artifact = run_interference_artifact(name).expect("validated name");
+        if json {
+            json_blocks.push(artifact.to_json());
+        } else {
+            emit(out, format_args!("{}", render_block(&artifact)));
+        }
+    }
+    if json {
+        emit(out, format_args!("[{}]\n", json_blocks.join(",")));
+    }
+    ExitCode::SUCCESS
 }
 
 fn bench_usage_error(message: &str) -> ExitCode {
@@ -513,6 +589,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return bench_main(&args[1..], &mut out);
+    }
+    if args.first().map(String::as_str) == Some("interfere") {
+        return interfere_main(&args[1..], &mut out);
     }
 
     let opts = match parse_args(&args) {
@@ -906,6 +985,27 @@ mod tests {
         let opts =
             parse_bench_args(&args(&["--baseline", "b.json", "--max-regression", "0"])).unwrap();
         assert_eq!(opts.max_regression, Some(0.0));
+    }
+
+    #[test]
+    fn interfere_args_default_to_all_and_reject_garbage() {
+        let (json, names) = parse_interfere_args(&args(&[])).unwrap();
+        assert!(!json);
+        assert_eq!(names, INTERFERENCE_EXPERIMENTS.to_vec());
+        let (json, names) =
+            parse_interfere_args(&args(&["--json", "interfere-occupancy"])).unwrap();
+        assert!(json);
+        assert_eq!(names, vec!["interfere-occupancy"]);
+        let err = parse_interfere_args(&args(&["fig2"])).unwrap_err();
+        assert!(
+            err.contains("unknown interference experiment 'fig2'"),
+            "{err}"
+        );
+        assert!(err.contains("interfere-timestep"), "{err}");
+        let err =
+            parse_interfere_args(&args(&["interfere-evasion", "interfere-evasion"])).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(parse_interfere_args(&args(&["--quick"])).is_err());
     }
 
     #[test]

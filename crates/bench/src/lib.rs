@@ -8,14 +8,19 @@
 //! `benches/` measure the native kernels and the simulator itself.  The
 //! [`sweep`] module re-expresses the sweep-shaped experiments (fig7, fig9,
 //! fig10) as canned `clover-scenario` plans evaluated by the parallel
-//! runner, byte-identical to the sequential generators.  The [`perf`]
+//! runner, byte-identical to the sequential generators.  The
+//! [`interference`] module adds the canned multi-tenant artifacts behind
+//! `figures interfere` — shared-LLC co-run studies the paper has no golden
+//! data for, kept outside [`EXPERIMENTS`].  The [`perf`]
 //! module is the perf-trajectory harness behind `figures bench --json`:
 //! throughput measurements of the simulator hot loops whose JSON reports
 //! (`BENCH_*.json`) seed a cross-PR performance baseline.
 
+pub mod interference;
 pub mod perf;
 pub mod sweep;
 
+pub use interference::{run_interference_artifact, INTERFERENCE_EXPERIMENTS};
 pub use perf::{run_perf_bench, BaselineReport, BenchReport, BenchResult, Speedup};
 pub use sweep::{canned_sweep_plan, run_canned_sweep, SWEEP_PLAN_EXPERIMENTS};
 

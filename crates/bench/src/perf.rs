@@ -693,6 +693,24 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
         ));
     }
 
+    // Two-tenant co-run pattern (PR 8): the private/shared hierarchy split
+    // merging two interleaved kernel streams at one shared LLC, including
+    // the per-tenant solo baselines the delta reporting runs.  Tracks the
+    // cost of the round-robin cursor scheduling and the per-turn LLC stat
+    // attribution relative to the plain SPMD path.
+    {
+        let per = n / 8;
+        let shift = RankBase::Shifted { shift: 36, plus: 0 };
+        let victim = KernelSpec::contiguous(shift, 0, per, AccessKind::Load);
+        let aggressor = KernelSpec::contiguous(shift, 0, per, AccessKind::Store);
+        let sim = NodeSim::new(SimConfig::new(machine.clone(), 2));
+        results.push(measure("corun_two_tenant", per * 2, reps, || {
+            let memo = SimMemo::new();
+            let report = sim.run_corun(&[victim.clone(), aggressor.clone()], 64, &memo);
+            assert!(report.total.total_bytes() > 0.0);
+        }));
+    }
+
     // Sweep-level patterns (PR 5): whole curves and plans, each measured
     // twice — once replayed on the PR 4 code path (per-point `ScalingModel`
     // / unmemoized `run_spmd`) and once through the cross-sweep memo +
@@ -841,6 +859,7 @@ mod tests {
             "stencil_hotspot_batched",
             "node_spmd_store",
             "policy_grid_spmd",
+            "corun_two_tenant",
             "scaling_curve_pair_pr4",
             "scaling_curve_pair_memo",
             "sweep_plan_pr4",

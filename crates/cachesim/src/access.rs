@@ -4,7 +4,9 @@
 pub const LINE_BYTES: u64 = 64;
 
 /// Kind of memory access issued by a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum AccessKind {
     /// Ordinary load.
     Load,

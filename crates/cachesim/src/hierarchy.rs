@@ -22,7 +22,7 @@ use clover_machine::speci2m::EvasionContext;
 use clover_machine::{Machine, WritePolicyKind};
 
 use crate::access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
-use crate::cache::{LookupResult, SetAssocCache};
+use crate::cache::{AnyCache, CacheBank, LookupResult, SetAssocCache};
 use crate::coalescer::{FinalizedLine, WriteCoalescer};
 use crate::counters::MemCounters;
 use crate::policy::{
@@ -133,17 +133,25 @@ impl Default for CoreSimOptions {
     }
 }
 
-/// Cache hierarchy + store path of a single core.
+/// The per-core L3 share for a sharer count, floored at 64 lines.
+pub(crate) fn l3_share_bytes(l3_full_bytes: usize, sharers: usize) -> usize {
+    (l3_full_bytes / sharers.max(1)).max(64 * 64)
+}
+
+/// The private half of one core's hierarchy: L1 + L2 + the store paths
+/// (coalescers, SpecI2M model, streamer prefetcher) and this core's
+/// traffic counters — everything *except* the last level.
 ///
-/// Generic over the replacement policy `R` of all three levels and the
-/// store-miss policy `W`; both default to the paper's configuration
-/// (true-LRU, write-allocate), for which the monomorphised code is
-/// instruction-identical to the pre-policy-space simulator.
+/// Every driving method takes the last-level bank as a parameter: the solo
+/// [`CoreSim`] passes its own per-core L3 share, the co-run engine passes
+/// the tenant-shared LLC, and the per-level [`LevelPolicySim`] passes an
+/// [`AnyCache`].  Generic over the bank type `B` of the private levels and
+/// the store-miss policy `W`; for the defaults the monomorphised code is
+/// the pre-split `CoreSim` instruction for instruction.
 #[derive(Debug, Clone)]
-pub struct CoreSim<R: ReplacementPolicy = TrueLru, W: WritePolicy = WriteAllocate> {
-    l1: SetAssocCache<R>,
-    l2: SetAssocCache<R>,
-    l3: SetAssocCache<R>,
+pub struct PrivateCore<B: CacheBank = SetAssocCache<TrueLru>, W: WritePolicy = WriteAllocate> {
+    l1: B,
+    l2: B,
     coalescer: WriteCoalescer,
     nt_coalescer: WriteCoalescer,
     streamer: StreamerPrefetcher,
@@ -153,25 +161,34 @@ pub struct CoreSim<R: ReplacementPolicy = TrueLru, W: WritePolicy = WriteAllocat
     /// `speci2m` with the MSR switch applied — precomputed so the store
     /// path does not clone the parameter block per finalized line.
     speci2m_store: clover_machine::SpecI2MParams,
-    /// Full (unshared) L3 capacity, kept so [`reset`](Self::reset) can
-    /// re-derive the per-core share for a different sharer count.
-    l3_full_bytes: usize,
-    l3_ways: usize,
     counters: MemCounters,
     _write: PhantomData<W>,
 }
 
-/// The per-core L3 share for a sharer count, floored at 64 lines.
-fn l3_share_bytes(l3_full_bytes: usize, sharers: usize) -> usize {
-    (l3_full_bytes / sharers.max(1)).max(64 * 64)
-}
-
-impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
-    /// Build a core simulator for `machine` under the given occupancy and
-    /// options.
+impl<R: ReplacementPolicy, W: WritePolicy> PrivateCore<SetAssocCache<R>, W> {
+    /// Build the private half for `machine` with policy-`R` L1/L2 banks.
     pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
         let caches = &machine.caches;
-        let l3_share = l3_share_bytes(caches.l3.capacity_bytes, options.l3_sharers);
+        Self::from_parts(
+            machine,
+            ctx,
+            options,
+            SetAssocCache::new(caches.l1.capacity_bytes, caches.l1.associativity),
+            SetAssocCache::new(caches.l2.capacity_bytes, caches.l2.associativity),
+        )
+    }
+}
+
+impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
+    /// Build the private half from already-constructed L1/L2 banks (the
+    /// caller chooses their policies and geometry).
+    pub fn from_parts(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        l1: B,
+        l2: B,
+    ) -> Self {
         let speci2m = machine.speci2m.clone();
         let speci2m_store = if options.speci2m_enabled {
             speci2m.clone()
@@ -179,9 +196,8 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
             speci2m.switched_off()
         };
         Self {
-            l1: SetAssocCache::new(caches.l1.capacity_bytes, caches.l1.associativity),
-            l2: SetAssocCache::new(caches.l2.capacity_bytes, caches.l2.associativity),
-            l3: SetAssocCache::new(l3_share, caches.l3.associativity),
+            l1,
+            l2,
             coalescer: WriteCoalescer::default(),
             nt_coalescer: WriteCoalescer::default(),
             streamer: StreamerPrefetcher::new(options.prefetchers.streamer_distance),
@@ -189,26 +205,14 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
             ctx,
             speci2m,
             speci2m_store,
-            l3_full_bytes: caches.l3.capacity_bytes,
-            l3_ways: caches.l3.associativity,
             counters: MemCounters::new(),
             _write: PhantomData,
         }
     }
 
-    /// Re-arm the simulator for a fresh measurement under a (possibly
-    /// different) occupancy and option set, reusing the cache arena
-    /// allocations.  Afterwards the state is indistinguishable from
-    /// `CoreSim::new` on the same machine — only cheaper: the L1/L2 arenas
-    /// are always reused and the L3 arena whenever the sharer count implies
-    /// the same geometry.
+    /// Re-arm the private half for a fresh measurement under a (possibly
+    /// different) occupancy and option set, reusing the bank allocations.
     pub fn reset(&mut self, ctx: OccupancyContext, options: CoreSimOptions) {
-        let l3_share = l3_share_bytes(self.l3_full_bytes, options.l3_sharers);
-        if self.l3.matches_geometry(l3_share, self.l3_ways) {
-            self.l3.reset();
-        } else {
-            self.l3 = SetAssocCache::new(l3_share, self.l3_ways);
-        }
         self.l1.reset();
         self.l2.reset();
         self.coalescer.reset();
@@ -234,77 +238,73 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
         self.counters
     }
 
-    /// Per-level `(hits, misses)` of the L1, L2 and L3 caches — exposed so
-    /// the scalar/batched equivalence tests can assert that the fast path
-    /// reproduces not just the memory counters but the full cache
-    /// behaviour.
-    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+    /// `(hits, misses)` of the private L1 and L2 banks.
+    pub fn upper_cache_stats(&self) -> [(u64, u64); 2] {
         [
             (self.l1.hits(), self.l1.misses()),
             (self.l2.hits(), self.l2.misses()),
-            (self.l3.hits(), self.l3.misses()),
         ]
     }
 
-    /// Feed a single access.
-    pub fn access(&mut self, access: Access) {
+    /// Feed a single access against the given last-level bank.
+    pub fn access<L: CacheBank>(&mut self, llc: &mut L, access: Access) {
         match access.kind {
             AccessKind::Load => {
                 for line in access.lines() {
-                    self.load_line(line);
+                    self.load_line(llc, line);
                 }
             }
-            AccessKind::Store => self.store_span(access.addr, access.bytes as u64, false),
-            AccessKind::StoreNT => self.store_span(access.addr, access.bytes as u64, true),
+            AccessKind::Store => self.store_span(llc, access.addr, access.bytes as u64, false),
+            AccessKind::StoreNT => self.store_span(llc, access.addr, access.bytes as u64, true),
         }
     }
 
     /// Feed a load of `bytes` bytes at `addr`.
-    pub fn load(&mut self, addr: u64, bytes: u32) {
-        self.access(Access {
-            addr,
-            bytes,
-            kind: AccessKind::Load,
-        });
+    pub fn load<L: CacheBank>(&mut self, llc: &mut L, addr: u64, bytes: u32) {
+        self.access(
+            llc,
+            Access {
+                addr,
+                bytes,
+                kind: AccessKind::Load,
+            },
+        );
     }
 
     /// Feed a store of `bytes` bytes at `addr`.
-    pub fn store(&mut self, addr: u64, bytes: u32) {
-        self.access(Access {
-            addr,
-            bytes,
-            kind: AccessKind::Store,
-        });
+    pub fn store<L: CacheBank>(&mut self, llc: &mut L, addr: u64, bytes: u32) {
+        self.access(
+            llc,
+            Access {
+                addr,
+                bytes,
+                kind: AccessKind::Store,
+            },
+        );
     }
 
     /// Feed a non-temporal store of `bytes` bytes at `addr`.
-    pub fn store_nt(&mut self, addr: u64, bytes: u32) {
-        self.access(Access {
-            addr,
-            bytes,
-            kind: AccessKind::StoreNT,
-        });
+    pub fn store_nt<L: CacheBank>(&mut self, llc: &mut L, addr: u64, bytes: u32) {
+        self.access(
+            llc,
+            Access {
+                addr,
+                bytes,
+                kind: AccessKind::StoreNT,
+            },
+        );
     }
 
     /// Drive a contiguous run of 8-byte elements through the hierarchy at
-    /// cache-line granularity: one hierarchy touch per 64-byte line and one
-    /// coalescer transition per line instead of eight scalar calls, with
-    /// partially covered head/tail lines handled exactly.  Produces
-    /// bit-identical [`MemCounters`] and per-level hit/miss counts to
-    /// feeding the same elements one by one through [`load`]/[`store`]/
-    /// [`store_nt`].
-    ///
-    /// [`load`]: Self::load
-    /// [`store`]: Self::store
-    /// [`store_nt`]: Self::store_nt
-    pub fn drive_run(&mut self, run: AccessRun) {
+    /// cache-line granularity (see [`CoreSim::drive_run`]).
+    pub fn drive_run<L: CacheBank>(&mut self, llc: &mut L, run: AccessRun) {
         if run.elements == 0 {
             return;
         }
         match run.kind {
-            AccessKind::Load => self.load_run(run.base, run.bytes()),
-            AccessKind::Store => self.store_span(run.base, run.bytes(), false),
-            AccessKind::StoreNT => self.store_span(run.base, run.bytes(), true),
+            AccessKind::Load => self.load_run(llc, run.base, run.bytes()),
+            AccessKind::Store => self.store_span(llc, run.base, run.bytes(), false),
+            AccessKind::StoreNT => self.store_span(llc, run.base, run.bytes(), true),
         }
     }
 
@@ -312,7 +312,7 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
     /// element touches as the guaranteed L1 hits they are in the scalar
     /// path (consecutive touches of a just-accessed line cannot miss — no
     /// fill happens in between).
-    fn load_run(&mut self, base: u64, bytes: u64) {
+    fn load_run<L: CacheBank>(&mut self, llc: &mut L, base: u64, bytes: u64) {
         let first = line_of(base);
         let last = line_of(base + bytes - 1);
         for line in first..=last {
@@ -323,11 +323,11 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
             let elem_first = (seg_start - base) / ELEM_BYTES;
             let elem_last = (seg_end - 1 - base) / ELEM_BYTES;
             let repeats = elem_last - elem_first;
-            self.load_line(line);
+            self.load_line(llc, line);
             if repeats > 0 && !self.l1.touch_repeat(line, repeats) {
                 debug_assert!(false, "a just-loaded line must be L1-resident");
                 for _ in 0..repeats {
-                    self.load_line(line);
+                    self.load_line(llc, line);
                 }
             }
         }
@@ -336,14 +336,14 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
     /// Allocation-free store path shared by the scalar API and the batched
     /// run driver: split the span into per-line segments and consume each
     /// finalized line as the coalescer produces it.
-    fn store_span(&mut self, base: u64, bytes: u64, nt: bool) {
+    fn store_span<L: CacheBank>(&mut self, llc: &mut L, base: u64, bytes: u64, nt: bool) {
         let mut addr = base;
         let mut remaining = bytes;
         while remaining > 0 {
             let line = line_of(addr);
             let offset = addr % LINE_BYTES;
             let in_line = (LINE_BYTES - offset).min(remaining);
-            self.store_line_segment(line, offset, in_line, nt);
+            self.store_line_segment(llc, line, offset, in_line, nt);
             addr += in_line;
             remaining -= in_line;
         }
@@ -351,13 +351,20 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
 
     /// Feed one single-line store segment to the matching coalescer and
     /// handle the at most one line it finalizes.
-    pub(crate) fn store_line_segment(&mut self, line: u64, offset: u64, len: u64, nt: bool) {
+    pub(crate) fn store_line_segment<L: CacheBank>(
+        &mut self,
+        llc: &mut L,
+        line: u64,
+        offset: u64,
+        len: u64,
+        nt: bool,
+    ) {
         if nt {
             if let Some(ev) = self.nt_coalescer.store_segment(line, offset, len) {
-                self.handle_nt_line(ev);
+                self.handle_nt_line(llc, ev);
             }
         } else if let Some(ev) = self.coalescer.store_segment(line, offset, len) {
-            W::handle_store_line(self, ev);
+            W::handle_store_line(self, llc, ev);
         }
     }
 
@@ -383,26 +390,40 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
         }
     }
 
-    /// Finalize pending store streams and flush dirty cache lines to memory.
-    /// Must be called at the end of a measurement region; returns the final
-    /// counters.
-    pub fn flush(&mut self) -> MemCounters {
+    /// First half of a flush: finalize pending store streams (which may
+    /// still generate traffic against `llc`) and drain the private banks,
+    /// returning their dirty lines.  The caller drains the last level —
+    /// once per *core* on the solo path, once per *node* on a co-run —
+    /// and completes the accounting with [`account_writebacks`].
+    ///
+    /// [`account_writebacks`]: Self::account_writebacks
+    pub(crate) fn flush_streams_and_upper<L: CacheBank>(
+        &mut self,
+        llc: &mut L,
+    ) -> (Vec<u64>, Vec<u64>) {
         let events = self.coalescer.flush();
         for ev in events {
-            W::handle_store_line(self, ev);
+            W::handle_store_line(self, llc, ev);
         }
         let nt_events = self.nt_coalescer.flush();
         for ev in nt_events {
-            self.handle_nt_line(ev);
+            self.handle_nt_line(llc, ev);
         }
-        // Write back every dirty line exactly once (inclusive hierarchy).
-        // Each level's own list is duplicate-free; the sort-based dedup is
-        // only needed when a line could be dirty at several levels at once,
-        // i.e. when more than one level has dirty lines at all — streaming
-        // kernels keep the dirty bit at L3 only and skip it.
-        let l1_dirty = self.l1.flush_dirty();
-        let l2_dirty = self.l2.flush_dirty();
-        let l3_dirty = self.l3.flush_dirty();
+        (self.l1.flush_dirty(), self.l2.flush_dirty())
+    }
+
+    /// Second half of a flush: write back every dirty line exactly once
+    /// (inclusive hierarchy).  Each level's own list is duplicate-free;
+    /// the sort-based dedup is only needed when a line could be dirty at
+    /// several levels at once, i.e. when more than one level has dirty
+    /// lines at all — streaming kernels keep the dirty bit at L3 only and
+    /// skip it.  Returns the final counters.
+    pub(crate) fn account_writebacks(
+        &mut self,
+        l1_dirty: Vec<u64>,
+        l2_dirty: Vec<u64>,
+        l3_dirty: Vec<u64>,
+    ) -> MemCounters {
         let levels_with_dirty = [&l1_dirty, &l2_dirty, &l3_dirty]
             .iter()
             .filter(|d| !d.is_empty())
@@ -421,27 +442,27 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
         self.counters
     }
 
-    fn hierarchy_hit(&mut self, line: u64, write: bool) -> bool {
+    fn hierarchy_hit<L: CacheBank>(&mut self, llc: &mut L, line: u64, write: bool) -> bool {
         if self.l1.touch(line, write) == LookupResult::Hit {
             return true;
         }
         if self.l2.touch(line, write) == LookupResult::Hit {
             // Promote to L1 (clean copy; the dirty bit stays in L2).
-            self.fill_upper(line, false, 1);
+            self.fill_upper(llc, line, false, 1);
             return true;
         }
-        if self.l3.touch(line, write) == LookupResult::Hit {
-            self.fill_upper(line, false, 2);
+        if llc.touch(line, write) == LookupResult::Hit {
+            self.fill_upper(llc, line, false, 2);
             return true;
         }
         false
     }
 
-    /// Land a dirty line evicted from an upper level in the L3 (present or
-    /// not), counting the write-back its own victim may cause.  One
-    /// combined probe instead of a touch followed by a fill.
-    fn sink_dirty_into_l3(&mut self, line: u64) {
-        let (_, evicted) = self.l3.probe_fill(line, true);
+    /// Land a dirty line evicted from an upper level in the last level
+    /// (present or not), counting the write-back its own victim may cause.
+    /// One combined probe instead of a touch followed by a fill.
+    fn sink_dirty_into_llc<L: CacheBank>(&mut self, llc: &mut L, line: u64) {
+        let (_, evicted) = llc.probe_fill(line, true);
         if let Some(ev3) = evicted {
             if ev3.dirty {
                 self.counters.write_lines += 1.0;
@@ -451,12 +472,13 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
 
     /// Fill a line into the upper levels (L1 and optionally L2), cascading
     /// dirty evictions downwards without generating memory traffic.
-    fn fill_upper(&mut self, line: u64, dirty: bool, levels: usize) {
+    fn fill_upper<L: CacheBank>(&mut self, llc: &mut L, line: u64, dirty: bool, levels: usize) {
         if levels >= 2 {
             if let Some(ev) = self.l2.fill(line, dirty) {
                 if ev.dirty {
-                    // Dirty eviction from L2 lands in L3 (present or not).
-                    self.sink_dirty_into_l3(ev.line);
+                    // Dirty eviction from L2 lands in the LLC (present or
+                    // not).
+                    self.sink_dirty_into_llc(llc, ev.line);
                 }
             }
         }
@@ -465,7 +487,7 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
                 let (_, evicted) = self.l2.probe_fill(ev.line, true);
                 if let Some(ev2) = evicted {
                     if ev2.dirty {
-                        self.sink_dirty_into_l3(ev2.line);
+                        self.sink_dirty_into_llc(llc, ev2.line);
                     }
                 }
             }
@@ -473,47 +495,47 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
     }
 
     /// Fill a line into the whole hierarchy after a memory read or an ITOM
-    /// claim.  The dirty bit is kept at the L3 level only so the eventual
+    /// claim.  The dirty bit is kept at the last level only so the eventual
     /// write-back is counted exactly once.
-    fn fill_all(&mut self, line: u64, dirty: bool) {
-        if let Some(ev) = self.l3.fill(line, dirty) {
+    fn fill_all<L: CacheBank>(&mut self, llc: &mut L, line: u64, dirty: bool) {
+        if let Some(ev) = llc.fill(line, dirty) {
             if ev.dirty {
                 self.counters.write_lines += 1.0;
             }
         }
-        self.fill_upper(line, false, 2);
+        self.fill_upper(llc, line, false, 2);
     }
 
-    /// Fill a prefetched line into L3 only.
-    fn fill_prefetch(&mut self, line: u64) {
-        if self.l3.contains(line) {
+    /// Fill a prefetched line into the last level only.
+    fn fill_prefetch<L: CacheBank>(&mut self, llc: &mut L, line: u64) {
+        if llc.contains(line) {
             return;
         }
         self.counters.read_lines += 1.0;
         self.counters.prefetch_lines += 1.0;
-        if let Some(ev) = self.l3.fill(line, false) {
+        if let Some(ev) = llc.fill(line, false) {
             if ev.dirty {
                 self.counters.write_lines += 1.0;
             }
         }
     }
 
-    fn load_line(&mut self, line: u64) {
-        if self.hierarchy_hit(line, false) {
+    fn load_line<L: CacheBank>(&mut self, llc: &mut L, line: u64) {
+        if self.hierarchy_hit(llc, line, false) {
             return;
         }
         // Demand miss: read from memory.
         self.counters.read_lines += 1.0;
-        self.fill_all(line, false);
+        self.fill_all(llc, line, false);
         // Prefetchers react to demand misses.
         if self.options.prefetchers.adjacent_line {
             let buddy = line ^ 1;
-            self.fill_prefetch(buddy);
+            self.fill_prefetch(llc, buddy);
         }
         if self.options.prefetchers.streamer {
             if let Some(pf_lines) = self.streamer.on_demand_miss(line) {
                 for pf in pf_lines {
-                    self.fill_prefetch(pf);
+                    self.fill_prefetch(llc, pf);
                 }
             }
         }
@@ -529,11 +551,11 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
         }
     }
 
-    fn handle_nt_line(&mut self, ev: FinalizedLine) {
+    fn handle_nt_line<L: CacheBank>(&mut self, llc: &mut L, ev: FinalizedLine) {
         // NT stores bypass the hierarchy; stale copies must be invalidated.
         self.l1.invalidate(ev.line);
         self.l2.invalidate(ev.line);
-        self.l3.invalidate(ev.line);
+        llc.invalidate(ev.line);
         self.counters.write_lines += 1.0;
         if ev.full {
             // Under heavy load a fraction of write-combine buffers is
@@ -550,13 +572,255 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
     }
 }
 
+/// Cache hierarchy + store path of a single core.
+///
+/// Generic over the replacement policy `R` of all three levels and the
+/// store-miss policy `W`; both default to the paper's configuration
+/// (true-LRU, write-allocate), for which the monomorphised code is
+/// instruction-identical to the pre-policy-space simulator.
+///
+/// Since the private/shared split this is a thin facade: the L1/L2 banks,
+/// store paths and counters live in a [`PrivateCore`] and the per-core L3
+/// share is the last-level bank it is driven against — the same composition
+/// the co-run engine builds with a *tenant-shared* LLC instead.
+#[derive(Debug, Clone)]
+pub struct CoreSim<R: ReplacementPolicy = TrueLru, W: WritePolicy = WriteAllocate> {
+    private: PrivateCore<SetAssocCache<R>, W>,
+    l3: SetAssocCache<R>,
+    /// Full (unshared) L3 capacity, kept so [`reset`](Self::reset) can
+    /// re-derive the per-core share for a different sharer count.
+    l3_full_bytes: usize,
+    l3_ways: usize,
+}
+
+impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
+    /// Build a core simulator for `machine` under the given occupancy and
+    /// options.
+    pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
+        let caches = &machine.caches;
+        let l3_share = l3_share_bytes(caches.l3.capacity_bytes, options.l3_sharers);
+        Self {
+            private: PrivateCore::new(machine, ctx, options),
+            l3: SetAssocCache::new(l3_share, caches.l3.associativity),
+            l3_full_bytes: caches.l3.capacity_bytes,
+            l3_ways: caches.l3.associativity,
+        }
+    }
+
+    /// Re-arm the simulator for a fresh measurement under a (possibly
+    /// different) occupancy and option set, reusing the cache arena
+    /// allocations.  Afterwards the state is indistinguishable from
+    /// `CoreSim::new` on the same machine — only cheaper: the L1/L2 arenas
+    /// are always reused and the L3 arena whenever the sharer count implies
+    /// the same geometry.
+    pub fn reset(&mut self, ctx: OccupancyContext, options: CoreSimOptions) {
+        let l3_share = l3_share_bytes(self.l3_full_bytes, options.l3_sharers);
+        if self.l3.matches_geometry(l3_share, self.l3_ways) {
+            self.l3.reset();
+        } else {
+            self.l3 = SetAssocCache::new(l3_share, self.l3_ways);
+        }
+        self.private.reset(ctx, options);
+    }
+
+    /// The occupancy context this core was configured with.
+    pub fn context(&self) -> OccupancyContext {
+        self.private.context()
+    }
+
+    /// Current counter snapshot (without flushing pending state).
+    pub fn counters(&self) -> MemCounters {
+        self.private.counters()
+    }
+
+    /// Per-level `(hits, misses)` of the L1, L2 and L3 caches — exposed so
+    /// the scalar/batched equivalence tests can assert that the fast path
+    /// reproduces not just the memory counters but the full cache
+    /// behaviour.
+    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+        let [l1, l2] = self.private.upper_cache_stats();
+        [l1, l2, (self.l3.hits(), self.l3.misses())]
+    }
+
+    /// Feed a single access.
+    pub fn access(&mut self, access: Access) {
+        self.private.access(&mut self.l3, access);
+    }
+
+    /// Feed a load of `bytes` bytes at `addr`.
+    pub fn load(&mut self, addr: u64, bytes: u32) {
+        self.private.load(&mut self.l3, addr, bytes);
+    }
+
+    /// Feed a store of `bytes` bytes at `addr`.
+    pub fn store(&mut self, addr: u64, bytes: u32) {
+        self.private.store(&mut self.l3, addr, bytes);
+    }
+
+    /// Feed a non-temporal store of `bytes` bytes at `addr`.
+    pub fn store_nt(&mut self, addr: u64, bytes: u32) {
+        self.private.store_nt(&mut self.l3, addr, bytes);
+    }
+
+    /// Drive a contiguous run of 8-byte elements through the hierarchy at
+    /// cache-line granularity: one hierarchy touch per 64-byte line and one
+    /// coalescer transition per line instead of eight scalar calls, with
+    /// partially covered head/tail lines handled exactly.  Produces
+    /// bit-identical [`MemCounters`] and per-level hit/miss counts to
+    /// feeding the same elements one by one through [`load`]/[`store`]/
+    /// [`store_nt`].
+    ///
+    /// [`load`]: Self::load
+    /// [`store`]: Self::store
+    /// [`store_nt`]: Self::store_nt
+    pub fn drive_run(&mut self, run: AccessRun) {
+        self.private.drive_run(&mut self.l3, run);
+    }
+
+    /// Feed one single-line store segment to the matching coalescer and
+    /// handle the at most one line it finalizes.
+    pub(crate) fn store_line_segment(&mut self, line: u64, offset: u64, len: u64, nt: bool) {
+        self.private
+            .store_line_segment(&mut self.l3, line, offset, len, nt);
+    }
+
+    /// True if `line` is resident in the L1 (no LRU or counter effect).
+    pub(crate) fn l1_contains(&self, line: u64) -> bool {
+        self.private.l1_contains(line)
+    }
+
+    /// Account `n` guaranteed L1 hits on a resident line (see
+    /// [`SetAssocCache::touch_repeat`]); `false` if the line is not
+    /// resident and nothing was counted.
+    pub(crate) fn l1_touch_repeat(&mut self, line: u64, n: u64) -> bool {
+        self.private.l1_touch_repeat(line, n)
+    }
+
+    /// True if the (normal or NT) write coalescer has an open stream on
+    /// `line`, i.e. a further store segment to it is a pure coverage merge.
+    pub(crate) fn coalescer_at_line(&self, line: u64, nt: bool) -> bool {
+        self.private.coalescer_at_line(line, nt)
+    }
+
+    /// Finalize pending store streams and flush dirty cache lines to memory.
+    /// Must be called at the end of a measurement region; returns the final
+    /// counters.
+    pub fn flush(&mut self) -> MemCounters {
+        let (l1_dirty, l2_dirty) = self.private.flush_streams_and_upper(&mut self.l3);
+        let l3_dirty = self.l3.flush_dirty();
+        self.private
+            .account_writebacks(l1_dirty, l2_dirty, l3_dirty)
+    }
+}
+
+/// A hierarchy whose replacement policy is chosen *per level* from the
+/// machine model's [`CacheSpec::replacement`] fields.
+///
+/// `CoreSim<R, W>` applies one policy hierarchy-wide because `R` is a
+/// single type parameter; machines like the CVA6 preset specify different
+/// policies per level (random-evict L1/L2 under a PLRU last level), which
+/// the simulator silently ignored until this type.  Built from
+/// [`AnyCache`] banks, it pays one branch per cache operation and is only
+/// used when the per-level fields actually differ — for uniform machines
+/// it produces bit-identical counters to the generic `CoreSim` (asserted
+/// in tests).
+///
+/// [`CacheSpec::replacement`]: clover_machine::CacheSpec
+#[derive(Debug, Clone)]
+pub struct LevelPolicySim<W: WritePolicy = WriteAllocate> {
+    private: PrivateCore<AnyCache, W>,
+    llc: AnyCache,
+}
+
+impl<W: WritePolicy> LevelPolicySim<W> {
+    /// Build a per-level-policy simulator for `machine`, honouring each
+    /// level's `CacheSpec::replacement` field.
+    pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
+        let caches = &machine.caches;
+        let l3_share = l3_share_bytes(caches.l3.capacity_bytes, options.l3_sharers);
+        let l1 = AnyCache::for_kind(
+            caches.l1.replacement,
+            caches.l1.capacity_bytes,
+            caches.l1.associativity,
+        );
+        let l2 = AnyCache::for_kind(
+            caches.l2.replacement,
+            caches.l2.capacity_bytes,
+            caches.l2.associativity,
+        );
+        let llc = AnyCache::for_kind(caches.l3.replacement, l3_share, caches.l3.associativity);
+        Self {
+            private: PrivateCore::from_parts(machine, ctx, options, l1, l2),
+            llc,
+        }
+    }
+
+    /// The replacement policy each level was constructed with
+    /// (L1, L2, L3).
+    pub fn level_policies(&self) -> [clover_machine::ReplacementPolicyKind; 3] {
+        let [l1, l2] = self.private.level_kinds();
+        [l1, l2, self.llc.kind()]
+    }
+
+    /// Current counter snapshot (without flushing pending state).
+    pub fn counters(&self) -> MemCounters {
+        self.private.counters()
+    }
+
+    /// Per-level `(hits, misses)` of the three levels.
+    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+        let [l1, l2] = self.private.upper_cache_stats();
+        [l1, l2, (self.llc.hits(), self.llc.misses())]
+    }
+
+    /// Feed a load of `bytes` bytes at `addr`.
+    pub fn load(&mut self, addr: u64, bytes: u32) {
+        self.private.load(&mut self.llc, addr, bytes);
+    }
+
+    /// Feed a store of `bytes` bytes at `addr`.
+    pub fn store(&mut self, addr: u64, bytes: u32) {
+        self.private.store(&mut self.llc, addr, bytes);
+    }
+
+    /// Feed a non-temporal store of `bytes` bytes at `addr`.
+    pub fn store_nt(&mut self, addr: u64, bytes: u32) {
+        self.private.store_nt(&mut self.llc, addr, bytes);
+    }
+
+    /// Drive a contiguous element run (see [`CoreSim::drive_run`]).
+    pub fn drive_run(&mut self, run: AccessRun) {
+        self.private.drive_run(&mut self.llc, run);
+    }
+
+    /// Finalize pending store streams and flush dirty cache lines to
+    /// memory; returns the final counters.
+    pub fn flush(&mut self) -> MemCounters {
+        let (l1_dirty, l2_dirty) = self.private.flush_streams_and_upper(&mut self.llc);
+        let l3_dirty = self.llc.flush_dirty();
+        self.private
+            .account_writebacks(l1_dirty, l2_dirty, l3_dirty)
+    }
+}
+
+impl<W: WritePolicy> PrivateCore<AnyCache, W> {
+    /// The policy kinds of the private banks (L1, L2).
+    fn level_kinds(&self) -> [clover_machine::ReplacementPolicyKind; 2] {
+        [self.l1.kind(), self.l2.kind()]
+    }
+}
+
 impl WritePolicy for WriteAllocate {
     const KIND: WritePolicyKind = WritePolicyKind::Allocate;
 
     /// The paper machines' store-miss path: a write-allocate read unless
     /// SpecI2M claims the line without one (ITOM).
-    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
-        if core.hierarchy_hit(ev.line, true) {
+    fn handle_store_line<B: CacheBank, L: CacheBank>(
+        core: &mut PrivateCore<B, Self>,
+        llc: &mut L,
+        ev: FinalizedLine,
+    ) {
+        if core.hierarchy_hit(llc, ev.line, true) {
             // Store hit: no memory traffic now; the dirty line is written
             // back on eviction.
             return;
@@ -579,7 +843,7 @@ impl WritePolicy for WriteAllocate {
         core.counters.read_lines += spec_read;
         core.counters.speculative_read_lines += spec_read;
         // The line now lives dirty in the hierarchy either way.
-        core.fill_all(ev.line, true);
+        core.fill_all(llc, ev.line, true);
     }
 }
 
@@ -589,8 +853,12 @@ impl WritePolicy for NoWriteAllocate {
     /// No-write-allocate: a store miss writes the line through to memory
     /// without claiming it in the hierarchy — no read-for-ownership, no
     /// fill, no SpecI2M involvement.  Store hits stay write-back.
-    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
-        if core.hierarchy_hit(ev.line, true) {
+    fn handle_store_line<B: CacheBank, L: CacheBank>(
+        core: &mut PrivateCore<B, Self>,
+        llc: &mut L,
+        ev: FinalizedLine,
+    ) {
+        if core.hierarchy_hit(llc, ev.line, true) {
             return;
         }
         core.counters.write_lines += 1.0;
@@ -602,8 +870,12 @@ impl WritePolicy for NonTemporal {
 
     /// Every regular store behaves like a non-temporal streaming store:
     /// the coalesced line bypasses the hierarchy entirely.
-    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine) {
-        core.handle_nt_line(ev);
+    fn handle_store_line<B: CacheBank, L: CacheBank>(
+        core: &mut PrivateCore<B, Self>,
+        llc: &mut L,
+        ev: FinalizedLine,
+    ) {
+        core.handle_nt_line(llc, ev);
     }
 }
 
@@ -928,6 +1200,78 @@ mod tests {
         let mut fresh = serial_core(&m);
         assert_eq!(run(&mut reused), run(&mut fresh));
         assert_eq!(reused.cache_stats(), fresh.cache_stats());
+    }
+
+    #[test]
+    fn level_policy_sim_honours_per_level_policies() {
+        use clover_machine::ReplacementPolicyKind as K;
+        let m = clover_machine::cva6_like();
+        let sim = LevelPolicySim::<NoWriteAllocate>::new(
+            &m,
+            OccupancyContext::serial(&m),
+            CoreSimOptions {
+                speci2m_enabled: false,
+                l3_sharers: m.caches.l3_sharers,
+                ..Default::default()
+            },
+        );
+        // The CVA6 preset specifies random-evict L1/L2 under a PLRU LLC;
+        // the per-level simulator must construct exactly those banks.
+        assert_eq!(
+            [
+                m.caches.l1.replacement,
+                m.caches.l2.replacement,
+                m.caches.l3.replacement
+            ],
+            [K::Random, K::Random, K::Plru]
+        );
+        assert_eq!(sim.level_policies(), [K::Random, K::Random, K::Plru]);
+    }
+
+    #[test]
+    fn level_policy_sim_produces_traffic_on_cva6() {
+        let m = clover_machine::cva6_like();
+        let mut sim = LevelPolicySim::<NoWriteAllocate>::new(
+            &m,
+            OccupancyContext::serial(&m),
+            CoreSimOptions {
+                speci2m_enabled: false,
+                l3_sharers: m.caches.l3_sharers,
+                ..Default::default()
+            },
+        );
+        let n = 8 * 1024u64;
+        for i in 0..n {
+            sim.load(i * 8, 8);
+            sim.store((1 << 30) + i * 8, 8);
+        }
+        let c = sim.flush();
+        let lines = (n / 8) as f64;
+        // No-write-allocate: store misses stream straight to memory.
+        assert!(c.read_lines >= lines, "reads = {}", c.read_lines);
+        assert!(c.write_lines >= lines, "writes = {}", c.write_lines);
+        assert_eq!(c.write_allocate_lines, 0.0);
+    }
+
+    #[test]
+    fn level_policy_sim_matches_generic_core_for_uniform_lru() {
+        // ICX declares LRU at every level, so the per-level simulator and
+        // the policy-generic CoreSim must agree bit for bit.
+        let m = icelake_sp_8360y();
+        let ctx = OccupancyContext::serial(&m);
+        let mut mixed = LevelPolicySim::<WriteAllocate>::new(&m, ctx, CoreSimOptions::default());
+        let mut generic: CoreSim = CoreSim::new(&m, ctx, CoreSimOptions::default());
+        for row in 0..32u64 {
+            let off = row * (216 + 3) * 8;
+            for i in 0..216u64 {
+                mixed.load((1 << 33) + off + i * 8, 8);
+                mixed.store(off + i * 8, 8);
+                generic.load((1 << 33) + off + i * 8, 8);
+                generic.store(off + i * 8, 8);
+            }
+        }
+        assert_eq!(mixed.cache_stats(), generic.cache_stats());
+        assert_eq!(mixed.flush(), generic.flush());
     }
 
     #[test]

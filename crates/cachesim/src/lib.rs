@@ -58,14 +58,16 @@ pub mod prefetch;
 pub const SIM_SCHEMA_VERSION: u32 = 1;
 
 pub use access::{line_of, Access, AccessKind, AccessRun, ELEM_BYTES, LINE_BYTES};
-pub use cache::SetAssocCache;
+pub use cache::{AnyCache, CacheBank, SetAssocCache};
 pub use coalescer::{StreakTracker, WriteCoalescer};
 pub use counters::MemCounters;
-pub use engine::{NodeSim, NodeSimReport, SimConfig};
+pub use engine::{CoRunReport, NodeSim, NodeSimReport, SimConfig, TenantReport};
 pub use flight::FlightMemo;
-pub use hierarchy::{CoreSim, DomainOccupancy, OccupancyContext};
-pub use memo::{with_pooled_core, KernelSpec, MemoStats, RankBase, SimKey, SimMemo, SpecOperand};
-pub use patterns::{ArraySweep, RowSweep, StencilRowSweep};
+pub use hierarchy::{CoreSim, DomainOccupancy, LevelPolicySim, OccupancyContext, PrivateCore};
+pub use memo::{
+    with_pooled_core, CoRunKey, KernelSpec, MemoStats, RankBase, SimKey, SimMemo, SpecOperand,
+};
+pub use patterns::{ArraySweep, RowSweep, StencilRowSweep, SweepCursor};
 pub use policy::{
     NoWriteAllocate, NonTemporal, RandomEvict, ReplacementPolicy, Srrip, TreePlru, TrueLru,
     WriteAllocate, WritePolicy,

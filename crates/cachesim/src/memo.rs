@@ -50,7 +50,9 @@ use crate::policy::{ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy};
 pub const MIN_MEMO_SHIFT: u32 = 30;
 
 /// How an operand's base address depends on the simulated rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum RankBase {
     /// Every rank uses the same addresses (e.g. the CloverLeaf kernel
     /// replay, whose field bases are fixed offsets in a private address
@@ -83,7 +85,9 @@ impl RankBase {
 
 /// One array operand of a [`KernelSpec`]: a byte offset relative to the
 /// rank base plus the stencil points and access kind of the stream.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct SpecOperand {
     /// Byte offset added to the rank base.
     pub offset: u64,
@@ -103,7 +107,9 @@ pub struct SpecOperand {
 /// plain contiguous runs) is expressible as a `KernelSpec`; driving the
 /// spec reproduces the exact same [`StencilRowSweep`] the closures built,
 /// so converting a call site changes no output byte.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct KernelSpec {
     /// Rank-dependence of the operand base addresses.
     pub rank_base: RankBase,
@@ -173,6 +179,43 @@ impl KernelSpec {
     /// Grid-point updates performed per rank.
     pub fn iterations(&self) -> u64 {
         self.inner * self.rows
+    }
+
+    /// Inclusive cache-line window `[first, last]` this kernel touches when
+    /// driven as `rank`, or `None` for an empty kernel (no operands or a
+    /// zero-trip sweep).
+    ///
+    /// Every access address is affine in `(i, k)` with non-negative
+    /// coefficients (`row_stride`, element size), so the extrema lie at the
+    /// sweep corners: the window is exact, not an over-approximation.
+    pub fn line_span(&self, rank: usize) -> Option<(u64, u64)> {
+        use crate::access::{ELEM_BYTES, LINE_BYTES};
+        if self.operands.is_empty() || self.inner == 0 || self.rows == 0 {
+            return None;
+        }
+        let base = self.rank_base.base(rank) as i128;
+        let stride = self.row_stride as i128;
+        let (mut lo, mut hi) = (i128::MAX, i128::MIN);
+        for op in &self.operands {
+            for &(di, dk) in &op.points {
+                let term = dk as i128 * stride + di as i128;
+                let min_idx = self.k0 as i128 * stride + self.i0 as i128 + term;
+                let max_idx = (self.k0 + self.rows - 1) as i128 * stride
+                    + (self.i0 + self.inner - 1) as i128
+                    + term;
+                lo = lo.min(base + op.offset as i128 + min_idx * ELEM_BYTES as i128);
+                hi = hi.max(
+                    base + op.offset as i128
+                        + max_idx * ELEM_BYTES as i128
+                        + (ELEM_BYTES - 1) as i128,
+                );
+            }
+        }
+        if lo > hi {
+            return None;
+        }
+        debug_assert!(lo >= 0, "stencil kernel reaches below address zero");
+        Some((lo as u64 / LINE_BYTES, hi as u64 / LINE_BYTES))
     }
 }
 
@@ -271,6 +314,84 @@ impl SimKey {
     }
 }
 
+/// Identity of one multi-tenant co-run simulation (see
+/// [`NodeSim::run_corun`](crate::engine::NodeSim::run_corun)).
+///
+/// The key carries the *sorted* tenant kernels plus the interleave
+/// granularity on top of every machine/occupancy/option field of
+/// [`SimKey`].  A co-run key can therefore never collide with a solo
+/// [`SimKey`] (they live in separate memo tables) and two co-runs share an
+/// entry only when their tenant multisets, interleave and environment all
+/// match — a solo result is never served for a contended run and vice
+/// versa.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CoRunKey {
+    /// `Machine::id` of the simulated machine.
+    pub machine: String,
+    /// `OccupancyContext::domain_utilization` bit pattern.
+    pub utilization_bits: u64,
+    /// Populated ccNUMA domains.
+    pub active_domains: usize,
+    /// Total ccNUMA domains.
+    pub total_domains: usize,
+    /// SpecI2M MSR switch.
+    pub speci2m_enabled: bool,
+    /// Adjacent-line prefetcher switch.
+    pub adjacent_line: bool,
+    /// Streamer prefetcher switch.
+    pub streamer: bool,
+    /// Streamer prefetch distance.
+    pub streamer_distance: u64,
+    /// `PrefetcherConfig::pf_off_evasion_factor` bit pattern.
+    pub pf_off_evasion_bits: u64,
+    /// Cores sharing the L3.
+    pub l3_sharers: usize,
+    /// Replacement policy of the simulated hierarchies.
+    pub replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the simulated hierarchies.
+    pub write_policy: WritePolicyKind,
+    /// Tenant kernels in canonical (sorted) order.
+    pub tenants: Vec<KernelSpec>,
+    /// Lines each tenant streams per round-robin turn at the shared LLC.
+    pub interleave_lines: u64,
+}
+
+impl CoRunKey {
+    /// Key of the co-run of `tenants` under an explicit policy pair.
+    /// `tenants` must already be in canonical (sorted) order; the caller
+    /// sorts so the stored permutation maps reports back to input order.
+    pub fn for_policies(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        tenants: &[KernelSpec],
+        interleave_lines: u64,
+        replacement: ReplacementPolicyKind,
+        write_policy: WritePolicyKind,
+    ) -> Self {
+        debug_assert!(
+            tenants.windows(2).all(|w| w[0] <= w[1]),
+            "CoRunKey tenants must be in canonical sorted order"
+        );
+        Self {
+            machine: machine.id.clone(),
+            utilization_bits: ctx.domain_utilization.to_bits(),
+            active_domains: ctx.active_domains,
+            total_domains: ctx.total_domains,
+            speci2m_enabled: options.speci2m_enabled,
+            adjacent_line: options.prefetchers.adjacent_line,
+            streamer: options.prefetchers.streamer,
+            streamer_distance: options.prefetchers.streamer_distance,
+            pf_off_evasion_bits: options.prefetchers.pf_off_evasion_factor.to_bits(),
+            l3_sharers: options.l3_sharers,
+            replacement,
+            write_policy,
+            tenants: tenants.to_vec(),
+            interleave_lines,
+        }
+    }
+}
+
 /// Sharded concurrent memo of representative-core simulations.
 ///
 /// One `SimMemo` is meant to span a whole sweep (or a whole plan of
@@ -285,6 +406,11 @@ impl SimKey {
 #[derive(Debug, Default)]
 pub struct SimMemo {
     inner: FlightMemo<SimKey, MemCounters>,
+    /// Co-run results, keyed separately from solo simulations: a
+    /// [`CoRunKey`] and a [`SimKey`] live in disjoint tables, so a memo
+    /// shared across solo and contended sweeps can never serve a solo
+    /// result for a co-run (or one interleave's result for another).
+    corun: FlightMemo<CoRunKey, Vec<crate::engine::TenantReport>>,
 }
 
 /// Hit/miss statistics of a [`SimMemo`] (or [`with_pooled_core`]'s pool):
@@ -385,6 +511,30 @@ impl SimMemo {
     /// simulations run.
     pub fn stats(&self) -> MemoStats {
         let (hits, misses) = self.inner.stats();
+        MemoStats { hits, misses }
+    }
+
+    /// Look up the co-run `key`, simulating with `simulate` on a miss and
+    /// publishing the per-tenant reports (in the key's canonical tenant
+    /// order).  Same single-flight semantics as
+    /// [`get_or_insert_with`](Self::get_or_insert_with), over a table
+    /// disjoint from the solo one.
+    pub fn corun_get_or_insert_with(
+        &self,
+        key: CoRunKey,
+        simulate: impl FnOnce() -> Vec<crate::engine::TenantReport>,
+    ) -> Vec<crate::engine::TenantReport> {
+        self.corun.get_or_insert_with(key, simulate)
+    }
+
+    /// Number of memoized co-run simulations.
+    pub fn corun_len(&self) -> usize {
+        self.corun.len()
+    }
+
+    /// Hit/miss statistics of the co-run table since construction.
+    pub fn corun_stats(&self) -> MemoStats {
+        let (hits, misses) = self.corun.stats();
         MemoStats { hits, misses }
     }
 

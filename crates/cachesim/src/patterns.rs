@@ -12,7 +12,8 @@
 
 pub use crate::access::ELEM_BYTES;
 use crate::access::{line_of, AccessKind, AccessRun, LINE_BYTES};
-use crate::hierarchy::CoreSim;
+use crate::cache::CacheBank;
+use crate::hierarchy::{CoreSim, PrivateCore};
 use crate::policy::{ReplacementPolicy, WritePolicy};
 
 /// Issue one scalar 8-byte access of the given kind.
@@ -25,6 +26,21 @@ fn scalar_access<R: ReplacementPolicy, W: WritePolicy>(
         AccessKind::Load => core.load(addr, ELEM_BYTES as u32),
         AccessKind::Store => core.store(addr, ELEM_BYTES as u32),
         AccessKind::StoreNT => core.store_nt(addr, ELEM_BYTES as u32),
+    }
+}
+
+/// [`scalar_access`] against a split hierarchy (private half + explicit
+/// last-level bank) — the co-run cursor's primitive.
+fn scalar_access_split<B: CacheBank, W: WritePolicy, L: CacheBank>(
+    core: &mut PrivateCore<B, W>,
+    llc: &mut L,
+    kind: AccessKind,
+    addr: u64,
+) {
+    match kind {
+        AccessKind::Load => core.load(llc, addr, ELEM_BYTES as u32),
+        AccessKind::Store => core.store(llc, addr, ELEM_BYTES as u32),
+        AccessKind::StoreNT => core.store_nt(llc, addr, ELEM_BYTES as u32),
     }
 }
 
@@ -299,6 +315,192 @@ impl StencilRowSweep {
     /// Number of grid-point updates performed by the sweep.
     pub fn iterations(&self) -> u64 {
         self.inner * self.rows
+    }
+}
+
+/// A resumable [`StencilRowSweep`] driver for co-scheduled tenants.
+///
+/// The co-run engine interleaves N tenants' access streams at the shared
+/// last level in turns of a configurable number of cache lines; each
+/// tenant's progress therefore has to survive across turns.  The cursor
+/// holds the sweep position (row, inner iterations completed, the
+/// flattened streams of the current row) and
+/// [`advance`](Self::advance) drives the *same* operation sequence as
+/// [`StencilRowSweep::drive`] — the fast segment loop with its faithful
+/// first iteration, provable-bulk accounting and scalar fallbacks —
+/// pausing only at segment boundaries.  Because no simulator state spans a
+/// segment boundary (all carry-over lives in the caches and coalescers
+/// themselves), a single-tenant cursor run is bit-identical to
+/// `drive` for *any* turn budget, which the tier-1 proptests assert.
+#[derive(Debug, Clone)]
+pub struct SweepCursor {
+    sweep: StencilRowSweep,
+    /// Misaligned operand base: step per-element like
+    /// [`StencilRowSweep::drive_scalar`] instead of per-segment.
+    scalar: bool,
+    /// Accesses per inner iteration (flattened stream count).
+    ops_per_iter: u64,
+    /// Current absolute row (`k0..k0 + rows`).
+    k: u64,
+    /// Inner iterations completed in the current row.
+    done: u64,
+    /// Flattened streams positioned at the current row (aligned mode).
+    streams: Vec<StencilStream>,
+    finished: bool,
+}
+
+impl SweepCursor {
+    /// Position a cursor at the start of `sweep`.
+    pub fn new(sweep: StencilRowSweep) -> Self {
+        let scalar = sweep.operands.iter().any(|op| op.base % ELEM_BYTES != 0);
+        let ops_per_iter: u64 = sweep
+            .operands
+            .iter()
+            .map(|op| op.offsets.len() as u64)
+            .sum();
+        let finished = sweep.rows == 0;
+        let mut cursor = Self {
+            k: sweep.k0,
+            sweep,
+            scalar,
+            ops_per_iter,
+            done: 0,
+            streams: Vec::new(),
+            finished,
+        };
+        if !cursor.finished && !cursor.scalar {
+            cursor.build_streams();
+        }
+        cursor
+    }
+
+    /// Whether the sweep has been driven to completion.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Drive until at least `budget_lines` line-granular operations have
+    /// been issued or the sweep finishes, whichever comes first; returns
+    /// the number actually issued.  A zero budget still makes progress
+    /// (one segment), so a co-run round-robin can never stall.
+    pub fn advance<B: CacheBank, W: WritePolicy, L: CacheBank>(
+        &mut self,
+        core: &mut PrivateCore<B, W>,
+        llc: &mut L,
+        budget_lines: u64,
+    ) -> u64 {
+        let budget = budget_lines.max(1);
+        let mut spent = 0u64;
+        while !self.finished && spent < budget {
+            if self.done >= self.sweep.inner {
+                self.next_row();
+                continue;
+            }
+            if self.scalar {
+                // One faithful per-element iteration in drive_scalar order.
+                let i = (self.sweep.i0 + self.done) as i64;
+                let k = self.k as i64;
+                for op in &self.sweep.operands {
+                    for &(di, dk) in &op.offsets {
+                        let addr = self.sweep.addr(op.base, i + di, k + dk);
+                        scalar_access_split(core, llc, op.kind, addr);
+                    }
+                }
+                self.done += 1;
+                spent += self.ops_per_iter.max(1);
+                continue;
+            }
+            // One segment, transcribed from `StencilRowSweep::drive_row`:
+            // faithful first iteration in stream order, then provable bulk.
+            let done = self.done;
+            for s in &self.streams {
+                scalar_access_split(core, llc, s.kind, s.row_base + done * ELEM_BYTES);
+            }
+            let mut seg = self.sweep.inner - done;
+            for s in &self.streams {
+                let addr = s.row_base + done * ELEM_BYTES;
+                seg = seg.min((LINE_BYTES - addr % LINE_BYTES) / ELEM_BYTES);
+            }
+            if seg > 1 {
+                let provable = self.streams.iter().all(|s| {
+                    let line = line_of(s.row_base + done * ELEM_BYTES);
+                    match s.kind {
+                        AccessKind::Load => core.l1_contains(line),
+                        AccessKind::Store => core.coalescer_at_line(line, false),
+                        AccessKind::StoreNT => core.coalescer_at_line(line, true),
+                    }
+                });
+                if provable {
+                    for s in &self.streams {
+                        let addr = s.row_base + (done + 1) * ELEM_BYTES;
+                        let line = line_of(addr);
+                        match s.kind {
+                            AccessKind::Load => {
+                                let resident = core.l1_touch_repeat(line, seg - 1);
+                                debug_assert!(resident, "bulk phase cannot evict");
+                            }
+                            AccessKind::Store => core.store_line_segment(
+                                llc,
+                                line,
+                                addr % LINE_BYTES,
+                                (seg - 1) * ELEM_BYTES,
+                                false,
+                            ),
+                            AccessKind::StoreNT => core.store_line_segment(
+                                llc,
+                                line,
+                                addr % LINE_BYTES,
+                                (seg - 1) * ELEM_BYTES,
+                                true,
+                            ),
+                        }
+                    }
+                } else {
+                    for step in 1..seg {
+                        for s in &self.streams {
+                            scalar_access_split(
+                                core,
+                                llc,
+                                s.kind,
+                                s.row_base + (done + step) * ELEM_BYTES,
+                            );
+                        }
+                    }
+                }
+            }
+            self.done += seg;
+            spent += (self.streams.len() as u64).max(1);
+        }
+        spent
+    }
+
+    /// Advance to the next row, rebuilding the streams (aligned mode).
+    fn next_row(&mut self) {
+        self.k += 1;
+        self.done = 0;
+        if self.k >= self.sweep.k0 + self.sweep.rows {
+            self.finished = true;
+            return;
+        }
+        if !self.scalar {
+            self.build_streams();
+        }
+    }
+
+    /// Flatten the operands into per-row streams positioned at `i0` of the
+    /// current row — the same flattening `StencilRowSweep::drive` performs.
+    fn build_streams(&mut self) {
+        self.streams.clear();
+        let k = self.k as i64;
+        let i0 = self.sweep.i0 as i64;
+        for op in &self.sweep.operands {
+            for &(di, dk) in &op.offsets {
+                self.streams.push(StencilStream {
+                    kind: op.kind,
+                    row_base: self.sweep.addr(op.base, i0 + di, k + dk),
+                });
+            }
+        }
     }
 }
 

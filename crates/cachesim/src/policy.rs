@@ -24,8 +24,9 @@
 
 use clover_machine::{ReplacementPolicyKind, WritePolicyKind};
 
+use crate::cache::CacheBank;
 use crate::coalescer::FinalizedLine;
-use crate::hierarchy::CoreSim;
+use crate::hierarchy::PrivateCore;
 
 /// Victim selection strategy of one [`SetAssocCache`] level.
 ///
@@ -296,20 +297,27 @@ impl ReplacementPolicy for RandomEvict {
     fn on_invalidate(&mut self, _set: usize, _hole: usize, _last: usize) {}
 }
 
-/// Store-miss behaviour of a [`CoreSim`] hierarchy.
+/// Store-miss behaviour of a simulated hierarchy.
 ///
 /// The policy is a type-level strategy: `handle_store_line` receives the
-/// whole core so implementations can drive the hierarchy, the SpecI2M
-/// model and the traffic counters exactly like the original hard-coded
-/// store path did.  Implementations live next to `CoreSim` (they need its
-/// internals); this trait and the marker types are the public surface.
+/// private half of the core plus the last-level bank so implementations
+/// can drive the hierarchy, the SpecI2M model and the traffic counters
+/// exactly like the original hard-coded store path did.  Implementations
+/// live next to `PrivateCore` (they need its internals); this trait and
+/// the marker types are the public surface.
 pub trait WritePolicy: std::fmt::Debug + Clone + Send + Sized + 'static {
     /// Selector this implementation corresponds to (used in memo keys and
     /// dispatch tables).
     const KIND: WritePolicyKind;
 
-    /// Retire one coalesced store line through the hierarchy.
-    fn handle_store_line<R: ReplacementPolicy>(core: &mut CoreSim<R, Self>, ev: FinalizedLine);
+    /// Retire one coalesced store line through the hierarchy: the private
+    /// half of the core plus whatever last-level bank it currently shares
+    /// (its own on the solo path, the tenant-shared LLC on a co-run).
+    fn handle_store_line<B: CacheBank, L: CacheBank>(
+        core: &mut PrivateCore<B, Self>,
+        llc: &mut L,
+        ev: FinalizedLine,
+    );
 }
 
 /// Write-back + write-allocate with SpecI2M evasion — the paper's default

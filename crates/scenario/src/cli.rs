@@ -6,18 +6,19 @@
 //! daemon means exactly what the same words mean on the command line.
 //!
 //! The grammar: repeatable axis flags (`--machine`, `--grid`, `--ranks`,
-//! `--stage`, `--replacement`, `--write-policy`, `--layer-condition`) span
-//! a cartesian [`SweepPlan`]; `--grid` defaults to the Tiny grid,
-//! `--stage` to `original`, and the cache-policy axes to the paper's LRU +
-//! write-allocate + fulfilled layer condition.  `--jobs <n>` picks the
-//! worker count (default: available parallelism) and `--json` switches the
-//! output format.
+//! `--stage`, `--replacement`, `--write-policy`, `--layer-condition`,
+//! `--aggressor`, `--interleave`) span a cartesian [`SweepPlan`]; `--grid`
+//! defaults to the Tiny grid, `--stage` to `original`, the cache-policy
+//! axes to the paper's LRU + write-allocate + fulfilled layer condition,
+//! and the tenancy axes to an exclusive node (no aggressor, 64-line
+//! interleave).  `--jobs <n>` picks the worker count (default: available
+//! parallelism) and `--json` switches the output format.
 
 use clover_machine::{
     preset_names, replacement_names, write_policy_names, ReplacementPolicyKind, WritePolicyKind,
 };
 
-use crate::plan::{LayerCondition, RankRange, Stage, SweepPlan};
+use crate::plan::{Aggressor, LayerCondition, RankRange, Stage, SweepPlan};
 
 /// A parsed sweep invocation: the validated plan plus the execution flags
 /// shared by every front end.
@@ -160,6 +161,36 @@ impl SweepArgs {
                         plan.layer_conditions.push(condition);
                     }
                 }
+                "--aggressor" => {
+                    let value = iter.next().ok_or_else(|| {
+                        "--aggressor needs a kernel name (none, stream, stream-heavy, thrash) or 'all'"
+                            .to_string()
+                    })?;
+                    let aggressors = Aggressor::parse(value).ok_or_else(|| {
+                        format!(
+                            "--aggressor: unknown kernel '{value}' (none, stream, stream-heavy, thrash, all)"
+                        )
+                    })?;
+                    for aggressor in aggressors {
+                        if plan.aggressors.contains(&aggressor) {
+                            return Err(format!("--aggressor: duplicate kernel '{aggressor}'"));
+                        }
+                        plan.aggressors.push(aggressor);
+                    }
+                }
+                "--interleave" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--interleave needs a line count >= 1".to_string())?;
+                    let interleave: u64 =
+                        value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--interleave: '{value}' is not a line count >= 1")
+                        })?;
+                    if plan.interleaves.contains(&interleave) {
+                        return Err(format!("--interleave: duplicate granularity {interleave}"));
+                    }
+                    plan.interleaves.push(interleave);
+                }
                 "--jobs" => {
                     let value = iter
                         .next()
@@ -265,5 +296,54 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unexpected argument 'fig2'"));
+    }
+
+    #[test]
+    fn tenancy_flags_expand_and_reject_bad_values() {
+        let parsed = SweepArgs::parse(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--aggressor",
+            "all",
+            "--interleave",
+            "8",
+            "--interleave",
+            "64",
+        ]))
+        .unwrap();
+        // 4 aggressors x 2 interleaves on one machine/grid/range/stage.
+        assert_eq!(parsed.plan.len(), 4 * 2);
+        assert_eq!(parsed.plan.aggressors, Aggressor::all());
+        assert_eq!(parsed.plan.interleaves, vec![8, 64]);
+
+        let base = ["--machine", "icx-8360y", "--ranks", "1..4"];
+        let err = SweepArgs::parse(&args(&[&base[..], &["--aggressor", "rowhammer"]].concat()))
+            .unwrap_err();
+        assert!(
+            err.contains("--aggressor") && err.contains("rowhammer"),
+            "error must name the flag and the value, got: {err}"
+        );
+        let err = SweepArgs::parse(&args(
+            &[
+                &base[..],
+                &["--aggressor", "thrash", "--aggressor", "thrash"],
+            ]
+            .concat(),
+        ))
+        .unwrap_err();
+        assert!(err.contains("duplicate kernel 'thrash'"), "got: {err}");
+        let err =
+            SweepArgs::parse(&args(&[&base[..], &["--interleave", "0"]].concat())).unwrap_err();
+        assert!(
+            err.contains("--interleave") && err.contains("'0'"),
+            "got: {err}"
+        );
+        let err = SweepArgs::parse(&args(
+            &[&base[..], &["--interleave", "8", "--interleave", "8"]].concat(),
+        ))
+        .unwrap_err();
+        assert!(err.contains("duplicate granularity 8"), "got: {err}");
     }
 }

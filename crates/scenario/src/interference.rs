@@ -1,0 +1,174 @@
+//! Shared-LLC interference evaluation for contended scenarios.
+//!
+//! A scenario with a non-default [`Aggressor`] models a *multi-tenant*
+//! node: next to each CloverLeaf rank, a competing kernel stream runs on a
+//! sibling core of the same ccNUMA domain and fights for the shared
+//! last-level cache.  The analytic scaling model knows nothing about
+//! cache contention, so this module derives a per-scenario **victim
+//! traffic inflation factor** from first principles: a two-tenant co-run
+//! of the cache simulator ([`NodeSim::run_corun`]) pits a CloverLeaf-like
+//! reuse proxy against the scenario's aggressor on one shared LLC, and the
+//! ratio of the victim's contended to solo memory traffic scales the
+//! model's per-step volume and time.
+//!
+//! The proxy footprints are derived from the machine's LLC capacity, so
+//! the same aggressor thrashes a 54 MiB Ice Lake LLC and a 2 MiB CVA6 LLC
+//! alike; the simulation is deterministic, so the factor — and every
+//! artifact byte derived from it — is reproducible.
+
+use clover_cachesim::{
+    AccessKind, KernelSpec, NodeSim, RankBase, SimConfig, SimMemo, SpecOperand, LINE_BYTES,
+};
+use clover_machine::Machine;
+
+use crate::plan::Aggressor;
+
+/// Rank-window shift of the tenant kernels: 2^40 bytes per tenant, far
+/// above every proxy footprint, so the windows are always disjoint (and
+/// memo-exact, being above `MIN_MEMO_SHIFT`).
+pub const TENANT_SHIFT: u32 = 40;
+
+/// A reuse kernel: `passes` sweeps over the same `bytes`-sized window.
+fn reuse_kernel(bytes: u64, passes: u64, kind: AccessKind) -> KernelSpec {
+    let elements = (bytes / 8).max(1);
+    KernelSpec {
+        rank_base: RankBase::Shifted {
+            shift: TENANT_SHIFT,
+            plus: 0,
+        },
+        operands: vec![SpecOperand {
+            offset: 0,
+            points: vec![(0, 0)],
+            kind,
+        }],
+        // A zero row stride makes every row revisit the same elements.
+        row_stride: 0,
+        i0: 0,
+        inner: elements,
+        k0: 0,
+        rows: passes.max(1),
+    }
+}
+
+/// A single-pass streaming kernel over `bytes` per operand.
+fn stream_kernel(bytes: u64, kinds: &[AccessKind]) -> KernelSpec {
+    let elements = (bytes / 8).max(1);
+    KernelSpec {
+        rank_base: RankBase::Shifted {
+            shift: TENANT_SHIFT,
+            plus: 0,
+        },
+        operands: kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| SpecOperand {
+                // Separate sub-windows per stream, line-aligned.
+                offset: i as u64 * bytes.next_multiple_of(LINE_BYTES) * 2,
+                points: vec![(0, 0)],
+                kind,
+            })
+            .collect(),
+        row_stride: elements.max(1),
+        i0: 0,
+        inner: elements,
+        k0: 0,
+        rows: 1,
+    }
+}
+
+/// The victim proxy: a read-reuse working set of a quarter of the LLC —
+/// larger than any private level, solo-resident in the shared LLC, and the
+/// shape CloverLeaf's field arrays take under the paper's layer condition.
+pub fn victim_kernel(machine: &Machine) -> KernelSpec {
+    reuse_kernel(
+        machine.caches.l3.capacity_bytes as u64 / 4,
+        3,
+        AccessKind::Load,
+    )
+}
+
+/// The aggressor kernel of `aggressor` on `machine`, or `None` for the
+/// exclusive-node default.
+pub fn aggressor_kernel(machine: &Machine, aggressor: Aggressor) -> Option<KernelSpec> {
+    let llc = machine.caches.l3.capacity_bytes as u64;
+    match aggressor {
+        Aggressor::None => None,
+        Aggressor::Stream => Some(stream_kernel(llc, &[AccessKind::Load])),
+        Aggressor::StreamHeavy => {
+            Some(stream_kernel(llc, &[AccessKind::Load, AccessKind::StoreNT]))
+        }
+        Aggressor::Thrash => Some(reuse_kernel(llc, 2, AccessKind::Load)),
+    }
+}
+
+/// The victim traffic inflation factor of running `aggressor` next to a
+/// CloverLeaf-like reuse tenant on `machine`'s shared LLC: contended over
+/// solo memory bytes of the victim, `>= 1.0` (`1.0` exactly for
+/// [`Aggressor::None`]).
+///
+/// Deterministic in all inputs; `memo` carries the underlying co-run and
+/// solo simulations across calls (e.g. across the scenarios of one plan).
+pub fn interference_factor(
+    machine: &Machine,
+    aggressor: Aggressor,
+    interleave: u64,
+    memo: &SimMemo,
+) -> f64 {
+    let Some(aggressor_spec) = aggressor_kernel(machine, aggressor) else {
+        return 1.0;
+    };
+    let victim = victim_kernel(machine);
+    let sim = NodeSim::new(SimConfig::new(machine.clone(), 2));
+    let report = sim.run_corun(&[victim, aggressor_spec], interleave, memo);
+    let v = &report.tenants[0];
+    let solo = v.solo.total_bytes();
+    if solo <= 0.0 {
+        return 1.0;
+    }
+    (v.counters.total_bytes() / solo).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_machine::{cva6_like, icelake_sp_8360y};
+
+    #[test]
+    fn no_aggressor_is_exactly_neutral() {
+        let memo = SimMemo::new();
+        let f = interference_factor(&icelake_sp_8360y(), Aggressor::None, 64, &memo);
+        assert_eq!(f, 1.0);
+        assert_eq!(memo.corun_len(), 0, "the neutral case must not simulate");
+    }
+
+    #[test]
+    fn aggressors_inflate_victim_traffic_in_intensity_order() {
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        let stream = interference_factor(&m, Aggressor::Stream, 64, &memo);
+        let thrash = interference_factor(&m, Aggressor::Thrash, 64, &memo);
+        assert!(
+            stream > 1.0,
+            "a stream must inflict extra traffic, got {stream}"
+        );
+        assert!(
+            thrash >= stream,
+            "thrash ({thrash}) must be at least as hostile as stream ({stream})"
+        );
+        // Deterministic and memoized: a repeat costs no simulation.
+        let misses = memo.corun_stats().misses;
+        assert_eq!(
+            interference_factor(&m, Aggressor::Stream, 64, &memo),
+            stream
+        );
+        assert_eq!(memo.corun_stats().misses, misses);
+    }
+
+    #[test]
+    fn factor_scales_to_small_machines_too() {
+        // The CVA6's 2 MiB LLC gets footprints derived from *its* capacity;
+        // the factor stays finite and >= 1.
+        let f = interference_factor(&cva6_like(), Aggressor::StreamHeavy, 16, &SimMemo::new());
+        assert!(f.is_finite() && f >= 1.0, "got {f}");
+    }
+}

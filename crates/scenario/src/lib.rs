@@ -19,13 +19,18 @@
 //! sweep` subcommand exposes the engine on the command line.
 
 pub mod cli;
+pub mod interference;
 pub mod plan;
 pub mod runner;
 
 pub use cli::SweepArgs;
-pub use plan::{LayerCondition, RankRange, Scenario, Stage, SweepPlan};
+pub use interference::interference_factor;
+pub use plan::{
+    Aggressor, LayerCondition, RankRange, Scenario, Stage, SweepPlan, DEFAULT_INTERLEAVE,
+};
 pub use runner::{run_scenario_items_with, run_scenarios_with};
 
+use clover_cachesim::SimMemo;
 use clover_core::{normalise_speedups, ScalingEngine, ScalingModel, ScalingPoint, SweepMemo};
 use clover_golden::Artifact;
 
@@ -80,8 +85,37 @@ pub fn sweep_artifact(scenario: &Scenario, points: &[ScalingPoint]) -> Artifact 
     if scenario.layer_condition != Default::default() {
         note.push_str(&format!("; layer condition: {}", scenario.layer_condition));
     }
+    if scenario.aggressor != Default::default() {
+        note.push_str(&format!(
+            "; aggressor: {} (victim traffic scaled by a shared-LLC co-run)",
+            scenario.aggressor
+        ));
+    }
+    if scenario.interleave != DEFAULT_INTERLEAVE {
+        note.push_str(&format!("; interleave: {} lines", scenario.interleave));
+    }
     a.push_note(note);
     a
+}
+
+/// Scale a contended scenario's points by its co-run interference factor:
+/// the victim moves `factor`× the bytes in `factor`× the time (same
+/// bandwidth, same speedup curve).  A no-aggressor scenario is untouched —
+/// bit for bit, since the factor is exactly `1.0` and no scaling runs.
+fn apply_interference(scenario: &Scenario, points: &mut [ScalingPoint], memo: &SimMemo) {
+    let factor = interference_factor(
+        &scenario.machine.machine(),
+        scenario.aggressor,
+        scenario.interleave,
+        memo,
+    );
+    if factor == 1.0 {
+        return;
+    }
+    for p in points.iter_mut() {
+        p.time_per_step *= factor;
+        p.volume_per_step *= factor;
+    }
 }
 
 /// Default scenario evaluator: the node-level scaling model swept over the
@@ -89,7 +123,8 @@ pub fn sweep_artifact(scenario: &Scenario, points: &[ScalingPoint]) -> Artifact 
 pub fn evaluate(scenario: &Scenario) -> Artifact {
     let machine = scenario.machine.machine();
     let model = ScalingModel::new(machine.clone()).with_grid(scenario.grid);
-    let points = model.sweep_range(scenario.ranks.iter(), |r| scenario.options(r));
+    let mut points = model.sweep_range(scenario.ranks.iter(), |r| scenario.options(r));
+    apply_interference(scenario, &mut points, &SimMemo::new());
     sweep_artifact(scenario, &points)
 }
 
@@ -137,6 +172,9 @@ pub fn run_plan_memo(plan: &SweepPlan, jobs: usize, memo: &SweepMemo) -> Vec<Art
             .map(|(_, e)| e)
             .expect("every scenario's engine was built above")
     };
+    // One co-run memo spans the plan: scenarios sharing (machine,
+    // aggressor, interleave) pay for one interference simulation.
+    let corun_memo = SimMemo::new();
     runner::run_scenario_items_with(
         &scenarios,
         jobs,
@@ -146,6 +184,7 @@ pub fn run_plan_memo(plan: &SweepPlan, jobs: usize, memo: &SweepMemo) -> Vec<Art
             engine_for(s).point_memo(ranks, &s.options(ranks), memo)
         },
         |s, mut points| {
+            apply_interference(s, &mut points, &corun_memo);
             normalise_speedups(&mut points);
             sweep_artifact(s, &points)
         },
@@ -167,6 +206,8 @@ mod tests {
             replacement: Default::default(),
             write_policy: Default::default(),
             layer_condition: Default::default(),
+            aggressor: Default::default(),
+            interleave: DEFAULT_INTERLEAVE,
         };
         let a = evaluate(&scenario);
         assert_eq!(a.rows.len(), 18);
@@ -186,11 +227,56 @@ mod tests {
             replacement: Default::default(),
             write_policy: Default::default(),
             layer_condition: Default::default(),
+            aggressor: Default::default(),
+            interleave: DEFAULT_INTERLEAVE,
         };
         let original = evaluate(&mk(Stage::Original));
         let off = evaluate(&mk(Stage::SpecI2MOff));
         let volume = original.column_index("volume_per_step").unwrap();
         // Without write-allocate evasion the memory volume must be larger.
         assert!(off.rows[0][volume].as_f64().unwrap() > original.rows[0][volume].as_f64().unwrap());
+    }
+
+    #[test]
+    fn contended_scenarios_cost_traffic_but_not_bandwidth() {
+        let mk = |aggressor| Scenario {
+            machine: MachinePreset::IceLakeSp8360y,
+            grid: 1920,
+            ranks: RankRange::new(1, 4),
+            stage: Stage::Original,
+            replacement: Default::default(),
+            write_policy: Default::default(),
+            layer_condition: Default::default(),
+            aggressor,
+            interleave: DEFAULT_INTERLEAVE,
+        };
+        let solo = evaluate(&mk(Aggressor::None));
+        let contended = evaluate(&mk(Aggressor::Thrash));
+        assert_eq!(
+            contended.id,
+            "sweep-icx-8360y-g1920-r1..4-original-vs-thrash"
+        );
+        assert!(contended.notes[0].contains("aggressor: thrash"));
+        let volume = solo.column_index("volume_per_step").unwrap();
+        let time = solo.column_index("time_per_step").unwrap();
+        let bw = solo.column_index("bandwidth").unwrap();
+        let speedup = solo.column_index("speedup").unwrap();
+        for (s, c) in solo.rows.iter().zip(&contended.rows) {
+            // Contention inflates volume and time by the same factor...
+            assert!(c[volume].as_f64().unwrap() > s[volume].as_f64().unwrap());
+            assert!(c[time].as_f64().unwrap() > s[time].as_f64().unwrap());
+            // ...so bandwidth and the speedup curve are untouched.
+            assert_eq!(c[bw], s[bw]);
+            assert_eq!(c[speedup], s[speedup]);
+        }
+        // The parallel plan path applies the identical scaling.
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(1920)
+            .ranks(RankRange::new(1, 4))
+            .stage(Stage::Original)
+            .aggressor(Aggressor::Thrash);
+        let via_plan = run_plan(&plan, 2);
+        assert_eq!(render_block(&via_plan[0]), render_block(&contended));
     }
 }

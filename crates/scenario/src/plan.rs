@@ -113,6 +113,77 @@ impl fmt::Display for LayerCondition {
     }
 }
 
+/// Lines each co-scheduled tenant streams per turn at the shared LLC when
+/// a scenario runs against an aggressor; the paper-faithful solo scenarios
+/// never consult it.
+pub const DEFAULT_INTERLEAVE: u64 = 64;
+
+/// Multi-tenant interference axis: which competing kernel stream (if any)
+/// is co-scheduled against the scenario's CloverLeaf ranks on the shared
+/// last-level cache.
+///
+/// The aggressor's intensity is folded into the variant: `Stream` is a
+/// single read stream, `StreamHeavy` doubles the streamed volume with a
+/// non-temporal write stream, and `Thrash` cycles a reused footprint the
+/// size of the whole shared LLC — the LRU worst case for a reuse victim.
+/// Note that "heavy" means memory-bandwidth-heavy, not LLC-hostile: the
+/// NT-store half of `StreamHeavy` bypasses the cache, so it spends half of
+/// every co-run turn on traffic that allocates nothing — on an LLC-capacity
+/// view it is *gentler* than `Stream`, which the interference artifacts
+/// make visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggressor {
+    /// No co-tenant: the paper's exclusive-node setup (default).
+    #[default]
+    None,
+    /// One streaming read tenant (one pass over the LLC capacity).
+    Stream,
+    /// A read + non-temporal-write streaming tenant at twice the volume.
+    StreamHeavy,
+    /// A capacity-thrashing tenant cycling an LLC-sized reused footprint.
+    Thrash,
+}
+
+impl Aggressor {
+    /// Every aggressor, default first.
+    pub fn all() -> Vec<Aggressor> {
+        vec![
+            Aggressor::None,
+            Aggressor::Stream,
+            Aggressor::StreamHeavy,
+            Aggressor::Thrash,
+        ]
+    }
+
+    /// Stable name used in artifact ids and on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggressor::None => "none",
+            Aggressor::Stream => "stream",
+            Aggressor::StreamHeavy => "stream-heavy",
+            Aggressor::Thrash => "thrash",
+        }
+    }
+
+    /// Parse an `--aggressor` argument: a name or `"all"`.
+    pub fn parse(s: &str) -> Option<Vec<Aggressor>> {
+        match s {
+            "all" => Some(Self::all()),
+            "none" => Some(vec![Aggressor::None]),
+            "stream" => Some(vec![Aggressor::Stream]),
+            "stream-heavy" => Some(vec![Aggressor::StreamHeavy]),
+            "thrash" => Some(vec![Aggressor::Thrash]),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Aggressor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// An inclusive rank range, written `start..end` on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RankRange {
@@ -180,6 +251,11 @@ pub struct Scenario {
     pub write_policy: WritePolicyKind,
     /// Layer-condition assumption of the traffic model.
     pub layer_condition: LayerCondition,
+    /// Co-scheduled interference tenant on the shared LLC.
+    pub aggressor: Aggressor,
+    /// Shared-LLC interleave granularity of a contended run (lines per
+    /// tenant turn); inert when [`aggressor`](Self::aggressor) is `None`.
+    pub interleave: u64,
 }
 
 impl Scenario {
@@ -205,6 +281,13 @@ impl Scenario {
         if self.layer_condition != LayerCondition::default() {
             id.push_str("-lc-");
             id.push_str(self.layer_condition.name());
+        }
+        if self.aggressor != Aggressor::default() {
+            id.push_str("-vs-");
+            id.push_str(self.aggressor.name());
+        }
+        if self.interleave != DEFAULT_INTERLEAVE {
+            id.push_str(&format!("-il{}", self.interleave));
         }
         id
     }
@@ -256,14 +339,21 @@ impl Scenario {
                 self.machine.name()
             ));
         }
+        if self.interleave == 0 {
+            return Err(format!(
+                "{}: interleave granularity must be >= 1 line",
+                self.id()
+            ));
+        }
         Ok(())
     }
 }
 
 /// A cartesian grid of scenarios: every machine × grid × rank range × stage
-/// (× replacement × write policy × layer condition) combination.  The three
-/// policy axes are optional: leaving one empty pins it to the paper's
-/// default instead of emptying the plan.
+/// (× replacement × write policy × layer condition × aggressor ×
+/// interleave) combination.  The policy and tenancy axes are optional:
+/// leaving one empty pins it to the paper's default instead of emptying the
+/// plan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepPlan {
     /// Machine axis.
@@ -280,6 +370,10 @@ pub struct SweepPlan {
     pub write_policies: Vec<WritePolicyKind>,
     /// Layer-condition axis (empty = the default fulfilled).
     pub layer_conditions: Vec<LayerCondition>,
+    /// Interference-tenant axis (empty = the default exclusive node).
+    pub aggressors: Vec<Aggressor>,
+    /// Interleave-granularity axis (empty = [`DEFAULT_INTERLEAVE`]).
+    pub interleaves: Vec<u64>,
 }
 
 impl SweepPlan {
@@ -330,6 +424,18 @@ impl SweepPlan {
         self
     }
 
+    /// Add an aggressor to the (optional) interference axis.
+    pub fn aggressor(mut self, aggressor: Aggressor) -> Self {
+        self.aggressors.push(aggressor);
+        self
+    }
+
+    /// Add an interleave granularity to the (optional) interleave axis.
+    pub fn interleave(mut self, interleave: u64) -> Self {
+        self.interleaves.push(interleave);
+        self
+    }
+
     /// Number of scenarios the plan expands to (the product of the axis
     /// lengths; the optional policy axes count 1 when left empty).
     pub fn len(&self) -> usize {
@@ -340,6 +446,8 @@ impl SweepPlan {
             * self.replacements.len().max(1)
             * self.write_policies.len().max(1)
             * self.layer_conditions.len().max(1)
+            * self.aggressors.len().max(1)
+            * self.interleaves.len().max(1)
     }
 
     /// True when any mandatory axis is empty.
@@ -348,8 +456,9 @@ impl SweepPlan {
     }
 
     /// Expand the cartesian product in deterministic order: machines
-    /// outermost, then grids, rank ranges, stages, and the policy axes
-    /// innermost (replacement, then write policy, then layer condition).
+    /// outermost, then grids, rank ranges, stages, and the optional axes
+    /// innermost (replacement, write policy, layer condition, aggressor,
+    /// interleave).
     pub fn expand(&self) -> Vec<Scenario> {
         fn or_default<T: Copy + Default>(axis: &[T]) -> Vec<T> {
             if axis.is_empty() {
@@ -361,6 +470,12 @@ impl SweepPlan {
         let replacements = or_default(&self.replacements);
         let write_policies = or_default(&self.write_policies);
         let layer_conditions = or_default(&self.layer_conditions);
+        let aggressors = or_default(&self.aggressors);
+        let interleaves = if self.interleaves.is_empty() {
+            vec![DEFAULT_INTERLEAVE]
+        } else {
+            self.interleaves.clone()
+        };
         let mut scenarios = Vec::with_capacity(self.len());
         for &machine in &self.machines {
             for &grid in &self.grids {
@@ -369,15 +484,21 @@ impl SweepPlan {
                         for &replacement in &replacements {
                             for &write_policy in &write_policies {
                                 for &layer_condition in &layer_conditions {
-                                    scenarios.push(Scenario {
-                                        machine,
-                                        grid,
-                                        ranks,
-                                        stage,
-                                        replacement,
-                                        write_policy,
-                                        layer_condition,
-                                    });
+                                    for &aggressor in &aggressors {
+                                        for &interleave in &interleaves {
+                                            scenarios.push(Scenario {
+                                                machine,
+                                                grid,
+                                                ranks,
+                                                stage,
+                                                replacement,
+                                                write_policy,
+                                                layer_condition,
+                                                aggressor,
+                                                interleave,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -535,6 +656,8 @@ mod tests {
             replacement: ReplacementPolicyKind::default(),
             write_policy: WritePolicyKind::default(),
             layer_condition: LayerCondition::default(),
+            aggressor: Aggressor::default(),
+            interleave: DEFAULT_INTERLEAVE,
         };
         assert!(base.validate().is_ok());
         let mut s = base.clone();
@@ -552,5 +675,56 @@ mod tests {
         // SPR 8470 has 104 cores, so the same range is fine there.
         s.machine = MachinePreset::SapphireRapids8470 { snc: true };
         assert!(s.validate().is_ok());
+        let mut s = base.clone();
+        s.interleave = 0;
+        assert!(s.validate().unwrap_err().contains("interleave"));
+    }
+
+    #[test]
+    fn aggressor_parses_names_and_all() {
+        assert_eq!(Aggressor::parse("all"), Some(Aggressor::all()));
+        assert_eq!(Aggressor::parse("none"), Some(vec![Aggressor::None]));
+        assert_eq!(Aggressor::parse("stream"), Some(vec![Aggressor::Stream]));
+        assert_eq!(
+            Aggressor::parse("stream-heavy"),
+            Some(vec![Aggressor::StreamHeavy])
+        );
+        assert_eq!(Aggressor::parse("thrash"), Some(vec![Aggressor::Thrash]));
+        assert_eq!(Aggressor::parse("polite"), None);
+    }
+
+    #[test]
+    fn tenancy_axes_multiply_the_expansion_and_suffix_the_ids() {
+        let plan = SweepPlan::new()
+            .machine(MachinePreset::IceLakeSp8360y)
+            .grid(1920)
+            .ranks(RankRange::new(1, 4))
+            .stage(Stage::Original)
+            .aggressor(Aggressor::None)
+            .aggressor(Aggressor::Thrash)
+            .interleave(DEFAULT_INTERLEAVE)
+            .interleave(8);
+        assert_eq!(plan.len(), 2 * 2);
+        let scenarios = plan.expand();
+        assert_eq!(scenarios.len(), 4);
+        // Innermost nesting: aggressor, then interleave; defaults keep the
+        // pre-tenancy id bytes.
+        assert_eq!(scenarios[0].id(), "sweep-icx-8360y-g1920-r1..4-original");
+        assert_eq!(
+            scenarios[1].id(),
+            "sweep-icx-8360y-g1920-r1..4-original-il8"
+        );
+        assert_eq!(
+            scenarios[2].id(),
+            "sweep-icx-8360y-g1920-r1..4-original-vs-thrash"
+        );
+        assert_eq!(
+            scenarios[3].id(),
+            "sweep-icx-8360y-g1920-r1..4-original-vs-thrash-il8"
+        );
+        let mut ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), scenarios.len());
     }
 }

@@ -431,4 +431,111 @@ proptest! {
         prop_assert!(rel(fast.total.write_lines, exact.total.write_lines) < 1e-12);
         prop_assert!(rel(fast.total.itom_lines, exact.total.itom_lines.max(1e-12)) < 1e-9);
     }
+
+    /// A single-tenant co-run is the solo composition driven through the
+    /// resumable cursor: for arbitrary kernels and *any* interleave
+    /// granularity it must be bit-identical to `run_spmd` on one rank, with
+    /// every contended-vs-solo delta exactly zero.
+    #[test]
+    fn single_tenant_corun_matches_run_spmd_for_any_interleave(
+        operand_mix in 0usize..4,
+        inner in 8u64..300,
+        rows in 1u64..4,
+        stride_extra in 0u64..6,
+        interleave in prop::sample::select(vec![1u64, 2, 3, 7, 64, 1000, u64::MAX]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let mut operands = vec![SpecOperand {
+            offset: 1 << 33,
+            points: vec![(0, 0)],
+            kind: AccessKind::Store,
+        }];
+        if operand_mix % 2 == 1 {
+            operands.push(SpecOperand {
+                offset: 1 << 30,
+                points: vec![(0, 0), (1, 0), (0, -1)],
+                kind: AccessKind::Load,
+            });
+        }
+        if operand_mix >= 2 {
+            operands.push(SpecOperand {
+                offset: 1 << 34,
+                points: vec![(0, 0)],
+                kind: AccessKind::StoreNT,
+            });
+        }
+        let spec = KernelSpec {
+            rank_base: RankBase::Shifted { shift: 36, plus: 0 },
+            operands,
+            row_stride: inner + stride_extra + 2,
+            i0: 1,
+            inner,
+            k0: 1,
+            rows,
+        };
+        let sim = NodeSim::new(SimConfig::new(machine, 1));
+        let solo = sim.run_spmd(|rank, core| spec.drive(rank, core));
+        let corun = sim.run_corun(std::slice::from_ref(&spec), interleave, &SimMemo::new());
+        prop_assert_eq!(corun.tenants.len(), 1);
+        let t = &corun.tenants[0];
+        prop_assert_eq!(&t.counters, &solo.per_rank, "interleave={}", interleave);
+        prop_assert_eq!(&corun.total, &solo.total);
+        prop_assert_eq!(&t.counters, &t.solo);
+        prop_assert_eq!(t.llc_hits, t.solo_llc_hits);
+        prop_assert_eq!(t.llc_misses, t.solo_llc_misses);
+        prop_assert_eq!(t.occupancy_lines, t.solo_occupancy_lines);
+    }
+
+    /// One `SimMemo` shared across solo runs and co-runs of the same
+    /// kernels at several interleaves never crosses entries: solo and
+    /// co-run results live in disjoint tables, distinct interleaves are
+    /// distinct keys, and every shared-memo result equals a fresh-memo run
+    /// bit for bit.
+    #[test]
+    fn shared_memo_never_crosses_solo_corun_or_interleave(
+        elements in 64u64..1024,
+        kind_idx in 0usize..3,
+    ) {
+        let machine = icelake_sp_8360y();
+        let victim = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let aggressor = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            1 << 20,
+            2 * elements,
+            AccessKind::Load,
+        );
+        let shared = SimMemo::new();
+        let tenants = [victim.clone(), aggressor];
+
+        let solo_sim = NodeSim::new(SimConfig::new(machine.clone(), 1));
+        let solo_shared = solo_sim.run_spmd_memo(&victim, &shared);
+        let pair_sim = NodeSim::new(SimConfig::new(machine, 2));
+        let mut corun_misses = 0;
+        for interleave in [1u64, 8, 64] {
+            let with_shared = pair_sim.run_corun(&tenants, interleave, &shared);
+            corun_misses += 1;
+            prop_assert_eq!(
+                shared.corun_stats().misses, corun_misses,
+                "each interleave must be its own co-run key"
+            );
+            let with_fresh = pair_sim.run_corun(&tenants, interleave, &SimMemo::new());
+            prop_assert_eq!(&with_shared, &with_fresh, "interleave={}", interleave);
+            // A repeat is a pure hit of the same entry.
+            let again = pair_sim.run_corun(&tenants, interleave, &shared);
+            prop_assert_eq!(shared.corun_stats().misses, corun_misses);
+            prop_assert_eq!(&again, &with_shared);
+        }
+        // The co-runs touched neither the solo table's stats nor its
+        // entries: a solo lookup afterwards is still served unchanged.
+        let solo_again = solo_sim.run_spmd_memo(&victim, &shared);
+        prop_assert_eq!(&solo_again.total, &solo_shared.total);
+        prop_assert_eq!(&solo_again.per_rank, &solo_shared.per_rank);
+        let fresh_solo = solo_sim.run_spmd_memo(&victim, &SimMemo::new());
+        prop_assert_eq!(&solo_again.per_rank, &fresh_solo.per_rank);
+    }
 }
