@@ -36,7 +36,8 @@ use std::time::Instant;
 use clover_cachesim::hierarchy::{CoreSimOptions, OccupancyContext};
 use clover_cachesim::patterns::{RowSweep, StencilOperand, StencilRowSweep};
 use clover_cachesim::{
-    AccessKind, AccessRun, CoreSim, KernelSpec, NodeSim, RankBase, SimConfig, SimMemo,
+    AccessKind, AccessRun, CoreSim, KernelSpec, NodeSim, RankBase, SetAssocCache, SimConfig,
+    SimMemo, TrueLru,
 };
 use clover_core::{ScalingEngine, ScalingModel, SweepMemo, TrafficOptions, TINY_GRID};
 use clover_machine::{
@@ -711,6 +712,75 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
         }));
     }
 
+    // Probe-scan pattern (PR 9): raw tag-lane scans of fully populated
+    // sets at the ICX L2 associativity (20-way), probing lines that are
+    // *not resident* — the streaming-eviction hot case, where every probe
+    // walks a full set: the scalar loop has no early exit and must
+    // compare all 20 tags, while the SIMD path resolves the set in five
+    // vector compares.  The 20 KiB tag lane stays L1-resident, so the
+    // pattern is bound by the probe compute it isolates, not by streaming
+    // tags through L2.  Both sides run the identical workload through the
+    // same `SetAssocCache` code; only the `SIMD` const parameter differs
+    // (AVX2/chunked movemask compare vs. scalar early-exit scan), so the
+    // `probe_scan_simd` in-run ratio is exactly the tag-lane win.
+    {
+        let lines: u64 = (160 << 10) / 64; // 2560 lines, 128 sets x 20 ways
+        let touches = if quick { n } else { 4 * n };
+        let mut simd = SetAssocCache::<TrueLru, true>::new(160 << 10, 20);
+        let mut scalar = SetAssocCache::<TrueLru, false>::new(160 << 10, 20);
+        for line in 0..lines {
+            simd.probe_fill(line, false);
+            scalar.probe_fill(line, false);
+        }
+        // Lines `>= lines` alias the same sets but are never resident, so
+        // every probe is a full-set miss scan cycling through all sets.
+        let probes: Vec<u64> = (0..touches).map(|t| lines + t % lines).collect();
+        results.push(measure("probe_scan_scalar", touches, reps, || {
+            assert_eq!(scalar.resident_count(&probes), 0);
+        }));
+        results.push(measure("probe_scan_simd", touches, reps, || {
+            assert_eq!(simd.resident_count(&probes), 0);
+        }));
+    }
+
+    // Differential re-simulation pattern (PR 9): a neighbour-dense sweep —
+    // the full rank curve crossed with the SpecI2M MSR switch, every point
+    // sharing one `SimMemo`.  The occupancy context and the MSR switch
+    // scale counter accounting only, so the differential memo simulates
+    // each distinct cache-dynamics identity once and *replays* its
+    // recorded trace for every neighbour; the `_off` side runs the same
+    // curve with differential re-simulation disabled (every memo miss
+    // re-simulates from scratch).  Both sides construct their memo inside
+    // the measured closure — the measurement is one cold sweep, and the
+    // `sweep_differential` in-run ratio is exactly the replay win.
+    {
+        let max_ranks = if quick { 18 } else { 72 };
+        let per_rank = n / 16;
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            per_rank,
+            AccessKind::Store,
+        );
+        let points = 2 * max_ranks as u64;
+        let run_curve = |memo: &SimMemo| {
+            for ranks in 1..=max_ranks {
+                for speci2m in [true, false] {
+                    let cfg = SimConfig::new(machine.clone(), ranks);
+                    let cfg = if speci2m { cfg } else { cfg.without_speci2m() };
+                    let report = NodeSim::new(cfg).run_spmd_memo(&spec, memo);
+                    assert!(report.total.total_bytes() > 0.0);
+                }
+            }
+        };
+        results.push(measure("sweep_differential_off", points, reps, || {
+            run_curve(&SimMemo::without_differential());
+        }));
+        results.push(measure("sweep_differential_on", points, reps, || {
+            run_curve(&SimMemo::new());
+        }));
+    }
+
     // Sweep-level patterns (PR 5): whole curves and plans, each measured
     // twice — once replayed on the PR 4 code path (per-point `ScalingModel`
     // / unmemoized `run_spmd`) and once through the cross-sweep memo +
@@ -826,6 +896,14 @@ pub fn run_perf_bench(quick: bool, label: &str) -> BenchReport {
             name: "policy_dispatch".to_string(),
             factor: ratio("node_spmd_store", "policy_grid_spmd"),
         },
+        Speedup {
+            name: "probe_scan_simd".to_string(),
+            factor: ratio("probe_scan_scalar", "probe_scan_simd"),
+        },
+        Speedup {
+            name: "sweep_differential".to_string(),
+            factor: ratio("sweep_differential_off", "sweep_differential_on"),
+        },
     ];
     // The store-curve pair is tracked as plain measurements: its memo win
     // is the within-curve context dedup (~140 -> ~75 representative sims on
@@ -860,6 +938,10 @@ mod tests {
             "node_spmd_store",
             "policy_grid_spmd",
             "corun_two_tenant",
+            "probe_scan_scalar",
+            "probe_scan_simd",
+            "sweep_differential_off",
+            "sweep_differential_on",
             "scaling_curve_pair_pr4",
             "scaling_curve_pair_memo",
             "sweep_plan_pr4",
@@ -878,6 +960,8 @@ mod tests {
             "scaling_curve_72",
             "sweep_plan_nested",
             "policy_dispatch",
+            "probe_scan_simd",
+            "sweep_differential",
         ] {
             assert!(report.speedup(name).unwrap() > 0.0, "{name}");
         }
@@ -929,6 +1013,8 @@ mod tests {
             "scaling_curve_72",
             "sweep_plan_nested",
             "policy_dispatch",
+            "probe_scan_simd",
+            "sweep_differential",
         ] {
             let s = report.speedup(name).unwrap();
             assert!(s.is_finite() && s > 0.0, "{name}: {s}");

@@ -1,28 +1,49 @@
 //! Set-associative cache with pluggable replacement and write-back lines.
 //!
-//! Storage is a single flat arena (`Box<[CacheLine]>`) with a fixed
-//! `ways` stride per set and mask-derived set indices, so a probe is one
-//! contiguous scan of at most `ways` entries — no per-set `Vec`, no pointer
-//! chasing, no allocation after construction.  Validity is encoded in the
-//! entry itself (`line == INVALID_LINE`).
+//! Storage is a pair of parallel flat lanes (structure-of-arrays): a packed
+//! **tag lane** (`Box<[u64]>`, one line index per slot) and a **meta lane**
+//! (`Box<[u64]>`, the LRU stamp and dirty bit packed as `stamp << 1 |
+//! dirty`), both with a fixed `ways` stride per set and mask-derived set
+//! indices.  A probe touches only the tag lane — at most `ways` contiguous
+//! `u64`s — so the hot scan is a chunked branch-free compare over 8-wide
+//! groups (`u64x8`-style: accumulate hit/empty bit masks, one
+//! `trailing_zeros` resolve per chunk) instead of a scalar early-exit loop.
+//! The meta lane is read only on the slot the probe resolved to, or by the
+//! miss-path victim scan.  Validity is encoded in the tag itself
+//! (`tag == INVALID_LINE`).
+//!
+//! The SIMD path is tiered by runtime feature detection (stable
+//! `std::arch` intrinsics behind `is_x86_feature_detected!` — no nightly
+//! `std::simd`): AVX-512 mask-register compares where available, then
+//! AVX2 compare + movemask, then the portable chunked loop everywhere
+//! else.  Single probes pay one dispatched call; batch probes
+//! ([`resident_count`](SetAssocCache::resident_count)) resolve the
+//! dispatch once and run the whole scan loop inside the selected
+//! implementation.  The `const SIMD: bool` type parameter selects the
+//! scalar reference scan at compile time (used by the equivalence
+//! proptests), and the `scalar-probe` cargo feature forces the scalar
+//! path crate-wide so CI can run the whole suite on the fallback.
 //!
 //! The victim-selection strategy is a zero-cost generic parameter
-//! ([`ReplacementPolicy`], default [`TrueLru`]).  True LRU keeps the
-//! original fused probe scan (the stamp words double as the recency
-//! order); other policies carry their own per-set state and are consulted
-//! through compile-time-guarded hooks, so the default monomorphisation is
-//! the pre-refactor hot path instruction for instruction.
+//! ([`ReplacementPolicy`], default [`TrueLru`]).  True LRU derives the
+//! victim from the meta lane (stamps are unique, so ordering by the packed
+//! word orders by recency regardless of the dirty bit); other policies
+//! carry their own per-set state and are consulted through
+//! compile-time-guarded hooks, so all 12 policy × write-policy combos stay
+//! fully monomorphised.
 //!
 //! Three invariants keep the scans short:
 //!
 //! * **prefix invariant** — within a set, valid entries always form a
-//!   prefix ([`invalidate`](SetAssocCache::invalidate) compacts), so every
-//!   probe stops at the first empty slot instead of walking all ways;
+//!   prefix ([`invalidate`](SetAssocCache::invalidate) compacts), so a hit
+//!   always precedes the first empty slot and every probe stops at the
+//!   first chunk containing either;
 //! * **miss memo** — a [`touch`](SetAssocCache::touch) that misses records
 //!   the slot a fill of that line would use, so the
 //!   [`fill`](SetAssocCache::fill) that typically follows is O(1);
-//! * **used-set tracking** — draining operations visit only sets that ever
-//!   received a fill, so reset/flush cost O(resident), not O(capacity).
+//! * **used-set tracking** — draining operations (and
+//!   [`resident_lines`](SetAssocCache::resident_lines)) visit only sets
+//!   that ever received a fill, so they cost O(resident), not O(capacity).
 
 use std::collections::HashMap;
 
@@ -50,17 +71,284 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
+/// Outcome of scanning one set's tag lane for a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetProbe {
+    /// Line resident at this way index.
+    Hit(usize),
+    /// Line absent; first empty slot at this way index (a fill goes here).
+    Empty(usize),
+    /// Line absent and the set is full (a fill needs a victim).
+    Full,
+}
+
+/// Scalar reference probe: the pre-SoA early-exit loop over the tag lane.
+#[inline(always)]
+fn probe_scalar(tags: &[u64], line: u64) -> SetProbe {
+    for (idx, &tag) in tags.iter().enumerate() {
+        if tag == line {
+            return SetProbe::Hit(idx);
+        }
+        if tag == INVALID_LINE {
+            // Prefix invariant: nothing valid beyond the first hole.
+            return SetProbe::Empty(idx);
+        }
+    }
+    SetProbe::Full
+}
+
+/// Chunked branch-free probe: accumulate 8-wide hit/empty bit masks per
+/// chunk of the tag lane (`u64x8`-style — the compare loop has no
+/// data-dependent branch, so it vectorises), then resolve each chunk with
+/// two `trailing_zeros`.  The prefix invariant guarantees a hit precedes
+/// the first empty slot, so the first chunk with either mask non-zero
+/// decides the probe.
+#[inline(always)]
+fn probe_chunked(tags: &[u64], line: u64) -> SetProbe {
+    let mut base = 0usize;
+    for chunk in tags.chunks(8) {
+        let mut hit = 0u32;
+        let mut empty = 0u32;
+        for (j, &tag) in chunk.iter().enumerate() {
+            hit |= ((tag == line) as u32) << j;
+            empty |= ((tag == INVALID_LINE) as u32) << j;
+        }
+        if hit | empty != 0 {
+            let h = hit.trailing_zeros();
+            let e = empty.trailing_zeros();
+            return if h < e {
+                SetProbe::Hit(base + h as usize)
+            } else {
+                SetProbe::Empty(base + e as usize)
+            };
+        }
+        base += chunk.len();
+    }
+    SetProbe::Full
+}
+
+/// AVX2 probe: one `_mm256_cmpeq_epi64` against the needle and one against
+/// the empty sentinel per 4-wide group, compressed to hit/empty bit masks
+/// with `_mm256_movemask_pd` and resolved exactly like the portable chunked
+/// path.  The win over the scalar loop is largest when the probed line is
+/// *absent from a full set* — the streaming-eviction hot case, where the
+/// scalar scan has no early exit and must walk all `ways` tags.
+///
+/// # Safety
+/// Callers must guarantee AVX2 is available (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn probe_avx2(tags: &[u64], line: u64) -> SetProbe {
+    use std::arch::x86_64::*;
+    let needle = _mm256_set1_epi64x(line as i64);
+    let hole = _mm256_set1_epi64x(-1i64); // INVALID_LINE in every lane
+    let mut base = 0usize;
+    let mut chunks = tags.chunks_exact(4);
+    for chunk in &mut chunks {
+        let lane = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+        let hit = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lane, needle))) as u32;
+        let empty = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lane, hole))) as u32;
+        if hit | empty != 0 {
+            let h = hit.trailing_zeros();
+            let e = empty.trailing_zeros();
+            return if h < e {
+                SetProbe::Hit(base + h as usize)
+            } else {
+                SetProbe::Empty(base + e as usize)
+            };
+        }
+        base += 4;
+    }
+    for (j, &tag) in chunks.remainder().iter().enumerate() {
+        if tag == line {
+            return SetProbe::Hit(base + j);
+        }
+        if tag == INVALID_LINE {
+            return SetProbe::Empty(base + j);
+        }
+    }
+    SetProbe::Full
+}
+
+/// AVX-512 probe: eight tags per `_mm512_cmpeq_epi64_mask`, with the
+/// hit/empty masks landing directly in mask registers (`__mmask8`) — no
+/// float-domain movemask round trip — and the sub-8 tail handled by one
+/// masked load + masked compare instead of a scalar remainder loop.  The
+/// compares are *masked* (`_mm512_mask_cmpeq_epi64_mask`) on the tail so
+/// the zeroed masked-out lanes can never fake a hit on line 0.
+///
+/// # Safety
+/// Callers must guarantee AVX-512F is available
+/// (`is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn probe_avx512(tags: &[u64], line: u64) -> SetProbe {
+    use std::arch::x86_64::*;
+    let needle = _mm512_set1_epi64(line as i64);
+    let hole = _mm512_set1_epi64(-1i64); // INVALID_LINE in every lane
+    let mut base = 0usize;
+    let mut chunks = tags.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lane = _mm512_loadu_epi64(chunk.as_ptr() as *const i64);
+        let hit = _mm512_cmpeq_epi64_mask(lane, needle) as u32;
+        let empty = _mm512_cmpeq_epi64_mask(lane, hole) as u32;
+        if hit | empty != 0 {
+            let h = hit.trailing_zeros();
+            let e = empty.trailing_zeros();
+            return if h < e {
+                SetProbe::Hit(base + h as usize)
+            } else {
+                SetProbe::Empty(base + e as usize)
+            };
+        }
+        base += 8;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let k: __mmask8 = (1u8 << rem.len()) - 1;
+        let lane = _mm512_maskz_loadu_epi64(k, rem.as_ptr() as *const i64);
+        let hit = _mm512_mask_cmpeq_epi64_mask(k, lane, needle) as u32;
+        let empty = _mm512_mask_cmpeq_epi64_mask(k, lane, hole) as u32;
+        if hit | empty != 0 {
+            let h = hit.trailing_zeros();
+            let e = empty.trailing_zeros();
+            return if h < e {
+                SetProbe::Hit(base + h as usize)
+            } else {
+                SetProbe::Empty(base + e as usize)
+            };
+        }
+    }
+    SetProbe::Full
+}
+
+/// Which probe implementation runtime feature detection picked for the
+/// `SIMD = true` path.  Detected once per cache construction and cached as
+/// a plain field ([`detect_probe_tier`]): a non-atomic field load is
+/// loop-invariant to LLVM, so hot probe loops hoist the dispatch branch
+/// instead of re-reading `std`'s atomic detection cache every probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeTier {
+    /// Mask-register compares, 8 tags per instruction ([`probe_avx512`]).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// 256-bit compares + movemask, 4 tags per instruction
+    /// ([`probe_avx2`]).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// The portable chunked loop ([`probe_chunked`]).
+    Portable,
+}
+
+/// One-time probe-tier detection (see [`ProbeTier`]).
+#[inline]
+fn detect_probe_tier() -> ProbeTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx512f") {
+            ProbeTier::Avx512
+        } else if std::is_x86_feature_detected!("avx2") {
+            ProbeTier::Avx2
+        } else {
+            ProbeTier::Portable
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        ProbeTier::Portable
+    }
+}
+
+/// Runtime-dispatched SIMD probe: the widest vector compare the CPU has,
+/// the portable chunked loop everywhere else.  `tier` must come from
+/// [`detect_probe_tier`].
+#[inline(always)]
+fn probe_simd(tags: &[u64], line: u64, tier: ProbeTier) -> SetProbe {
+    match tier {
+        // SAFETY: each tier is picked only when its runtime feature
+        // detection succeeded.
+        #[cfg(target_arch = "x86_64")]
+        ProbeTier::Avx512 => unsafe { probe_avx512(tags, line) },
+        #[cfg(target_arch = "x86_64")]
+        ProbeTier::Avx2 => unsafe { probe_avx2(tags, line) },
+        ProbeTier::Portable => probe_chunked(tags, line),
+    }
+}
+
+/// Compile-time probe selection: the SIMD lane scan unless the type asked
+/// for the scalar reference (`SIMD = false`) or the `scalar-probe` feature
+/// forces the fallback crate-wide.
+#[inline(always)]
+fn probe_lane<const SIMD: bool>(tags: &[u64], line: u64, tier: ProbeTier) -> SetProbe {
+    if SIMD && !cfg!(feature = "scalar-probe") {
+        probe_simd(tags, line, tier)
+    } else {
+        probe_scalar(tags, line)
+    }
+}
+
+/// Length of the valid prefix of a set's tag lane (index of the first
+/// empty slot, or `ways` if the set is full).
+#[inline(always)]
+fn valid_prefix_len(tags: &[u64]) -> usize {
+    tags.iter()
+        .position(|&t| t == INVALID_LINE)
+        .unwrap_or(tags.len())
+}
+
+/// True-LRU victim of a full set: the way with the minimum packed meta
+/// word.  Stamps are unique, so the first strict minimum is the least
+/// recently used line regardless of dirty bits — exactly the victim the
+/// pre-SoA fused scan produced.
+#[inline(always)]
+fn min_meta_slot(meta: &[u64]) -> usize {
+    let mut victim = 0usize;
+    let mut best = meta[0];
+    for (idx, &m) in meta.iter().enumerate().skip(1) {
+        if m < best {
+            victim = idx;
+            best = m;
+        }
+    }
+    victim
+}
+
+/// Pack a meta word: the dirty flag lives in the low bit of the LRU word
+/// (`meta = stamp << 1 | dirty`).  Stamps are unique, so ordering by the
+/// packed word orders by stamp regardless of the dirty bit.
+#[inline(always)]
+fn make_meta(stamp: u64, dirty: bool) -> u64 {
+    stamp << 1 | dirty as u64
+}
+
+/// Whether a meta word carries the dirty bit.
+#[inline(always)]
+fn meta_dirty(meta: u64) -> bool {
+    meta & 1 == 1
+}
+
+/// Refresh a meta word's LRU stamp, keeping (and optionally setting) dirty.
+#[inline(always)]
+fn refresh_meta(meta: &mut u64, stamp: u64, write: bool) {
+    *meta = stamp << 1 | (*meta & 1) | write as u64;
+}
+
 /// A single set-associative cache level with a pluggable replacement
-/// policy (true LRU by default).
+/// policy (true LRU by default) and a compile-time probe-path selector
+/// (`SIMD = true` is the chunked lane scan, `false` the scalar reference).
 ///
 /// Lines are identified by their global line index (`addr / 64`); the set
 /// index is derived from the line index, the tag is the full line index
 /// (simple and unambiguous).
 #[derive(Debug, Clone)]
-pub struct SetAssocCache<R: ReplacementPolicy = TrueLru> {
-    /// Flat arena: `sets × ways` entries, set-major.  Slot validity is
-    /// encoded in the entry (`line == INVALID_LINE`).
-    entries: Box<[CacheLine]>,
+pub struct SetAssocCache<R: ReplacementPolicy = TrueLru, const SIMD: bool = true> {
+    /// Tag lane: `sets × ways` line indices, set-major.  Slot validity is
+    /// encoded in the tag (`INVALID_LINE`); valid tags form a prefix of
+    /// each set.
+    tags: Box<[u64]>,
+    /// Meta lane, parallel to `tags`: `stamp << 1 | dirty` per slot
+    /// (`0` for empty slots).
+    meta: Box<[u64]>,
     /// Set indices that received at least one fill since the last
     /// reset/flush, so draining operations touch O(resident) entries
     /// instead of the whole arena (a streaming kernel leaves most of a
@@ -77,6 +365,9 @@ pub struct SetAssocCache<R: ReplacementPolicy = TrueLru> {
     policy: R,
     ways: usize,
     set_mask: u64,
+    /// Cached [`detect_probe_tier`] result (see there);
+    /// geometry-independent.
+    probe_tier: ProbeTier,
     hits: u64,
     misses: u64,
     stamp: u64,
@@ -91,42 +382,7 @@ struct MissMemo {
     stamp: u64,
 }
 
-/// One arena slot, packed to 16 bytes: the dirty flag lives in the low bit
-/// of the LRU word (`lru_dirty = stamp << 1 | dirty`).  Stamps are unique,
-/// so ordering by `lru_dirty` orders by stamp regardless of the dirty bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CacheLine {
-    line: u64,
-    lru_dirty: u64,
-}
-
-impl CacheLine {
-    #[inline]
-    fn make(line: u64, stamp: u64, dirty: bool) -> Self {
-        Self {
-            line,
-            lru_dirty: stamp << 1 | dirty as u64,
-        }
-    }
-
-    #[inline]
-    fn dirty(&self) -> bool {
-        self.lru_dirty & 1 == 1
-    }
-
-    /// Refresh the LRU stamp, keeping (and optionally setting) dirty.
-    #[inline]
-    fn refresh(&mut self, stamp: u64, write: bool) {
-        self.lru_dirty = stamp << 1 | (self.lru_dirty & 1) | write as u64;
-    }
-}
-
-const EMPTY_SLOT: CacheLine = CacheLine {
-    line: INVALID_LINE,
-    lru_dirty: 0,
-};
-
-impl<R: ReplacementPolicy> SetAssocCache<R> {
+impl<R: ReplacementPolicy, const SIMD: bool> SetAssocCache<R, SIMD> {
     /// Create a cache with `capacity_bytes` total capacity, `ways`
     /// associativity and 64-byte lines.  The number of sets is rounded down
     /// to the next power of two so the set index is a simple mask; capacity
@@ -134,13 +390,15 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     pub fn new(capacity_bytes: usize, ways: usize) -> Self {
         let (sets, effective_ways) = Self::geometry(capacity_bytes, ways);
         Self {
-            entries: vec![EMPTY_SLOT; sets * effective_ways].into_boxed_slice(),
+            tags: vec![INVALID_LINE; sets * effective_ways].into_boxed_slice(),
+            meta: vec![0u64; sets * effective_ways].into_boxed_slice(),
             used_sets: Vec::new(),
             used_bitmap: vec![0u64; sets.div_ceil(64)].into_boxed_slice(),
             miss_memo: None,
             policy: R::new(sets, effective_ways),
             ways: effective_ways,
             set_mask: (sets - 1) as u64,
+            probe_tier: detect_probe_tier(),
             hits: 0,
             misses: 0,
             stamp: 0,
@@ -178,7 +436,7 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
         self.ways == effective_ways && self.set_mask == (sets - 1) as u64
     }
 
-    /// Empty the cache and zero the counters, reusing the arena allocation.
+    /// Empty the cache and zero the counters, reusing the lane allocations.
     /// Afterwards the cache is indistinguishable from a freshly constructed
     /// one of the same geometry.  Costs O(sets ever filled), not
     /// O(capacity).
@@ -194,12 +452,13 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     fn clear_entries(&mut self) {
         for i in 0..self.used_sets.len() {
             let start = self.used_sets[i] as usize * self.ways;
-            for entry in &mut self.entries[start..start + self.ways] {
-                if entry.line == INVALID_LINE {
+            for slot in start..start + self.ways {
+                if self.tags[slot] == INVALID_LINE {
                     // Prefix invariant: everything beyond is already empty.
                     break;
                 }
-                *entry = EMPTY_SLOT;
+                self.tags[slot] = INVALID_LINE;
+                self.meta[slot] = 0;
             }
         }
         self.used_sets.clear();
@@ -222,15 +481,21 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
 
     /// Total capacity in cache lines.
     pub fn capacity_lines(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
-    /// Number of lines currently resident.
+    /// Number of lines currently resident.  Costs O(sets ever filled):
+    /// only used sets are visited, and the prefix invariant stops each
+    /// walk at the first hole — the never-filled bulk of the arena is
+    /// never touched.
     pub fn resident_lines(&self) -> usize {
-        self.entries
+        self.used_sets
             .iter()
-            .filter(|l| l.line != INVALID_LINE)
-            .count()
+            .map(|&set| {
+                let start = set as usize * self.ways;
+                valid_prefix_len(&self.tags[start..start + self.ways])
+            })
+            .sum()
     }
 
     /// Hit count since construction.
@@ -243,24 +508,122 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
         self.misses
     }
 
+    /// Start offset of `line`'s set in the flat lanes.
     #[inline]
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let start = (line & self.set_mask) as usize * self.ways;
-        start..start + self.ways
+    fn lane_start(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize * self.ways
+    }
+
+    /// Tag lane of the set starting at flat offset `start`, without a
+    /// per-probe bounds check (measurably visible in probe-bound scans).
+    ///
+    /// SAFETY: `start` is always `(set index masked to sets - 1) * ways`,
+    /// and the lanes are allocated with exactly `sets * ways` slots, so
+    /// `start + ways <= tags.len()` holds by construction (debug-asserted).
+    #[inline(always)]
+    fn set_tags(&self, start: usize) -> &[u64] {
+        debug_assert!(start + self.ways <= self.tags.len());
+        unsafe { self.tags.get_unchecked(start..start + self.ways) }
     }
 
     /// Probe for a line without modifying LRU state or counters.
+    /// (`#[inline]` so cross-crate hot loops — the hierarchy, the probe
+    /// benchmarks — inline the scan instead of paying a call per probe.)
+    #[inline]
     pub fn contains(&self, line: u64) -> bool {
-        for entry in &self.entries[self.set_range(line)] {
-            if entry.line == line {
-                return true;
+        let start = self.lane_start(line);
+        matches!(
+            probe_lane::<SIMD>(self.set_tags(start), line, self.probe_tier),
+            SetProbe::Hit(_)
+        )
+    }
+
+    /// Count how many of `lines` are resident — a bulk [`contains`] that
+    /// modifies no LRU state or counters.
+    ///
+    /// The probe-path dispatch (AVX-512 / AVX2 / portable) is resolved
+    /// *once for the whole batch* and the scan loop runs inside the
+    /// selected implementation, so the per-probe call, `vzeroupper` and
+    /// needle-broadcast overhead of a dispatched single probe is amortised
+    /// away.  This is the shape a working-set residency question has
+    /// (many lines against one cache), and what the probe-scan benchmark
+    /// measures.
+    ///
+    /// [`contains`]: Self::contains
+    pub fn resident_count(&self, lines: &[u64]) -> usize {
+        if SIMD && !cfg!(feature = "scalar-probe") {
+            match self.probe_tier {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: each tier is picked only when its runtime
+                // feature detection succeeded.
+                ProbeTier::Avx512 => unsafe { self.resident_count_avx512(lines) },
+                #[cfg(target_arch = "x86_64")]
+                ProbeTier::Avx2 => unsafe { self.resident_count_avx2(lines) },
+                ProbeTier::Portable => self.resident_count_with(lines, probe_chunked),
             }
-            if entry.line == INVALID_LINE {
-                // Prefix invariant: nothing valid beyond the first hole.
-                return false;
-            }
+        } else {
+            self.resident_count_with(lines, probe_scalar)
         }
-        false
+    }
+
+    /// [`resident_count`](Self::resident_count) loop over one concrete
+    /// probe implementation (inlined into the feature-enabled wrappers, so
+    /// the probe itself inlines into the batch loop).
+    #[inline(always)]
+    fn resident_count_with(&self, lines: &[u64], probe: impl Fn(&[u64], u64) -> SetProbe) -> usize {
+        lines
+            .iter()
+            .filter(|&&line| {
+                matches!(
+                    probe(self.set_tags(self.lane_start(line)), line),
+                    SetProbe::Hit(_)
+                )
+            })
+            .count()
+    }
+
+    /// # Safety
+    /// AVX-512F must be available (`is_x86_feature_detected!`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn resident_count_avx512(&self, lines: &[u64]) -> usize {
+        // SAFETY: the caller guarantees AVX-512F; the closure inherits the
+        // feature context, so the probe inlines without a per-line call.
+        self.resident_count_with(lines, |tags, line| unsafe { probe_avx512(tags, line) })
+    }
+
+    /// # Safety
+    /// AVX2 must be available (`is_x86_feature_detected!`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn resident_count_avx2(&self, lines: &[u64]) -> usize {
+        // SAFETY: the caller guarantees AVX2 (see above on inlining).
+        self.resident_count_with(lines, |tags, line| unsafe { probe_avx2(tags, line) })
+    }
+
+    /// Write `line` into `slot` of `set_idx` with a fresh meta word,
+    /// returning the eviction if the slot held a valid line.
+    #[inline]
+    fn replace_slot(
+        &mut self,
+        set_idx: usize,
+        slot: usize,
+        line: u64,
+        stamp: u64,
+        dirty: bool,
+    ) -> Option<Eviction> {
+        let i = set_idx * self.ways + slot;
+        let old = self.tags[i];
+        let evicted = (old != INVALID_LINE).then(|| Eviction {
+            line: old,
+            dirty: meta_dirty(self.meta[i]),
+        });
+        self.tags[i] = line;
+        self.meta[i] = make_meta(stamp, dirty);
+        if !R::LRU_SCAN {
+            self.policy.on_fill(set_idx, slot);
+        }
+        evicted
     }
 
     /// Access (touch) a line: returns `Hit` and refreshes LRU if present,
@@ -272,47 +635,36 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     ///
     /// [`fill`]: Self::fill
     /// [`probe_fill`]: Self::probe_fill
+    #[inline]
     pub fn touch(&mut self, line: u64, write: bool) -> LookupResult {
         let stamp = self.next_stamp();
         let set_idx = (line & self.set_mask) as usize;
         let start = set_idx * self.ways;
-        let set = &mut self.entries[start..start + self.ways];
-        let mut victim = 0usize;
-        let mut victim_lru = u64::MAX;
-        let mut empty_found = false;
-        for (idx, entry) in set.iter_mut().enumerate() {
-            if entry.line == line {
-                entry.refresh(stamp, write);
+        match probe_lane::<SIMD>(self.set_tags(start), line, self.probe_tier) {
+            SetProbe::Hit(idx) => {
+                refresh_meta(&mut self.meta[start + idx], stamp, write);
                 if !R::LRU_SCAN {
                     self.policy.on_hit(set_idx, idx);
                 }
                 self.hits += 1;
-                return LookupResult::Hit;
+                LookupResult::Hit
             }
-            if entry.line == INVALID_LINE {
-                // Prefix invariant: nothing valid beyond; a fill would use
-                // this slot.
-                victim = idx;
-                empty_found = true;
-                break;
-            }
-            if entry.lru_dirty < victim_lru {
-                victim = idx;
-                victim_lru = entry.lru_dirty;
+            probe => {
+                self.misses += 1;
+                // For non-LRU policies a full set has no victim yet (the
+                // policy is consulted — and possibly aged — only by the fill
+                // itself), so only an empty slot can be remembered.
+                let slot = match probe {
+                    SetProbe::Empty(idx) => Some(idx),
+                    _ if R::LRU_SCAN => Some(min_meta_slot(&self.meta[start..start + self.ways])),
+                    _ => None,
+                };
+                if let Some(slot) = slot {
+                    self.miss_memo = Some(MissMemo { line, slot, stamp });
+                }
+                LookupResult::Miss
             }
         }
-        self.misses += 1;
-        // For non-LRU policies a full set has no victim yet (the policy is
-        // consulted — and possibly aged — only by the fill itself), so only
-        // an empty slot can be remembered.
-        if R::LRU_SCAN || empty_found {
-            self.miss_memo = Some(MissMemo {
-                line,
-                slot: victim,
-                stamp,
-            });
-        }
-        LookupResult::Miss
     }
 
     /// Account `n` additional guaranteed hits on a line that is known to be
@@ -322,28 +674,34 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     /// Returns `false` (and changes nothing) if the line is not resident;
     /// callers fall back to the scalar path in that case.
     ///
+    /// This is a **load-only** fast path: the refresh deliberately passes
+    /// `write = false`, so an already-dirty line stays dirty and a clean
+    /// line stays clean.  Repeated *stores* must go through the regular
+    /// store path ([`touch`] with `write = true`, or the write-policy
+    /// handler above this level) — which is how every in-tree caller uses
+    /// it (`PrivateCore::load_run` and the pattern drivers' bulk-load
+    /// phases).  The dirty-bit semantics are regression-tested.
+    ///
     /// [`touch`]: Self::touch
+    #[inline]
     pub fn touch_repeat(&mut self, line: u64, n: u64) -> bool {
         if n == 0 {
             return true;
         }
         let stamp = self.next_stamp();
         let set_idx = (line & self.set_mask) as usize;
-        let range = self.set_range(line);
-        for (idx, entry) in self.entries[range].iter_mut().enumerate() {
-            if entry.line == line {
-                entry.refresh(stamp, false);
+        let start = set_idx * self.ways;
+        match probe_lane::<SIMD>(self.set_tags(start), line, self.probe_tier) {
+            SetProbe::Hit(idx) => {
+                refresh_meta(&mut self.meta[start + idx], stamp, false);
                 if !R::LRU_SCAN {
                     self.policy.on_hit(set_idx, idx);
                 }
                 self.hits += n;
-                return true;
+                true
             }
-            if entry.line == INVALID_LINE {
-                break;
-            }
+            _ => false,
         }
-        false
     }
 
     /// Combined touch-or-fill in a single set scan: counts a hit or a miss
@@ -355,58 +713,38 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     ///
     /// [`touch`]: Self::touch
     /// [`fill`]: Self::fill
+    #[inline]
     pub fn probe_fill(&mut self, line: u64, write: bool) -> (LookupResult, Option<Eviction>) {
         let stamp = self.next_stamp();
         let set_idx = (line & self.set_mask) as usize;
         let start = set_idx * self.ways;
-        let set = &mut self.entries[start..start + self.ways];
-        let mut victim = 0usize;
-        let mut victim_lru = u64::MAX;
-        let mut empty_found = false;
-        for (idx, entry) in set.iter_mut().enumerate() {
-            if entry.line == line {
-                entry.refresh(stamp, write);
+        match probe_lane::<SIMD>(self.set_tags(start), line, self.probe_tier) {
+            SetProbe::Hit(idx) => {
+                refresh_meta(&mut self.meta[start + idx], stamp, write);
                 if !R::LRU_SCAN {
                     self.policy.on_hit(set_idx, idx);
                 }
                 self.hits += 1;
-                return (LookupResult::Hit, None);
+                (LookupResult::Hit, None)
             }
-            if entry.line == INVALID_LINE {
-                // Prefix invariant: nothing valid beyond; insert here.
-                victim = idx;
-                empty_found = true;
-                break;
-            }
-            if entry.lru_dirty < victim_lru {
-                victim = idx;
-                victim_lru = entry.lru_dirty;
+            probe => {
+                let victim = match probe {
+                    SetProbe::Empty(idx) => idx,
+                    _ if R::LRU_SCAN => min_meta_slot(&self.meta[start..start + self.ways]),
+                    _ => self.policy.pick_victim(set_idx, self.ways),
+                };
+                let evicted = self.replace_slot(set_idx, victim, line, stamp, write);
+                self.misses += 1;
+                self.mark_used(set_idx);
+                (LookupResult::Miss, evicted)
             }
         }
-        if !(R::LRU_SCAN || empty_found) {
-            victim = self.policy.pick_victim(set_idx, self.ways);
-        }
-        let slot = &mut self.entries[start + victim];
-        let evicted = if slot.line != INVALID_LINE {
-            Some(Eviction {
-                line: slot.line,
-                dirty: slot.dirty(),
-            })
-        } else {
-            None
-        };
-        *slot = CacheLine::make(line, stamp, write);
-        if !R::LRU_SCAN {
-            self.policy.on_fill(set_idx, victim);
-        }
-        self.misses += 1;
-        self.mark_used(set_idx);
-        (LookupResult::Miss, evicted)
     }
 
     /// Insert a line (after a miss), possibly evicting the LRU line of its
     /// set.  Returns the eviction, if any.  `dirty` marks the new line dirty
     /// immediately (used for stores and for ITOM-claimed lines).
+    #[inline]
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
         // Fast path: the scan of a missing `touch` already determined the
         // slot, and nothing has changed since (same stamp).  The full scan
@@ -416,19 +754,7 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
                 let stamp = self.next_stamp();
                 self.miss_memo = None;
                 let set_idx = (line & self.set_mask) as usize;
-                let slot = &mut self.entries[set_idx * self.ways + memo.slot];
-                let evicted = if slot.line != INVALID_LINE {
-                    Some(Eviction {
-                        line: slot.line,
-                        dirty: slot.dirty(),
-                    })
-                } else {
-                    None
-                };
-                *slot = CacheLine::make(line, stamp, dirty);
-                if !R::LRU_SCAN {
-                    self.policy.on_fill(set_idx, memo.slot);
-                }
+                let evicted = self.replace_slot(set_idx, memo.slot, line, stamp, dirty);
                 self.mark_used(set_idx);
                 return evicted;
             }
@@ -436,48 +762,26 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
         let stamp = self.next_stamp();
         let set_idx = (line & self.set_mask) as usize;
         let start = set_idx * self.ways;
-        let set = &mut self.entries[start..start + self.ways];
-        let mut victim = 0usize;
-        let mut victim_lru = u64::MAX;
-        let mut empty_found = false;
-        for (idx, entry) in set.iter_mut().enumerate() {
-            if entry.line == line {
+        match probe_lane::<SIMD>(self.set_tags(start), line, self.probe_tier) {
+            SetProbe::Hit(idx) => {
                 // Already present (e.g. racing prefetch): refresh.
-                entry.refresh(stamp, dirty);
+                refresh_meta(&mut self.meta[start + idx], stamp, dirty);
                 if !R::LRU_SCAN {
                     self.policy.on_hit(set_idx, idx);
                 }
-                return None;
+                None
             }
-            if entry.line == INVALID_LINE {
-                // Prefix invariant: nothing valid beyond; insert here.
-                victim = idx;
-                empty_found = true;
-                break;
-            }
-            if entry.lru_dirty < victim_lru {
-                victim = idx;
-                victim_lru = entry.lru_dirty;
+            probe => {
+                let victim = match probe {
+                    SetProbe::Empty(idx) => idx,
+                    _ if R::LRU_SCAN => min_meta_slot(&self.meta[start..start + self.ways]),
+                    _ => self.policy.pick_victim(set_idx, self.ways),
+                };
+                let evicted = self.replace_slot(set_idx, victim, line, stamp, dirty);
+                self.mark_used(set_idx);
+                evicted
             }
         }
-        if !(R::LRU_SCAN || empty_found) {
-            victim = self.policy.pick_victim(set_idx, self.ways);
-        }
-        let slot = &mut self.entries[start + victim];
-        let evicted = if slot.line != INVALID_LINE {
-            Some(Eviction {
-                line: slot.line,
-                dirty: slot.dirty(),
-            })
-        } else {
-            None
-        };
-        *slot = CacheLine::make(line, stamp, dirty);
-        if !R::LRU_SCAN {
-            self.policy.on_fill(set_idx, victim);
-        }
-        self.mark_used(set_idx);
-        evicted
     }
 
     /// Remove a specific line (e.g. when an NT store invalidates it).
@@ -486,24 +790,21 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
         // The removal moves entries around; a remembered slot may go stale.
         self.miss_memo = None;
         let set_idx = (line & self.set_mask) as usize;
-        let range = self.set_range(line);
-        let set = &mut self.entries[range];
-        let mut found: Option<(usize, bool)> = None;
-        let mut valid = 0usize;
-        for (idx, entry) in set.iter().enumerate() {
-            if entry.line == INVALID_LINE {
-                break;
-            }
-            valid += 1;
-            if entry.line == line {
-                found = Some((idx, entry.dirty()));
-            }
-        }
-        let (idx, dirty) = found?;
+        let start = set_idx * self.ways;
+        let tags = &self.tags[start..start + self.ways];
+        let idx = match probe_lane::<SIMD>(tags, line, self.probe_tier) {
+            SetProbe::Hit(idx) => idx,
+            _ => return None,
+        };
+        // The hit sits inside the valid prefix; find where that prefix ends.
+        let valid = idx + 1 + valid_prefix_len(&tags[idx + 1..]);
+        let dirty = meta_dirty(self.meta[start + idx]);
         // Preserve the prefix invariant by moving the last valid entry into
         // the hole (the same reordering the old `Vec::swap_remove` did).
-        set[idx] = set[valid - 1];
-        set[valid - 1] = EMPTY_SLOT;
+        self.tags[start + idx] = self.tags[start + valid - 1];
+        self.meta[start + idx] = self.meta[start + valid - 1];
+        self.tags[start + valid - 1] = INVALID_LINE;
+        self.meta[start + valid - 1] = 0;
         if !R::LRU_SCAN {
             self.policy.on_invalidate(set_idx, idx, valid - 1);
         }
@@ -516,18 +817,19 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     pub fn flush_dirty(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
         // Single pass: collect the dirty lines and clear each set while its
-        // entries are still in the host cache.
+        // lanes are still in the host cache.
         for i in 0..self.used_sets.len() {
             let start = self.used_sets[i] as usize * self.ways;
-            for entry in &mut self.entries[start..start + self.ways] {
-                if entry.line == INVALID_LINE {
+            for slot in start..start + self.ways {
+                if self.tags[slot] == INVALID_LINE {
                     // Prefix invariant: everything beyond is already empty.
                     break;
                 }
-                if entry.dirty() {
-                    dirty.push(entry.line);
+                if meta_dirty(self.meta[slot]) {
+                    dirty.push(self.tags[slot]);
                 }
-                *entry = EMPTY_SLOT;
+                self.tags[slot] = INVALID_LINE;
+                self.meta[slot] = 0;
             }
         }
         self.used_sets.clear();
@@ -544,12 +846,12 @@ impl<R: ReplacementPolicy> SetAssocCache<R> {
     pub fn for_each_resident(&self, mut f: impl FnMut(u64, bool)) {
         for &set in &self.used_sets {
             let start = set as usize * self.ways;
-            for entry in &self.entries[start..start + self.ways] {
-                if entry.line == INVALID_LINE {
+            for slot in start..start + self.ways {
+                if self.tags[slot] == INVALID_LINE {
                     // Prefix invariant: everything beyond is already empty.
                     break;
                 }
-                f(entry.line, entry.dirty());
+                f(self.tags[slot], meta_dirty(self.meta[slot]));
             }
         }
     }
@@ -595,7 +897,7 @@ pub trait CacheBank: std::fmt::Debug + Clone + Send + 'static {
     fn misses(&self) -> u64;
 }
 
-impl<R: ReplacementPolicy> CacheBank for SetAssocCache<R> {
+impl<R: ReplacementPolicy, const SIMD: bool> CacheBank for SetAssocCache<R, SIMD> {
     #[inline]
     fn touch(&mut self, line: u64, write: bool) -> LookupResult {
         SetAssocCache::touch(self, line, write)
@@ -980,6 +1282,43 @@ mod tests {
     }
 
     #[test]
+    fn touch_repeat_preserves_the_dirty_bit() {
+        // The batched path is load-only: it must neither clear an existing
+        // dirty bit nor set one — repeated resident *stores* go through the
+        // regular write path instead.
+        let mut c = lru(4 * 64, 4);
+        c.fill(5, true); // resident and dirty
+        assert!(c.touch_repeat(5, 4));
+        assert_eq!(c.flush_dirty(), vec![5], "dirty bit must survive repeats");
+        c.fill(6, false); // resident and clean
+        assert!(c.touch_repeat(6, 3));
+        assert!(
+            c.flush_dirty().is_empty(),
+            "repeats must never dirty a clean line"
+        );
+    }
+
+    #[test]
+    fn resident_lines_tracks_fills_invalidates_and_flushes() {
+        // A large cache where a full-arena scan would visit ~16k slots:
+        // the used-set walk must still report exact counts through every
+        // mutation that changes residency.
+        let mut c = lru(1 << 20, 16);
+        assert_eq!(c.resident_lines(), 0);
+        for line in 0..48u64 {
+            c.fill(line, line % 5 == 0);
+        }
+        assert_eq!(c.resident_lines(), 48);
+        c.invalidate(7);
+        c.invalidate(31);
+        assert_eq!(c.resident_lines(), 46);
+        c.flush_dirty();
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(3, false);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
     fn reset_restores_fresh_state() {
         let mut c = lru(8 * 64, 4);
         for line in 0..12u64 {
@@ -1049,6 +1388,140 @@ mod tests {
         probe_fill_equivalence_generic::<TreePlru>();
         probe_fill_equivalence_generic::<Srrip>();
         probe_fill_equivalence_generic::<RandomEvict>();
+    }
+
+    /// Drive the chunked-probe and scalar-probe instantiations of the same
+    /// policy with an identical mixed operation stream; every result,
+    /// counter and flush must agree bit for bit.
+    fn chunked_matches_scalar_generic<R: ReplacementPolicy>(capacity: usize, ways: usize) {
+        let mut simd: SetAssocCache<R, true> = SetAssocCache::new(capacity, ways);
+        let mut scalar: SetAssocCache<R, false> = SetAssocCache::new(capacity, ways);
+        // Deterministic mixed stream over a working set larger than the
+        // cache so full sets, evictions and invalidations all occur.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for n in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = (x >> 33) % 512;
+            match n % 7 {
+                0 | 1 => {
+                    assert_eq!(simd.touch(line, n % 3 == 0), scalar.touch(line, n % 3 == 0));
+                }
+                2 => {
+                    assert_eq!(simd.fill(line, n % 5 == 0), scalar.fill(line, n % 5 == 0));
+                }
+                3 | 4 => {
+                    assert_eq!(
+                        simd.probe_fill(line, n % 2 == 0),
+                        scalar.probe_fill(line, n % 2 == 0)
+                    );
+                }
+                5 => {
+                    assert_eq!(
+                        simd.touch_repeat(line, n % 4),
+                        scalar.touch_repeat(line, n % 4)
+                    );
+                }
+                _ => {
+                    assert_eq!(simd.invalidate(line), scalar.invalidate(line));
+                }
+            }
+            assert_eq!(simd.contains(line), scalar.contains(line), "{}", R::KIND);
+        }
+        assert_eq!(simd.hits(), scalar.hits(), "{}", R::KIND);
+        assert_eq!(simd.misses(), scalar.misses(), "{}", R::KIND);
+        assert_eq!(
+            simd.resident_lines(),
+            scalar.resident_lines(),
+            "{}",
+            R::KIND
+        );
+        let mut d1 = simd.flush_dirty();
+        let mut d2 = scalar.flush_dirty();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2, "{}", R::KIND);
+    }
+
+    #[test]
+    fn chunked_probe_matches_scalar_probe_for_every_policy() {
+        // Geometries straddling the 8-wide chunk size: narrower, equal,
+        // wider and non-multiple ways counts.
+        for &(capacity, ways) in &[(16 * 64, 4), (64 * 64, 8), (96 * 64, 12), (128 * 64, 16)] {
+            chunked_matches_scalar_generic::<TrueLru>(capacity, ways);
+            chunked_matches_scalar_generic::<TreePlru>(capacity, ways);
+            chunked_matches_scalar_generic::<Srrip>(capacity, ways);
+            chunked_matches_scalar_generic::<RandomEvict>(capacity, ways);
+        }
+    }
+
+    #[test]
+    fn probe_implementations_agree_on_synthetic_lanes() {
+        // Every probe tier against the scalar reference on raw tag lanes:
+        // widths straddling both the 4-wide AVX2 group and the 8-wide
+        // portable chunk, every valid-prefix length (prefix invariant), and
+        // probes that hit each resident slot, miss entirely, or sit next to
+        // the sentinel.  This covers the portable chunked path directly even
+        // on hosts where the runtime dispatch always picks AVX2.
+        let mut x = 0x243f6a8885a308d3u64;
+        for ways in [1usize, 3, 4, 5, 8, 11, 12, 16, 24] {
+            for valid in 0..=ways {
+                let mut tags = vec![INVALID_LINE; ways];
+                for slot in tags.iter_mut().take(valid) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    *slot = x >> 8;
+                }
+                let mut probes: Vec<u64> = tags[..valid].to_vec();
+                probes.push(12345);
+                probes.push(u64::MAX - 1);
+                for line in probes {
+                    let want = probe_scalar(&tags, line);
+                    assert_eq!(
+                        probe_chunked(&tags, line),
+                        want,
+                        "chunked ways={ways} valid={valid}"
+                    );
+                    assert_eq!(
+                        probe_simd(&tags, line, detect_probe_tier()),
+                        want,
+                        "simd ways={ways} valid={valid}"
+                    );
+                    #[cfg(target_arch = "x86_64")]
+                    if std::is_x86_feature_detected!("avx2") {
+                        // SAFETY: guarded by the runtime detection above.
+                        let got = unsafe { probe_avx2(&tags, line) };
+                        assert_eq!(got, want, "avx2 ways={ways} valid={valid}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_count_matches_contains_under_both_probe_paths() {
+        fn check<const SIMD: bool>() {
+            let mut cache: SetAssocCache<TrueLru, SIMD> = SetAssocCache::new(64 * 64, 8);
+            // Mixed population: some sets full, some partial, some empty.
+            for line in 0..40u64 {
+                cache.probe_fill(line * 3, line % 2 == 0);
+            }
+            // Resident lines, absent lines aliasing populated sets, and
+            // lines mapping to never-filled sets, interleaved.
+            let probes: Vec<u64> = (0..200u64).collect();
+            let expected = probes.iter().filter(|&&l| cache.contains(l)).count();
+            assert!(expected > 0 && expected < probes.len());
+            assert_eq!(cache.resident_count(&probes), expected);
+            assert_eq!(cache.resident_count(&[]), 0);
+            // Bulk probing must not touch counters or LRU state.
+            let (hits, misses) = (cache.hits(), cache.misses());
+            cache.resident_count(&probes);
+            assert_eq!((cache.hits(), cache.misses()), (hits, misses));
+        }
+        check::<true>();
+        check::<false>();
     }
 
     #[test]

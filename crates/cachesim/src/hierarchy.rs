@@ -138,6 +138,157 @@ pub(crate) fn l3_share_bytes(l3_full_bytes: usize, sharers: usize) -> usize {
     (l3_full_bytes / sharers.max(1)).max(64 * 64)
 }
 
+/// One counter-affecting event of a simulation, recorded at the exact
+/// sites where [`MemCounters`] fields are mutated.
+///
+/// The cache *dynamics* of a simulation (which lines hit, miss, evict,
+/// prefetch or coalesce) depend only on the machine geometry, the
+/// prefetcher configuration, the L3 sharer count, the policies and the
+/// kernel — **not** on the occupancy context, the SpecI2M MSR switch or
+/// the prefetch-off evasion factor, which scale purely *fractional*
+/// accounting terms.  A trace of these ops therefore replays
+/// bit-identically under any of those "neighbour" axis values by
+/// recomputing only the fractional terms, in the same order the live
+/// simulation adds them (float addition order is preserved per field).
+/// This is the foundation of [`SimMemo`]'s differential re-simulation.
+///
+/// [`SimMemo`]: crate::memo::SimMemo
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TraceOp {
+    /// A demand-miss memory read (`read_lines += 1`).
+    DemandRead,
+    /// A prefetch fill (`read_lines += 1; prefetch_lines += 1`).
+    PrefetchRead,
+    /// One dirty-line write-back (`write_lines += 1`).
+    Writeback,
+    /// A write-allocate store miss: the five SpecI2M accounting terms,
+    /// parameterised by the live stream state the evasion context needs.
+    WaStore {
+        /// Whether the finalized line was fully covered by stores.
+        full: bool,
+        /// `FinalizedLine::active_streams` at finalization (raw; the
+        /// `.max(1)` floor is applied at replay, exactly as live).
+        streams: usize,
+        /// `FinalizedLine::streak_estimate` (raw; `.max(1.0)` at replay).
+        streak: f64,
+    },
+    /// A non-temporal store line (`write_lines += 1` plus the full/partial
+    /// read term).
+    NtLine {
+        /// Whether the line was fully covered (partial flush fraction)
+        /// or partial (a whole read-modify-write).
+        full: bool,
+    },
+    /// The final write-back accounting (`write_lines += distinct`).
+    WritebackBulk {
+        /// Distinct dirty lines drained across all levels.
+        distinct: u64,
+    },
+}
+
+/// Cap on recorded ops: a trace past this size stops recording (the memo
+/// falls back to plain re-simulation for that dynamics class).  2^20 ops
+/// cover every in-tree kernel with room to spare while bounding worst-case
+/// memory per class to a few MiB.
+pub(crate) const TRACE_OP_CAP: usize = 1 << 20;
+
+/// Opt-in recorder of [`TraceOp`]s attached to a [`PrivateCore`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraceRecorder {
+    ops: Vec<TraceOp>,
+    overflowed: bool,
+}
+
+impl TraceRecorder {
+    #[inline]
+    fn push(&mut self, op: TraceOp) {
+        if self.overflowed {
+            return;
+        }
+        if self.ops.len() >= TRACE_OP_CAP {
+            self.overflowed = true;
+            self.ops = Vec::new();
+            return;
+        }
+        self.ops.push(op);
+    }
+}
+
+/// Recompute [`MemCounters`] from a recorded op trace under a (possibly
+/// different) neighbour configuration: occupancy context, SpecI2M MSR
+/// switch and prefetcher evasion factor.  `speci2m` is the machine's raw
+/// parameter block (the MSR switch is applied here, like
+/// [`PrivateCore::from_parts`] does).  Every counter field is accumulated
+/// by the same sequence of float additions the live simulation performs,
+/// so the result is bit-identical — asserted by the equivalence proptests.
+pub(crate) fn replay_trace(
+    speci2m: &clover_machine::SpecI2MParams,
+    ctx: OccupancyContext,
+    options: CoreSimOptions,
+    ops: &[TraceOp],
+) -> MemCounters {
+    let speci2m_store = if options.speci2m_enabled {
+        speci2m.clone()
+    } else {
+        speci2m.switched_off()
+    };
+    let pf_factor = options.prefetchers.evasion_factor();
+    let mut c = MemCounters::new();
+    for op in ops {
+        match *op {
+            TraceOp::DemandRead => c.read_lines += 1.0,
+            TraceOp::PrefetchRead => {
+                c.read_lines += 1.0;
+                c.prefetch_lines += 1.0;
+            }
+            TraceOp::Writeback => c.write_lines += 1.0,
+            TraceOp::WaStore {
+                full,
+                streams,
+                streak,
+            } => {
+                let ectx = EvasionContext {
+                    domain_utilization: ctx.domain_utilization,
+                    active_domains: ctx.active_domains,
+                    total_domains: ctx.total_domains,
+                    store_streams: streams.max(1),
+                    streak_lines: streak.max(1.0),
+                };
+                let (evaded, spec_read) = if full {
+                    let e = speci2m_store.evasion_fraction(&ectx) * pf_factor;
+                    let s = speci2m_store.speculative_read_fraction(&ectx);
+                    (e.clamp(0.0, 1.0), s)
+                } else {
+                    (0.0, speci2m_store.speculative_read_fraction(&ectx))
+                };
+                c.itom_lines += evaded;
+                c.write_allocate_lines += 1.0 - evaded;
+                c.read_lines += 1.0 - evaded;
+                c.read_lines += spec_read;
+                c.speculative_read_lines += spec_read;
+            }
+            TraceOp::NtLine { full } => {
+                c.write_lines += 1.0;
+                if full {
+                    // The NT partial-flush model deliberately ignores the
+                    // MSR switch (matching `handle_nt_line`, which reads
+                    // the raw parameter block).
+                    let frac = speci2m.nt_partial_flush_fraction(
+                        ctx.domain_utilization,
+                        ctx.active_domains,
+                        ctx.total_domains,
+                    );
+                    c.read_lines += frac;
+                } else {
+                    c.read_lines += 1.0;
+                }
+            }
+            TraceOp::WritebackBulk { distinct } => c.write_lines += distinct as f64,
+        }
+    }
+    c
+}
+
 /// The private half of one core's hierarchy: L1 + L2 + the store paths
 /// (coalescers, SpecI2M model, streamer prefetcher) and this core's
 /// traffic counters — everything *except* the last level.
@@ -162,10 +313,15 @@ pub struct PrivateCore<B: CacheBank = SetAssocCache<TrueLru>, W: WritePolicy = W
     /// path does not clone the parameter block per finalized line.
     speci2m_store: clover_machine::SpecI2MParams,
     counters: MemCounters,
+    /// Differential-re-simulation recorder; `None` (the default) costs one
+    /// predictable branch per counter-site event.
+    trace: Option<TraceRecorder>,
     _write: PhantomData<W>,
 }
 
-impl<R: ReplacementPolicy, W: WritePolicy> PrivateCore<SetAssocCache<R>, W> {
+impl<R: ReplacementPolicy, W: WritePolicy, const SIMD: bool>
+    PrivateCore<SetAssocCache<R, SIMD>, W>
+{
     /// Build the private half for `machine` with policy-`R` L1/L2 banks.
     pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
         let caches = &machine.caches;
@@ -206,6 +362,7 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
             speci2m,
             speci2m_store,
             counters: MemCounters::new(),
+            trace: None,
             _write: PhantomData,
         }
     }
@@ -226,6 +383,28 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         self.options = options;
         self.ctx = ctx;
         self.counters = MemCounters::new();
+        self.trace = None;
+    }
+
+    /// Start recording counter-site events for differential re-simulation.
+    pub(crate) fn start_trace(&mut self) {
+        self.trace = Some(TraceRecorder::default());
+    }
+
+    /// Stop recording and return the trace, or `None` if recording was
+    /// never started or the trace overflowed [`TRACE_OP_CAP`].
+    pub(crate) fn take_trace(&mut self) -> Option<Vec<TraceOp>> {
+        self.trace
+            .take()
+            .and_then(|t| (!t.overflowed).then_some(t.ops))
+    }
+
+    /// Record one counter-site event if a trace is active.
+    #[inline]
+    fn record(&mut self, op: TraceOp) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(op);
+        }
     }
 
     /// The occupancy context this core was configured with.
@@ -439,6 +618,9 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
             l1_dirty.len() + l2_dirty.len() + l3_dirty.len()
         };
         self.counters.write_lines += distinct as f64;
+        self.record(TraceOp::WritebackBulk {
+            distinct: distinct as u64,
+        });
         self.counters
     }
 
@@ -466,6 +648,7 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         if let Some(ev3) = evicted {
             if ev3.dirty {
                 self.counters.write_lines += 1.0;
+                self.record(TraceOp::Writeback);
             }
         }
     }
@@ -501,6 +684,7 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         if let Some(ev) = llc.fill(line, dirty) {
             if ev.dirty {
                 self.counters.write_lines += 1.0;
+                self.record(TraceOp::Writeback);
             }
         }
         self.fill_upper(llc, line, false, 2);
@@ -513,9 +697,11 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         }
         self.counters.read_lines += 1.0;
         self.counters.prefetch_lines += 1.0;
+        self.record(TraceOp::PrefetchRead);
         if let Some(ev) = llc.fill(line, false) {
             if ev.dirty {
                 self.counters.write_lines += 1.0;
+                self.record(TraceOp::Writeback);
             }
         }
     }
@@ -526,6 +712,7 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         }
         // Demand miss: read from memory.
         self.counters.read_lines += 1.0;
+        self.record(TraceOp::DemandRead);
         self.fill_all(llc, line, false);
         // Prefetchers react to demand misses.
         if self.options.prefetchers.adjacent_line {
@@ -557,6 +744,7 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
         self.l2.invalidate(ev.line);
         llc.invalidate(ev.line);
         self.counters.write_lines += 1.0;
+        self.record(TraceOp::NtLine { full: ev.full });
         if ev.full {
             // Under heavy load a fraction of write-combine buffers is
             // flushed early, causing a read-modify-write.
@@ -584,16 +772,20 @@ impl<B: CacheBank, W: WritePolicy> PrivateCore<B, W> {
 /// share is the last-level bank it is driven against — the same composition
 /// the co-run engine builds with a *tenant-shared* LLC instead.
 #[derive(Debug, Clone)]
-pub struct CoreSim<R: ReplacementPolicy = TrueLru, W: WritePolicy = WriteAllocate> {
-    private: PrivateCore<SetAssocCache<R>, W>,
-    l3: SetAssocCache<R>,
+pub struct CoreSim<
+    R: ReplacementPolicy = TrueLru,
+    W: WritePolicy = WriteAllocate,
+    const SIMD: bool = true,
+> {
+    private: PrivateCore<SetAssocCache<R, SIMD>, W>,
+    l3: SetAssocCache<R, SIMD>,
     /// Full (unshared) L3 capacity, kept so [`reset`](Self::reset) can
     /// re-derive the per-core share for a different sharer count.
     l3_full_bytes: usize,
     l3_ways: usize,
 }
 
-impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
+impl<R: ReplacementPolicy, W: WritePolicy, const SIMD: bool> CoreSim<R, W, SIMD> {
     /// Build a core simulator for `machine` under the given occupancy and
     /// options.
     pub fn new(machine: &Machine, ctx: OccupancyContext, options: CoreSimOptions) -> Self {
@@ -710,6 +902,18 @@ impl<R: ReplacementPolicy, W: WritePolicy> CoreSim<R, W> {
         let l3_dirty = self.l3.flush_dirty();
         self.private
             .account_writebacks(l1_dirty, l2_dirty, l3_dirty)
+    }
+
+    /// Start recording counter-site events for differential re-simulation
+    /// (see [`TraceOp`]).
+    pub(crate) fn start_trace(&mut self) {
+        self.private.start_trace();
+    }
+
+    /// Stop recording and return the trace, or `None` if recording was not
+    /// active or the trace overflowed.
+    pub(crate) fn take_trace(&mut self) -> Option<Vec<TraceOp>> {
+        self.private.take_trace()
     }
 }
 
@@ -842,6 +1046,11 @@ impl WritePolicy for WriteAllocate {
         core.counters.read_lines += 1.0 - evaded;
         core.counters.read_lines += spec_read;
         core.counters.speculative_read_lines += spec_read;
+        core.record(TraceOp::WaStore {
+            full: ev.full,
+            streams: ev.active_streams,
+            streak: ev.streak_estimate,
+        });
         // The line now lives dirty in the hierarchy either way.
         core.fill_all(llc, ev.line, true);
     }
@@ -862,6 +1071,7 @@ impl WritePolicy for NoWriteAllocate {
             return;
         }
         core.counters.write_lines += 1.0;
+        core.record(TraceOp::Writeback);
     }
 }
 
@@ -1292,5 +1502,163 @@ mod tests {
             DomainOccupancy::l3_sharers(&m, 18),
             m.caches.l3_sharers.min(36)
         );
+    }
+
+    /// Run the Fig.-8-shaped row kernel (loads, stores and NT stores so
+    /// every op variant is recorded) under `ctx`/`options`, returning the
+    /// final counters and the recorded trace.
+    fn traced_run(
+        m: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+    ) -> (MemCounters, Vec<TraceOp>) {
+        let mut core: CoreSim = CoreSim::new(m, ctx, options);
+        core.start_trace();
+        for row in 0..16u64 {
+            let off = row * (216 + 3) * 8;
+            core.drive_run(AccessRun::load((1 << 33) + off, 216));
+            core.drive_run(AccessRun::store(off, 216));
+        }
+        core.store_nt(1 << 35, 8 * 64);
+        let c = core.flush();
+        let trace = core.take_trace().expect("trace fits well under the cap");
+        (c, trace)
+    }
+
+    #[test]
+    fn trace_replay_reproduces_live_counters_across_neighbour_axes() {
+        // The recorded dynamics of ONE simulation must replay bit-exactly
+        // under every "neighbour" configuration — axes that only scale the
+        // fractional accounting: occupancy context, the SpecI2M MSR switch.
+        // (The trace itself is recorded once per axis value here purely to
+        // obtain the live reference; replay always uses the leader's trace.)
+        let m = icelake_sp_8360y();
+        let base_opts = CoreSimOptions {
+            l3_sharers: 36,
+            ..Default::default()
+        };
+        let (_, leader_trace) = traced_run(&m, OccupancyContext::serial(&m), base_opts);
+        for ranks in [1usize, 7, 18, 72] {
+            for speci2m in [true, false] {
+                let ctx = OccupancyContext::compact(&m, ranks);
+                let options = CoreSimOptions {
+                    speci2m_enabled: speci2m,
+                    ..base_opts
+                };
+                let (live, live_trace) = traced_run(&m, ctx, options);
+                // Same dynamics class ⇒ identical op traces...
+                assert_eq!(live_trace, leader_trace, "ranks={ranks} s2m={speci2m}");
+                // ...and replaying the leader's trace under this neighbour's
+                // context reproduces the live counters bit for bit.
+                let replayed = replay_trace(&m.speci2m, ctx, options, &leader_trace);
+                assert_eq!(replayed, live, "ranks={ranks} s2m={speci2m}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_tracks_the_prefetch_evasion_factor() {
+        // Prefetcher config changes the dynamics (different trace), so a
+        // replay is only valid against a trace recorded under the same
+        // config — verify the pf-off factor is honoured within the class.
+        let m = icelake_sp_8360y();
+        let options = CoreSimOptions {
+            prefetchers: PrefetcherConfig::disabled(),
+            l3_sharers: 36,
+            ..Default::default()
+        };
+        let ctx = OccupancyContext::compact(&m, 72);
+        let (live, trace) = traced_run(&m, ctx, options);
+        assert_eq!(replay_trace(&m.speci2m, ctx, options, &trace), live);
+    }
+
+    #[test]
+    fn trace_overflow_discards_the_recording() {
+        let mut rec = TraceRecorder::default();
+        for _ in 0..TRACE_OP_CAP {
+            rec.push(TraceOp::DemandRead);
+        }
+        assert!(!rec.overflowed);
+        rec.push(TraceOp::DemandRead);
+        assert!(rec.overflowed);
+        assert!(rec.ops.is_empty(), "an overflowed trace frees its buffer");
+    }
+
+    #[test]
+    fn reset_clears_an_active_trace() {
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        core.start_trace();
+        core.load(0, 8);
+        core.reset(OccupancyContext::serial(&m), CoreSimOptions::default());
+        assert!(
+            core.take_trace().is_none(),
+            "a pooled core must not leak a stale trace across resets"
+        );
+    }
+
+    #[test]
+    fn repeated_stores_to_a_resident_line_stay_dirty() {
+        // `touch_repeat` is a load-only fast path; repeated *stores* to an
+        // already-resident line must keep flowing through the write path so
+        // the dirty bit survives and the write-back is accounted.
+        let m = icelake_sp_8360y();
+        let mut core = serial_core(&m);
+        for i in 0..8u64 {
+            core.load(i * 8, 8); // line 0 resident and clean
+        }
+        for _ in 0..3 {
+            for i in 0..8u64 {
+                core.store(i * 8, 8); // repeated stores, always hitting
+            }
+        }
+        let c = core.flush();
+        assert!(
+            c.write_lines >= 1.0,
+            "the stored line must be written back, got {}",
+            c.write_lines
+        );
+        // And the batched driver agrees with the scalar path on the same
+        // repeated-resident-store pattern.
+        let runs: Vec<AccessRun> = std::iter::once(AccessRun::load(0, 8))
+            .chain((0..3).map(|_| AccessRun::store(0, 8)))
+            .collect();
+        assert_equivalent(&runs, || serial_core(&m));
+    }
+
+    #[test]
+    fn scalar_probe_core_matches_the_default_core() {
+        // `CoreSim<_, _, false>` uses the scalar reference probe at every
+        // level; the full hierarchy must behave identically to the chunked
+        // default.
+        let m = icelake_sp_8360y();
+        let ctx = OccupancyContext::compact(&m, 72);
+        let options = CoreSimOptions {
+            l3_sharers: 36,
+            ..Default::default()
+        };
+        let mut simd: CoreSim = CoreSim::new(&m, ctx, options);
+        let mut scalar: CoreSim<TrueLru, WriteAllocate, false> = CoreSim::new(&m, ctx, options);
+        for row in 0..24u64 {
+            let off = row * (216 + 3) * 8;
+            for c in [&mut simd as &mut dyn FnMutDriver, &mut scalar] {
+                c.run(AccessRun::load((1 << 33) + off, 216));
+                c.run(AccessRun::store(off, 216));
+            }
+        }
+        assert_eq!(simd.cache_stats(), scalar.cache_stats());
+        assert_eq!(simd.flush(), scalar.flush());
+    }
+
+    /// Object-safe shim so the test above can iterate over two `CoreSim`
+    /// instantiations that are *different types*.
+    trait FnMutDriver {
+        fn run(&mut self, run: AccessRun);
+    }
+
+    impl<R: ReplacementPolicy, W: WritePolicy, const SIMD: bool> FnMutDriver for CoreSim<R, W, SIMD> {
+        fn run(&mut self, run: AccessRun) {
+            self.drive_run(run);
+        }
     }
 }

@@ -32,13 +32,14 @@
 //! [`NodeSim::run_spmd`]: crate::engine::NodeSim::run_spmd
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use clover_machine::{Machine, ReplacementPolicyKind, WritePolicyKind};
 
 use crate::access::AccessKind;
 use crate::counters::MemCounters;
 use crate::flight::FlightMemo;
-use crate::hierarchy::{CoreSim, CoreSimOptions, OccupancyContext};
+use crate::hierarchy::{replay_trace, CoreSim, CoreSimOptions, OccupancyContext, TraceOp};
 use crate::patterns::{StencilOperand, StencilRowSweep};
 use crate::policy::{ReplacementPolicy, TrueLru, WriteAllocate, WritePolicy};
 
@@ -392,6 +393,78 @@ impl CoRunKey {
     }
 }
 
+/// Identity of one *cache-dynamics* trace: a [`SimKey`] with the five
+/// neighbour axes removed.
+///
+/// The occupancy context (`domain_utilization`, `active_domains`,
+/// `total_domains`), the SpecI2M MSR switch and the prefetch-off evasion
+/// factor scale *fractional counter accounting* only — which lines hit,
+/// miss, evict or write back is decided entirely by the cache geometry,
+/// the enabled prefetchers, the policies and the kernel's address stream.
+/// Sweep points that differ only along those five axes are "neighbours":
+/// they share one event trace, so the memo records the trace once and
+/// replays it (bit-identically — same floating-point addition order per
+/// counter field) under each neighbour's accounting parameters instead of
+/// re-simulating the cache dynamics from scratch.
+///
+/// Everything that *can* change the event sequence stays in the key, so a
+/// differential replay can never be served across machines, prefetcher
+/// switches, L3 sharer counts, policies or kernels — the same soundness
+/// discipline [`CoRunKey`] applies to co-runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct DiffKey {
+    /// `Machine::id` of the simulated machine.
+    machine: String,
+    /// Adjacent-line prefetcher switch.
+    adjacent_line: bool,
+    /// Streamer prefetcher switch.
+    streamer: bool,
+    /// Streamer prefetch distance.
+    streamer_distance: u64,
+    /// Cores sharing the L3.
+    l3_sharers: usize,
+    /// Replacement policy of the simulated hierarchy.
+    replacement: ReplacementPolicyKind,
+    /// Store-miss policy of the simulated hierarchy.
+    write_policy: WritePolicyKind,
+    /// The SPMD kernel.
+    kernel: KernelSpec,
+}
+
+impl DiffKey {
+    /// The trace identity shared by every neighbour of `(machine,
+    /// options, kernel)` under the `(replacement, write_policy)` pair.
+    fn for_policies(
+        machine: &Machine,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        replacement: ReplacementPolicyKind,
+        write_policy: WritePolicyKind,
+    ) -> Self {
+        Self {
+            machine: machine.id.clone(),
+            adjacent_line: options.prefetchers.adjacent_line,
+            streamer: options.prefetchers.streamer,
+            streamer_distance: options.prefetchers.streamer_distance,
+            l3_sharers: options.l3_sharers,
+            replacement,
+            write_policy,
+            kernel: kernel.clone(),
+        }
+    }
+}
+
+/// One memoized cache-dynamics trace (or the fact that recording it was
+/// abandoned).
+#[derive(Debug, Clone)]
+pub(crate) enum DiffEntry {
+    /// The recorded event trace, replayable under any neighbour context.
+    Trace(Arc<[TraceOp]>),
+    /// The kernel overflowed [`TRACE_OP_CAP`](crate::hierarchy::TRACE_OP_CAP)
+    /// events; neighbours of this key re-simulate from scratch.
+    Oversized,
+}
+
 /// Sharded concurrent memo of representative-core simulations.
 ///
 /// One `SimMemo` is meant to span a whole sweep (or a whole plan of
@@ -403,7 +476,7 @@ impl CoRunKey {
 /// worker simulates, every other worker waits for that result and counts
 /// as a hit, so the duplicate simulation of the old racing path — and its
 /// double-counted miss — cannot occur.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SimMemo {
     inner: FlightMemo<SimKey, MemCounters>,
     /// Co-run results, keyed separately from solo simulations: a
@@ -411,6 +484,28 @@ pub struct SimMemo {
     /// shared across solo and contended sweeps can never serve a solo
     /// result for a co-run (or one interleave's result for another).
     corun: FlightMemo<CoRunKey, Vec<crate::engine::TenantReport>>,
+    /// Cache-dynamics traces keyed by [`DiffKey`]: the differential
+    /// re-simulation layer underneath `inner`.  A [`SimKey`] miss whose
+    /// [`DiffKey`] already holds a trace replays it under the point's own
+    /// accounting context instead of re-simulating — and the replayed
+    /// counters are published into `inner` under the full [`SimKey`], so
+    /// differential and from-scratch results can never mix.
+    diff: FlightMemo<DiffKey, DiffEntry>,
+    /// Whether misses record/replay traces.  `false` forces every miss
+    /// down the from-scratch path (used by the equivalence tests and
+    /// available for debugging); results are bit-identical either way.
+    differential: bool,
+}
+
+impl Default for SimMemo {
+    fn default() -> Self {
+        Self {
+            inner: FlightMemo::default(),
+            corun: FlightMemo::default(),
+            diff: FlightMemo::default(),
+            differential: true,
+        }
+    }
 }
 
 /// Hit/miss statistics of a [`SimMemo`] (or [`with_pooled_core`]'s pool):
@@ -436,9 +531,20 @@ impl MemoStats {
 }
 
 impl SimMemo {
-    /// An empty memo.
+    /// An empty memo (differential re-simulation enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty memo with differential re-simulation disabled: every miss
+    /// simulates from scratch.  Counters are bit-identical to the
+    /// differential path (a tested property); this exists for the
+    /// equivalence tests and as a debugging escape hatch.
+    pub fn without_differential() -> Self {
+        Self {
+            differential: false,
+            ..Self::default()
+        }
     }
 
     /// Look up `key`, simulating with `simulate` on a miss and publishing
@@ -483,17 +589,86 @@ impl SimMemo {
     ) -> MemCounters {
         let key = SimKey::for_policies(machine, ctx, options, kernel, R::KIND, W::KIND);
         self.get_or_insert_with(key, || {
-            if R::KIND == ReplacementPolicyKind::Lru && W::KIND == WritePolicyKind::Allocate {
-                with_pooled_core(machine, ctx, options, |core| {
-                    kernel.drive(rank, core);
-                    core.flush()
-                })
-            } else {
-                let mut core = CoreSim::<R, W>::new(machine, ctx, options);
-                kernel.drive(rank, &mut core);
-                core.flush()
+            if !self.differential {
+                return Self::simulate_plain::<R, W>(machine, ctx, options, kernel, rank);
+            }
+            // Differential path: one trace per DiffKey (the SimKey minus
+            // the five accounting-only neighbour axes).  The first miss on
+            // a trace key simulates live *with recording* and keeps its
+            // own counters; every neighbour replays the recorded events
+            // under its own context instead of re-simulating.  Both memo
+            // layers are single-flight and the simulation/replay runs
+            // outside every lock; the diff lookup never waits on an
+            // `inner` flight (only the reverse), so the nesting cannot
+            // deadlock.
+            let dkey = DiffKey::for_policies(machine, options, kernel, R::KIND, W::KIND);
+            let mut live: Option<MemCounters> = None;
+            let entry = self.diff.get_or_insert_with(dkey, || {
+                let (counters, ops) =
+                    Self::simulate_traced::<R, W>(machine, ctx, options, kernel, rank);
+                live = Some(counters);
+                match ops {
+                    Some(ops) => DiffEntry::Trace(ops.into()),
+                    None => DiffEntry::Oversized,
+                }
+            });
+            if let Some(counters) = live {
+                // Trace leader: its live counters are the result.
+                return counters;
+            }
+            match entry {
+                DiffEntry::Trace(ops) => replay_trace(&machine.speci2m, ctx, options, &ops),
+                DiffEntry::Oversized => {
+                    Self::simulate_plain::<R, W>(machine, ctx, options, kernel, rank)
+                }
             }
         })
+    }
+
+    /// From-scratch simulation of one representative core (no trace).
+    fn simulate_plain<R: ReplacementPolicy, W: WritePolicy>(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        rank: usize,
+    ) -> MemCounters {
+        if R::KIND == ReplacementPolicyKind::Lru && W::KIND == WritePolicyKind::Allocate {
+            with_pooled_core(machine, ctx, options, |core| {
+                kernel.drive(rank, core);
+                core.flush()
+            })
+        } else {
+            let mut core = CoreSim::<R, W>::new(machine, ctx, options);
+            kernel.drive(rank, &mut core);
+            core.flush()
+        }
+    }
+
+    /// From-scratch simulation that also records the event trace.
+    /// Returns `None` for the trace when the kernel overflowed the
+    /// recording cap (the counters are still exact).
+    fn simulate_traced<R: ReplacementPolicy, W: WritePolicy>(
+        machine: &Machine,
+        ctx: OccupancyContext,
+        options: CoreSimOptions,
+        kernel: &KernelSpec,
+        rank: usize,
+    ) -> (MemCounters, Option<Vec<TraceOp>>) {
+        if R::KIND == ReplacementPolicyKind::Lru && W::KIND == WritePolicyKind::Allocate {
+            with_pooled_core(machine, ctx, options, |core| {
+                core.start_trace();
+                kernel.drive(rank, core);
+                let counters = core.flush();
+                (counters, core.take_trace())
+            })
+        } else {
+            let mut core = CoreSim::<R, W>::new(machine, ctx, options);
+            core.start_trace();
+            kernel.drive(rank, &mut core);
+            let counters = core.flush();
+            (counters, core.take_trace())
+        }
     }
 
     /// Number of memoized simulations.
@@ -535,6 +710,20 @@ impl SimMemo {
     /// Hit/miss statistics of the co-run table since construction.
     pub fn corun_stats(&self) -> MemoStats {
         let (hits, misses) = self.corun.stats();
+        MemoStats { hits, misses }
+    }
+
+    /// Number of memoized cache-dynamics traces (including keys recorded
+    /// as oversized).  Always 0 when differential re-simulation is off.
+    pub fn diff_len(&self) -> usize {
+        self.diff.len()
+    }
+
+    /// Hit/miss statistics of the trace table since construction.  A
+    /// `hit` is a sweep point answered by replaying a neighbour's trace
+    /// instead of re-simulating the cache dynamics.
+    pub fn diff_stats(&self) -> MemoStats {
+        let (hits, misses) = self.diff.stats();
         MemoStats { hits, misses }
     }
 
@@ -757,6 +946,124 @@ mod tests {
         // The untyped default path hits the TrueLru+WriteAllocate entry.
         assert_eq!(memo.counters(&m, ctx, options, &spec, 0), lru);
         assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn differential_replay_matches_from_scratch_across_neighbour_axes() {
+        // Neighbour axes: occupancy context, SpecI2M switch, prefetch-off
+        // evasion factor.  Every point after the first per (machine,
+        // prefetchers, l3_sharers, policies, kernel) replays the leader's
+        // trace; counters must equal the from-scratch memo's bit for bit.
+        let m = icelake_sp_8360y();
+        let diff = SimMemo::new();
+        let scratch = SimMemo::without_differential();
+        let spec = store_spec(4096);
+        let contexts = [
+            OccupancyContext::serial(&m),
+            OccupancyContext::compact(&m, 7),
+            OccupancyContext::domain_load(&m, 18, 2),
+            OccupancyContext::domain_load(&m, 18, 4),
+        ];
+        for ctx in contexts {
+            for speci2m_enabled in [true, false] {
+                let options = CoreSimOptions {
+                    speci2m_enabled,
+                    l3_sharers: 36,
+                    ..Default::default()
+                };
+                let a = diff.counters(&m, ctx, options, &spec, 0);
+                let b = scratch.counters(&m, ctx, options, &spec, 0);
+                assert_eq!(a, b, "ctx={ctx:?} speci2m={speci2m_enabled}");
+            }
+        }
+        // One trace serves all eight neighbour points.
+        assert_eq!(diff.diff_len(), 1);
+        let dstats = diff.diff_stats();
+        assert_eq!((dstats.hits, dstats.misses), (7, 1));
+        // The from-scratch memo recorded no traces.
+        assert_eq!(scratch.diff_len(), 0);
+        // Both memos hold the same eight full-key entries.
+        assert_eq!(diff.len(), 8);
+        assert_eq!(scratch.len(), 8);
+    }
+
+    #[test]
+    fn differential_traces_never_mix_across_dynamics_axes() {
+        use crate::policy::NoWriteAllocate;
+        use crate::prefetch::PrefetcherConfig;
+        // Anything that can change the event sequence — kernel, L3
+        // sharers, prefetcher switches, policies — gets its own trace key.
+        let m = icelake_sp_8360y();
+        let memo = SimMemo::new();
+        let ctx = OccupancyContext::serial(&m);
+        let options = CoreSimOptions::default();
+        let scratch = SimMemo::without_differential();
+        let mut expect = Vec::new();
+
+        let _ = memo.counters(&m, ctx, options, &store_spec(1024), 0);
+        expect.push((options, store_spec(1024)));
+        let _ = memo.counters(&m, ctx, options, &store_spec(1025), 0);
+        expect.push((options, store_spec(1025)));
+        let sharers = CoreSimOptions {
+            l3_sharers: 36,
+            ..Default::default()
+        };
+        let _ = memo.counters(&m, ctx, sharers, &store_spec(1024), 0);
+        expect.push((sharers, store_spec(1024)));
+        let no_pf = CoreSimOptions {
+            prefetchers: PrefetcherConfig::disabled(),
+            ..Default::default()
+        };
+        let _ = memo.counters(&m, ctx, no_pf, &store_spec(1024), 0);
+        expect.push((no_pf, store_spec(1024)));
+        let nowa =
+            memo.counters_for::<TrueLru, NoWriteAllocate>(&m, ctx, options, &store_spec(1024), 0);
+
+        // Five distinct dynamics identities, zero replays.
+        assert_eq!(memo.diff_len(), 5);
+        assert_eq!(memo.diff_stats().hits, 0);
+        // And every result still equals the from-scratch reference.
+        for (opts, spec) in expect {
+            assert_eq!(
+                memo.counters(&m, ctx, opts, &spec, 0),
+                scratch.counters(&m, ctx, opts, &spec, 0)
+            );
+        }
+        assert_eq!(
+            nowa,
+            scratch.counters_for::<TrueLru, NoWriteAllocate>(
+                &m,
+                ctx,
+                options,
+                &store_spec(1024),
+                0
+            )
+        );
+    }
+
+    #[test]
+    fn differential_memo_matches_across_a_rank_curve() {
+        // End-to-end through `run_spmd_memo`: a differential memo and a
+        // from-scratch memo walk the same rank curve and every node report
+        // stays bit-identical, while the differential memo actually
+        // replays (diff hits > 0 once several domain-load levels share a
+        // trace key).
+        let m = icelake_sp_8360y();
+        let spec = store_spec(2048);
+        let diff = SimMemo::new();
+        let scratch = SimMemo::without_differential();
+        for ranks in [1usize, 7, 18, 19, 36, 54, 72] {
+            let sim = NodeSim::new(SimConfig::new(m.clone(), ranks));
+            let a = sim.run_spmd_memo(&spec, &diff);
+            let b = sim.run_spmd_memo(&spec, &scratch);
+            assert_eq!(a.total, b.total, "ranks={ranks}");
+            assert_eq!(a.per_rank, b.per_rank, "ranks={ranks}");
+        }
+        assert!(
+            diff.diff_stats().hits > 0,
+            "expected trace replays across the curve: {:?}",
+            diff.diff_stats()
+        );
     }
 
     #[test]

@@ -58,6 +58,33 @@ pub struct PointKey {
     pub opts: TrafficOptions,
 }
 
+/// Deterministic neighbour-class hash of `(machine id, grid, ranks)` —
+/// everything of a [`PointKey`] *except* the traffic options.
+///
+/// Points that differ only in their options are "neighbours": underneath
+/// the scaling model they share one cache-dynamics trace in the simulator's
+/// differential memo (see `clover_cachesim::SimMemo`), so a sweep runner
+/// that executes points of one class consecutively on one worker keeps the
+/// trace leader and its replays in the same warm path.  `DefaultHasher`
+/// with fixed keys is deterministic within a build, which is all a
+/// scheduling hint needs — the class value never reaches any output.
+fn neighbour_hash(machine_id: &str, grid: usize, ranks: usize) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    machine_id.hash(&mut h);
+    grid.hash(&mut h);
+    ranks.hash(&mut h);
+    h.finish()
+}
+
+impl PointKey {
+    /// Scheduling class of this point: equal for sweep points that differ
+    /// only in [`TrafficOptions`] (see [`neighbour_hash`]).
+    pub fn neighbour_class(&self) -> u64 {
+        neighbour_hash(&self.machine, self.grid, self.ranks)
+    }
+}
+
 /// Sharded concurrent memo of evaluated [`ScalingPoint`]s, spanning a whole
 /// sweep plan (or a whole `figures serve` daemon lifetime).  Lookups and
 /// inserts lock only the shard the key hashes to; evaluation runs outside
@@ -331,6 +358,14 @@ impl ScalingEngine {
         memo.get_or_insert_with(key, || self.point(ranks, opts))
     }
 
+    /// Scheduling class of the point `(machine, grid, ranks)` — equal
+    /// across every [`TrafficOptions`] at that rank count, so a sweep
+    /// runner can group option-neighbours onto one worker (see
+    /// [`PointKey::neighbour_class`]).
+    pub fn neighbour_class(&self, ranks: usize) -> u64 {
+        neighbour_hash(&self.machine.id, self.grid, ranks)
+    }
+
     /// Evaluate an inclusive rank range through `memo` and fill in speedups
     /// relative to the first point — the memoized equivalent of
     /// [`ScalingModel::sweep_range`](crate::ScalingModel::sweep_range).
@@ -367,6 +402,33 @@ mod tests {
                 .with_replacement(ReplacementPolicyKind::Random)
                 .with_write_policy(WritePolicyKind::NonTemporal),
         ]
+    }
+
+    #[test]
+    fn neighbour_class_ignores_options_only() {
+        let m = icelake_sp_8360y();
+        let engine = ScalingEngine::new(m.clone(), TINY_GRID);
+        // Same class across every option set at a rank count...
+        let class = engine.neighbour_class(18);
+        for opts in all_options(18) {
+            let key = PointKey {
+                machine: m.id.clone(),
+                grid: TINY_GRID,
+                ranks: 18,
+                opts,
+            };
+            assert_eq!(key.neighbour_class(), class);
+        }
+        // ...but distinct across ranks, grids and machines.
+        assert_ne!(engine.neighbour_class(19), class);
+        assert_ne!(
+            ScalingEngine::new(m.clone(), 1920).neighbour_class(18),
+            class
+        );
+        assert_ne!(
+            ScalingEngine::new(sapphire_rapids_8480(), TINY_GRID).neighbour_class(18),
+            class
+        );
     }
 
     #[test]

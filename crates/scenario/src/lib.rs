@@ -175,10 +175,17 @@ pub fn run_plan_memo(plan: &SweepPlan, jobs: usize, memo: &SweepMemo) -> Vec<Art
     // One co-run memo spans the plan: scenarios sharing (machine,
     // aggressor, interleave) pay for one interference simulation.
     let corun_memo = SimMemo::new();
-    runner::run_scenario_items_with(
+    // Schedule by neighbour class: points that differ only in their
+    // traffic options (same machine, grid and rank count) run
+    // consecutively, so the differential simulation memo's trace leader
+    // and its replays share one worker's warm path.  Scheduling reorders
+    // execution only — the output stays byte-identical (a tested runner
+    // property).
+    runner::run_scenario_items_scheduled(
         &scenarios,
         jobs,
         |s| s.ranks.len(),
+        |s, i| engine_for(s).neighbour_class(s.ranks.start + i),
         |s, i| {
             let ranks = s.ranks.start + i;
             engine_for(s).point_memo(ranks, &s.options(ranks), memo)

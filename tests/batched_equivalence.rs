@@ -118,6 +118,57 @@ fn assert_equivalent_for_all_policies(machine: &Machine, ranks: usize, runs: &[A
     combos!(TrueLru, TreePlru, Srrip, RandomEvict);
 }
 
+/// SIMD (chunked tag-lane) vs. scalar probe scan equivalence of one policy
+/// monomorphisation: identical per-level hit/miss counts and identical
+/// flushed counters (which cover every eviction's writeback) for the same
+/// batched run stream.
+fn assert_probe_equivalent<R: ReplacementPolicy, W: WritePolicy>(
+    machine: &Machine,
+    ranks: usize,
+    runs: &[AccessRun],
+) {
+    let ctx = OccupancyContext::compact(machine, ranks);
+    let options = CoreSimOptions {
+        l3_sharers: ranks.min(36),
+        ..Default::default()
+    };
+    let mut simd = CoreSim::<R, W, true>::new(machine, ctx, options);
+    let mut scalar = CoreSim::<R, W, false>::new(machine, ctx, options);
+    for &run in runs {
+        simd.drive_run(run);
+        scalar.drive_run(run);
+    }
+    assert_eq!(
+        simd.cache_stats(),
+        scalar.cache_stats(),
+        "{:?}+{:?}: SIMD vs scalar probe hit/miss mismatch for {runs:?}",
+        R::KIND,
+        W::KIND
+    );
+    assert_eq!(
+        simd.flush(),
+        scalar.flush(),
+        "{:?}+{:?}: SIMD vs scalar probe counter mismatch",
+        R::KIND,
+        W::KIND
+    );
+}
+
+/// Run [`assert_probe_equivalent`] for every replacement × write policy
+/// monomorphisation.
+fn assert_probe_equivalent_for_all_policies(machine: &Machine, ranks: usize, runs: &[AccessRun]) {
+    macro_rules! combos {
+        ($($r:ty),*) => {
+            $(
+                assert_probe_equivalent::<$r, WriteAllocate>(machine, ranks, runs);
+                assert_probe_equivalent::<$r, NoWriteAllocate>(machine, ranks, runs);
+                assert_probe_equivalent::<$r, NonTemporal>(machine, ranks, runs);
+            )*
+        };
+    }
+    combos!(TrueLru, TreePlru, Srrip, RandomEvict);
+}
+
 proptest! {
     /// One run of any kind, any byte alignment of the base (including
     /// non-8-aligned bases whose elements straddle cache lines) and any
@@ -407,6 +458,120 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The SIMD tag-lane probe scan is bit-identical to the scalar
+    /// reference probe under every replacement × write policy
+    /// monomorphisation: same per-level hit/miss counts and same flushed
+    /// counters for mixed load/store/NT rows with halo misalignment.
+    #[test]
+    fn simd_probe_matches_scalar_probe_under_every_policy(
+        inner in 1u64..180,
+        halo in 0u64..10,
+        rows in 1u64..4,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let mut runs = Vec::new();
+        for row in 0..rows {
+            let off = row * (inner + halo) * 8;
+            runs.push(AccessRun::load((1 << 33) + off, inner));
+            runs.push(AccessRun {
+                base: (1 << 30) + off,
+                elements: inner,
+                kind: KINDS[kind_idx],
+            });
+        }
+        assert_probe_equivalent_for_all_policies(&machine, ranks, &runs);
+    }
+
+    /// Differential re-simulation is exact over a randomly ordered walk of
+    /// sweep neighbours: whatever order the (rank count, SpecI2M switch)
+    /// points are visited in — so the trace leader is an arbitrary point —
+    /// a differential memo and a from-scratch memo produce bit-identical
+    /// node reports at every point, and the walk actually replays traces.
+    #[test]
+    fn differential_matches_from_scratch_over_shuffled_neighbours(
+        elements in 64u64..2048,
+        kind_idx in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let machine = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let mut points: Vec<(usize, bool)> = [1usize, 7, 18, 19, 36, 72]
+            .into_iter()
+            .flat_map(|ranks| [(ranks, true), (ranks, false)])
+            .collect();
+        // Fisher-Yates with a proptest-driven LCG: every visiting order.
+        let mut state = seed;
+        for i in (1..points.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            points.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let diff = SimMemo::new();
+        let scratch = SimMemo::without_differential();
+        for (ranks, speci2m) in points {
+            let mk = || {
+                let cfg = SimConfig::new(machine.clone(), ranks);
+                if speci2m { cfg } else { cfg.without_speci2m() }
+            };
+            let sim = NodeSim::new(mk());
+            let a = sim.run_spmd_memo(&spec, &diff);
+            let b = sim.run_spmd_memo(&spec, &scratch);
+            prop_assert_eq!(&a.total, &b.total, "ranks={} speci2m={}", ranks, speci2m);
+            prop_assert_eq!(&a.per_rank, &b.per_rank, "ranks={} speci2m={}", ranks, speci2m);
+        }
+        // The SpecI2M on/off pairs alone guarantee shared dynamics keys.
+        prop_assert!(diff.diff_stats().hits > 0, "{:?}", diff.diff_stats());
+        prop_assert_eq!(scratch.diff_len(), 0);
+    }
+
+    /// Differential memo isolation across the policy space: one
+    /// differential memo shared by all 12 replacement × write policy
+    /// combinations never serves a trace across policies — every result
+    /// equals a fresh from-scratch run bit for bit.
+    #[test]
+    fn differential_memo_never_crosses_policies(
+        elements in 64u64..1024,
+        kind_idx in 0usize..3,
+        ranks in prop::sample::select(vec![1usize, 18, 72]),
+    ) {
+        let machine = icelake_sp_8360y();
+        let spec = KernelSpec::contiguous(
+            RankBase::Shifted { shift: 36, plus: 0 },
+            0,
+            elements,
+            KINDS[kind_idx],
+        );
+        let shared = SimMemo::new();
+        for replacement in ReplacementPolicyKind::all() {
+            for write_policy in WritePolicyKind::all() {
+                let cfg = SimConfig::new(machine.clone(), ranks)
+                    .with_replacement(replacement)
+                    .with_write_policy(write_policy);
+                let sim = NodeSim::new(cfg);
+                let with_shared = sim.run_spmd_memo(&spec, &shared);
+                let from_scratch = sim.run_spmd_memo(&spec, &SimMemo::without_differential());
+                prop_assert_eq!(
+                    &with_shared.total, &from_scratch.total,
+                    "{:?}+{:?}", replacement, write_policy
+                );
+                prop_assert_eq!(
+                    &with_shared.per_rank, &from_scratch.per_rank,
+                    "{:?}+{:?}", replacement, write_policy
+                );
+            }
+        }
+        // Every policy pair recorded its own trace identity.
+        prop_assert!(shared.diff_len() >= 12, "diff_len={}", shared.diff_len());
     }
 
     /// Regression for the `CoreSim::reset` reuse inside the node loops:
