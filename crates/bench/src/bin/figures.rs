@@ -29,7 +29,9 @@
 //!                                # exclusive node; `--store` warm-loads a
 //!                                # persistent memo store first and writes
 //!                                # it back after the sweep (stale or
-//!                                # corrupt stores are rebuilt)
+//!                                # corrupt stores are rebuilt);
+//!                                # `--store-cap N` compacts the write-back
+//!                                # to the N most recently touched entries
 //! figures interfere [--json] [<name> ...]
 //!                                # canned multi-tenant artifacts from the
 //!                                # shared-LLC co-run engine (timestep
@@ -37,12 +39,20 @@
 //!                                # write-allocate evasion under
 //!                                # contention); no golden data, so these
 //!                                # stay outside `all`/`--check`
-//! figures serve [--store <path>] [--socket <path>]
+//! figures serve [--store <path>] [--socket <path>] [--workers N]
+//!               [--response-cache N] [--store-cap N]
 //!                                # long-running sweep daemon: line-based
 //!                                # requests (`sweep <flags>`, `stats`,
 //!                                # `save`, `ping`, `quit`) over stdin or a
 //!                                # unix socket, answered from one warm
-//!                                # memo state shared by every client
+//!                                # memo state shared by every client; the
+//!                                # socket mode serves any client count
+//!                                # from a fixed pool of N workers
+//!                                # (default: the host's parallelism),
+//!                                # repeat queries hit a bounded response
+//!                                # cache (default 128 payloads) and
+//!                                # `save` compacts the store to the
+//!                                # `--store-cap` most recent entries
 //! figures bench [--json] [--quick] [--label <name>]
 //!               [--baseline <BENCH_*.json> [--max-regression <pct>]]
 //!                                # perf-trajectory harness: simulator
@@ -109,7 +119,7 @@ fn sweep_usage_error(message: &str) -> ExitCode {
          [--layer-condition ok|broken|all] \
          [--aggressor none|stream|stream-heavy|thrash|all] \
          [--interleave <lines>] \
-         [--jobs <n>] [--json] [--store <path>]  \
+         [--jobs <n>] [--json] [--store <path>] [--store-cap <n>]  \
          (axis flags repeat to span a cartesian plan)"
     );
     ExitCode::from(2)
@@ -117,7 +127,10 @@ fn sweep_usage_error(message: &str) -> ExitCode {
 
 fn serve_usage_error(message: &str) -> ExitCode {
     eprintln!("figures serve: {message}");
-    eprintln!("usage: figures serve [--store <path>] [--socket <path>]");
+    eprintln!(
+        "usage: figures serve [--store <path>] [--socket <path>] \
+         [--workers <n>] [--response-cache <n>] [--store-cap <n>]"
+    );
     ExitCode::from(2)
 }
 
@@ -214,6 +227,7 @@ struct SweepOptions {
     jobs: usize,
     json: bool,
     store: Option<String>,
+    store_cap: Option<usize>,
 }
 
 /// Extract a repeat-checked `--store <path>` / `--socket <path>` style
@@ -238,17 +252,53 @@ fn extract_path_flag(args: &[String], flag: &str) -> Result<(Vec<String>, Option
     Ok((rest, value))
 }
 
+/// Extract a repeat-checked `--workers <n>` style positive-count flag
+/// from `args`, returning the remaining arguments and the value.  Zero,
+/// non-numeric, missing and duplicate values are usage errors naming the
+/// flag.
+fn extract_count_flag(args: &[String], flag: &str) -> Result<(Vec<String>, Option<usize>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            let raw = iter
+                .next()
+                .ok_or_else(|| format!("{flag} needs a positive count"))?;
+            if value.is_some() {
+                return Err(format!("{flag} given twice"));
+            }
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("{flag}: '{raw}' is not a count"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be at least 1"));
+            }
+            value = Some(n);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, value))
+}
+
 /// Parse the arguments after the `sweep` keyword.  The axis grammar lives
 /// in `clover_scenario::SweepArgs` (shared with the `figures serve`
-/// daemon); the CLI adds only the `--store <path>` persistence flag.
+/// daemon); the CLI adds only the `--store <path>` persistence flag and
+/// its `--store-cap <n>` compaction bound.
 fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
     let (rest, store) = extract_path_flag(args, "--store")?;
+    let (rest, store_cap) = extract_count_flag(&rest, "--store-cap")?;
+    if store_cap.is_some() && store.is_none() {
+        return Err("--store-cap requires --store".to_string());
+    }
     let parsed = SweepArgs::parse(&rest)?;
     Ok(SweepOptions {
         plan: parsed.plan,
         jobs: parsed.jobs,
         json: parsed.json,
         store,
+        store_cap,
     })
 }
 
@@ -508,11 +558,21 @@ fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
         } else {
             0.0
         };
-        match store.save(&sim, &memo) {
-            Ok(n) => eprintln!(
-                "figures sweep: store {}: {n} entries saved (memo hit rate {rate:.1}%)",
-                store.path().display()
-            ),
+        match store.save_capped(&sim, &memo, opts.store_cap.unwrap_or(usize::MAX)) {
+            Ok(report) => {
+                if report.evicted > 0 {
+                    eprintln!(
+                        "figures sweep: store {}: {} least-recently-used entries compacted away",
+                        store.path().display(),
+                        report.evicted
+                    );
+                }
+                eprintln!(
+                    "figures sweep: store {}: {} entries saved (memo hit rate {rate:.1}%)",
+                    store.path().display(),
+                    report.written
+                );
+            }
             Err(e) => {
                 eprintln!(
                     "figures sweep: store {}: save failed: {e}",
@@ -527,7 +587,11 @@ fn sweep_main(args: &[String], out: &mut impl Write) -> ExitCode {
 
 /// Run the `figures serve` subcommand: the sweep daemon over stdin (the
 /// default) or a unix socket (`--socket <path>`), optionally backed by a
-/// persistent store (`--store <path>`).
+/// persistent store (`--store <path>`, compacted to `--store-cap`
+/// entries on save).  The socket mode serves every client from a fixed
+/// pool of `--workers` threads; repeat queries are answered from a
+/// bounded response cache (`--response-cache`, default
+/// [`clover_service::DEFAULT_RESPONSE_CACHE_ENTRIES`]).
 fn serve_main(args: &[String]) -> ExitCode {
     let (rest, store_path) = match extract_path_flag(args, "--store") {
         Ok(split) => split,
@@ -537,10 +601,28 @@ fn serve_main(args: &[String]) -> ExitCode {
         Ok(split) => split,
         Err(message) => return serve_usage_error(&message),
     };
+    let (rest, workers) = match extract_count_flag(&rest, "--workers") {
+        Ok(split) => split,
+        Err(message) => return serve_usage_error(&message),
+    };
+    let (rest, response_cache) = match extract_count_flag(&rest, "--response-cache") {
+        Ok(split) => split,
+        Err(message) => return serve_usage_error(&message),
+    };
+    let (rest, store_cap) = match extract_count_flag(&rest, "--store-cap") {
+        Ok(split) => split,
+        Err(message) => return serve_usage_error(&message),
+    };
     if let Some(extra) = rest.first() {
         return serve_usage_error(&format!("unexpected argument '{extra}'"));
     }
-    let service = match store_path {
+    if workers.is_some() && socket.is_none() {
+        return serve_usage_error("--workers requires --socket (stdin serving is single-client)");
+    }
+    if store_cap.is_some() && store_path.is_none() {
+        return serve_usage_error("--store-cap requires --store");
+    }
+    let mut service = match store_path {
         None => SweepService::new(),
         Some(path) => {
             let store = PersistentStore::new(&path);
@@ -560,10 +642,28 @@ fn serve_main(args: &[String]) -> ExitCode {
             service
         }
     };
+    if let Some(cap) = response_cache {
+        service = service.with_response_cache(cap);
+    }
+    if let Some(cap) = store_cap {
+        service = service.with_store_cap(cap);
+    }
     let result = match socket {
         Some(path) => {
-            eprintln!("figures serve: listening on {path}");
-            clover_service::serve_unix(std::sync::Arc::new(service), std::path::Path::new(&path))
+            let workers = workers.unwrap_or_else(clover_service::default_workers);
+            // Each in-flight request already fans its plan out over
+            // `--jobs` threads; clamp per-request jobs so `workers`
+            // concurrent requests cannot oversubscribe the host.
+            let host = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let service = service.with_max_jobs((host / workers).max(1));
+            eprintln!("figures serve: listening on {path} ({workers} workers)");
+            clover_service::serve_unix(
+                std::sync::Arc::new(service),
+                std::path::Path::new(&path),
+                workers,
+            )
         }
         None => clover_service::serve_stdin(&service),
     };
@@ -770,6 +870,71 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn count_flags_validate_strictly() {
+        // Value extracted, remaining args untouched and in order.
+        let (rest, v) =
+            extract_count_flag(&args(&["--workers", "4", "--json"]), "--workers").unwrap();
+        assert_eq!(v, Some(4));
+        assert_eq!(rest, args(&["--json"]));
+        // Absent flag is fine.
+        let (rest, v) = extract_count_flag(&args(&["--json"]), "--workers").unwrap();
+        assert_eq!(v, None);
+        assert_eq!(rest, args(&["--json"]));
+        // Missing value, zero, garbage and duplicates all name the flag.
+        for bad in [
+            &["--workers"][..],
+            &["--workers", "0"],
+            &["--workers", "two"],
+            &["--workers", "-1"],
+            &["--workers", "1", "--workers", "2"],
+        ] {
+            let err = extract_count_flag(&args(bad), "--workers").unwrap_err();
+            assert!(err.contains("--workers"), "{bad:?}: {err}");
+        }
+        let err = extract_count_flag(&args(&["--workers", "1", "--workers", "2"]), "--workers")
+            .unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn sweep_store_cap_needs_a_store_and_a_positive_count() {
+        let opts = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--store",
+            "/tmp/clover.store",
+            "--store-cap",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(opts.store_cap, Some(32));
+        let err = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--store-cap",
+            "32",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires --store"), "{err}");
+        let err = parse_sweep_args(&args(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..4",
+            "--store",
+            "s",
+            "--store-cap",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--store-cap"), "{err}");
     }
 
     #[test]

@@ -92,8 +92,12 @@ impl<V: Clone> Flight<V> {
 
 /// A key's slot in a shard map.
 enum Slot<V> {
-    /// Value published; hits clone it.
-    Ready(V),
+    /// Value published; hits clone it.  The `u64` is the entry's access
+    /// stamp: the memo-wide clock value of its most recent touch (compute,
+    /// hit or `get`).  Preloaded entries start at stamp 0, so entries
+    /// warm-loaded from disk and never used again are the first candidates
+    /// a capped persistence pass evicts.
+    Ready(V, u64),
     /// A leader is computing it right now.
     InFlight(Arc<Flight<V>>),
 }
@@ -104,6 +108,10 @@ pub struct FlightMemo<K, V> {
     shards: [Mutex<HashMap<K, Slot<V>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotonic access clock; every publish or touch of a `Ready` slot
+    /// takes the next value.  Purely in-memory (never persisted): it only
+    /// orders entries by recency for capped persistence passes.
+    clock: AtomicU64,
 }
 
 impl<K, V> Default for FlightMemo<K, V> {
@@ -112,6 +120,7 @@ impl<K, V> Default for FlightMemo<K, V> {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 }
@@ -155,6 +164,11 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
+    /// Next access-clock value.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Look up `key`, computing it with `compute` on a miss.  The
     /// computation runs outside every lock; concurrent lookups of the same
     /// key wait for the one in-flight computation instead of repeating it,
@@ -168,8 +182,9 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
         loop {
             let flight = {
                 let mut shard = self.shard_of(&key).lock();
-                match shard.get(&key) {
-                    Some(Slot::Ready(v)) => {
+                match shard.get_mut(&key) {
+                    Some(Slot::Ready(v, stamp)) => {
+                        *stamp = self.tick();
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return v.clone();
                     }
@@ -188,9 +203,10 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
                         let value = (compute.take().expect("leader computes once"))();
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         let guard_key = guard.key.take().expect("guard armed until here");
+                        let stamp = self.tick();
                         self.shard_of(&guard_key)
                             .lock()
-                            .insert(guard_key, Slot::Ready(value.clone()));
+                            .insert(guard_key, Slot::Ready(value.clone(), stamp));
                         flight.resolve(FlightState::Done(value.clone()));
                         return value;
                     }
@@ -206,10 +222,14 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
         }
     }
 
-    /// Value of `key`, if already computed and published.
+    /// Value of `key`, if already computed and published.  Counts as an
+    /// access: the entry's recency stamp is refreshed.
     pub fn get(&self, key: &K) -> Option<V> {
-        match self.shard_of(key).lock().get(key) {
-            Some(Slot::Ready(v)) => Some(v.clone()),
+        match self.shard_of(key).lock().get_mut(key) {
+            Some(Slot::Ready(v, stamp)) => {
+                *stamp = self.tick();
+                Some(v.clone())
+            }
             _ => None,
         }
     }
@@ -221,7 +241,7 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
             .map(|s| {
                 s.lock()
                     .values()
-                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .filter(|slot| matches!(slot, Slot::Ready(..)))
                     .count()
             })
             .sum()
@@ -245,11 +265,22 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
     /// Snapshot every published entry (for persistence).  In-flight
     /// computations are skipped; the snapshot order is unspecified.
     pub fn entries(&self) -> Vec<(K, V)> {
+        self.entries_stamped()
+            .into_iter()
+            .map(|(k, v, _)| (k, v))
+            .collect()
+    }
+
+    /// Snapshot every published entry together with its access stamp (the
+    /// memo-wide clock value of its most recent touch; 0 for preloaded
+    /// entries never accessed since).  Higher stamp ⇒ more recently used;
+    /// a capped persistence pass keeps the highest-stamped entries.
+    pub fn entries_stamped(&self) -> Vec<(K, V, u64)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             for (key, slot) in shard.lock().iter() {
-                if let Slot::Ready(v) = slot {
-                    out.push((key.clone(), v.clone()));
+                if let Slot::Ready(v, stamp) = slot {
+                    out.push((key.clone(), v.clone(), *stamp));
                 }
             }
         }
@@ -264,7 +295,9 @@ impl<K: Hash + Eq + Clone, V: Clone> FlightMemo<K, V> {
     pub fn preload(&self, entries: impl IntoIterator<Item = (K, V)>) {
         for (key, value) in entries {
             let mut shard = self.shard_of(&key).lock();
-            shard.entry(key).or_insert(Slot::Ready(value));
+            // Stamp 0: a preloaded entry nothing ever touches again sorts
+            // behind every computed or hit entry when a capped save evicts.
+            shard.entry(key).or_insert(Slot::Ready(value, 0));
         }
     }
 }
@@ -356,6 +389,30 @@ mod tests {
         // Preload never clobbers an existing entry.
         memo.preload([(1, 999)]);
         assert_eq!(memo.get(&1), Some(10));
+    }
+
+    #[test]
+    fn access_stamps_order_entries_by_recency() {
+        let memo: FlightMemo<u32, u64> = FlightMemo::new();
+        memo.preload([(1, 10)]);
+        memo.get_or_insert_with(2, || 20);
+        memo.get_or_insert_with(3, || 30);
+        let stamp_of = |memo: &FlightMemo<u32, u64>, key: u32| {
+            memo.entries_stamped()
+                .into_iter()
+                .find(|(k, _, _)| *k == key)
+                .map(|(_, _, s)| s)
+                .unwrap()
+        };
+        // Untouched preloads sit at stamp 0; computes take increasing stamps.
+        assert_eq!(stamp_of(&memo, 1), 0);
+        assert!(stamp_of(&memo, 2) < stamp_of(&memo, 3));
+        // A hit refreshes the stamp past every earlier access...
+        memo.get_or_insert_with(2, || unreachable!());
+        assert!(stamp_of(&memo, 2) > stamp_of(&memo, 3));
+        // ...and so does a plain `get`.
+        assert_eq!(memo.get(&1), Some(10));
+        assert!(stamp_of(&memo, 1) > stamp_of(&memo, 2));
     }
 
     #[test]

@@ -734,6 +734,14 @@ impl SimMemo {
         self.inner.entries()
     }
 
+    /// [`entries`](Self::entries) plus each entry's access stamp (see
+    /// [`FlightMemo::entries_stamped`]): higher stamp ⇒ more recently
+    /// touched.  A capped persistence pass keeps the highest-stamped
+    /// entries and evicts the rest.
+    pub fn entries_stamped(&self) -> Vec<(SimKey, MemCounters, u64)> {
+        self.inner.entries_stamped()
+    }
+
     /// Publish previously snapshotted entries (warm-loading a persisted
     /// store).  Keys already present are left untouched and the hit/miss
     /// statistics are unchanged — preloaded entries surface as hits only

@@ -136,6 +136,14 @@ impl SweepMemo {
         self.inner.entries()
     }
 
+    /// [`entries`](Self::entries) plus each entry's access stamp (see
+    /// [`FlightMemo::entries_stamped`]): higher stamp ⇒ more recently
+    /// touched, stamp 0 ⇒ preloaded and never used since.  A capped
+    /// persistence pass keeps the highest-stamped entries.
+    pub fn entries_stamped(&self) -> Vec<(PointKey, ScalingPoint, u64)> {
+        self.inner.entries_stamped()
+    }
+
     /// Publish previously snapshotted entries (warm-loading a persisted
     /// store).  Keys already present are left untouched and the hit/miss
     /// statistics are unchanged — preloaded entries surface as hits only

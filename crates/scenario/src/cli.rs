@@ -234,6 +234,32 @@ impl SweepArgs {
         });
         Ok(SweepArgs { plan, jobs, json })
     }
+
+    /// Canonical identity of this invocation's *output bytes*: the
+    /// expanded scenario ids in plan order plus the output format.
+    ///
+    /// Two invocations with equal keys print byte-identical output, so a
+    /// response cache may serve one's rendered payload for the other:
+    ///
+    /// * scenario ids capture every axis that reaches the output
+    ///   (machine, grid, ranks, stage, policy/tenancy off-defaults) *and*
+    ///   the plan expansion order, while collapsing different spellings
+    ///   of the same plan (`--stage all` vs the three stages listed,
+    ///   defaulted vs pinned-to-default axes) onto one key;
+    /// * `--jobs` is deliberately excluded — output is byte-identical for
+    ///   any worker count (a tier-1 tested property), so keying on it
+    ///   would only fragment the cache.
+    pub fn cache_key(&self) -> String {
+        let mut key = String::new();
+        for scenario in self.plan.expand() {
+            key.push_str(&scenario.id());
+            key.push('\n');
+        }
+        if self.json {
+            key.push_str("#json");
+        }
+        key
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +322,92 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unexpected argument 'fig2'"));
+    }
+
+    #[test]
+    fn cache_key_collapses_spellings_and_splits_on_output_axes() {
+        let key = |list: &[&str]| SweepArgs::parse(&args(list)).unwrap().cache_key();
+        // Different spellings of the same plan share one key: defaults
+        // spelled out, `--stage all` vs listed stages, different --jobs.
+        let base = key(&[
+            "--machine",
+            "icx-8360y",
+            "--ranks",
+            "1..8",
+            "--stage",
+            "all",
+        ]);
+        assert_eq!(
+            base,
+            key(&[
+                "--machine",
+                "icx-8360y",
+                "--ranks",
+                "1..8",
+                "--stage",
+                "original",
+                "--stage",
+                "speci2m-off",
+                "--stage",
+                "optimized",
+                "--jobs",
+                "7",
+            ])
+        );
+        // Anything that changes the output bytes changes the key...
+        assert_ne!(
+            base,
+            key(&[
+                "--machine",
+                "icx-8360y",
+                "--ranks",
+                "1..9",
+                "--stage",
+                "all"
+            ])
+        );
+        assert_ne!(
+            base,
+            key(&[
+                "--machine",
+                "spr-8480plus",
+                "--ranks",
+                "1..8",
+                "--stage",
+                "all"
+            ])
+        );
+        // ...including the output format and the scenario order.
+        assert_ne!(
+            base,
+            key(&[
+                "--machine",
+                "icx-8360y",
+                "--ranks",
+                "1..8",
+                "--stage",
+                "all",
+                "--json",
+            ])
+        );
+        assert_ne!(
+            key(&[
+                "--machine",
+                "icx-8360y",
+                "--ranks",
+                "1..4",
+                "--ranks",
+                "5..8"
+            ]),
+            key(&[
+                "--machine",
+                "icx-8360y",
+                "--ranks",
+                "5..8",
+                "--ranks",
+                "1..4"
+            ]),
+        );
     }
 
     #[test]

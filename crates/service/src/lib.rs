@@ -17,16 +17,25 @@
 //! * [`serve`] — [`SweepService`]: a long-running request loop over
 //!   stdin or a unix socket, answering batched `sweep` requests from the
 //!   warm memo state with byte-identical `figures sweep` output, plus
-//!   `stats`/`save`/`ping`/`quit` control verbs.
+//!   `stats`/`save`/`ping`/`quit` control verbs,
+//! * [`pool`] — the bounded-concurrency front end: a sharded MPMC
+//!   [`ShardedQueue`] plus a fixed [`WorkerPool`], so the unix-socket
+//!   daemon serves any client count with a fixed thread budget,
+//! * [`cache`] — a bounded LRU [`ResponseCache`] over rendered payloads:
+//!   repeat queries become an O(payload) byte copy.
 //!
 //! `figures serve` (crate `clover-bench`) is a thin front end over this
 //! crate; `figures sweep --store <path>` uses [`PersistentStore`]
 //! directly for one-shot warm restarts.
 
+pub mod cache;
 pub mod model;
+pub mod pool;
 pub mod serve;
 pub mod store;
 
+pub use cache::{ResponseCache, ResponseCacheStats};
 pub use model::model_hash;
-pub use serve::{serve_stdin, serve_unix, Response, SweepService};
-pub use store::{LoadOutcome, PersistentStore, StoreSnapshot};
+pub use pool::{default_workers, ShardedQueue, WorkerPool};
+pub use serve::{serve_stdin, serve_unix, Response, SweepService, DEFAULT_RESPONSE_CACHE_ENTRIES};
+pub use store::{LoadOutcome, PersistentStore, SaveReport, StoreSnapshot};

@@ -25,11 +25,19 @@ use clover_machine::{replacement_names, write_policy_names, MachinePreset};
 /// Fingerprint of everything persisted memo entries depend on.  Equal
 /// hashes mean a store's entries are exactly reproducible by the current
 /// binary; different hashes force a clean rebuild.
+///
+/// The hash depends only on compiled-in constants and presets, so it is
+/// computed once per process: the serve daemon folds it into every
+/// response-cache key, and re-rendering every preset's `Debug` view per
+/// request would dwarf the cache hit it keys.
 pub fn model_hash() -> u64 {
-    hash_with_schema(
-        clover_cachesim::SIM_SCHEMA_VERSION,
-        clover_core::MODEL_SCHEMA_VERSION,
-    )
+    static HASH: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *HASH.get_or_init(|| {
+        hash_with_schema(
+            clover_cachesim::SIM_SCHEMA_VERSION,
+            clover_core::MODEL_SCHEMA_VERSION,
+        )
+    })
 }
 
 /// [`model_hash`] with explicit schema versions — exists so tests can

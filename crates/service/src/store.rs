@@ -155,13 +155,39 @@ impl PersistentStore {
     /// are written in sorted line order, so equal memo contents produce a
     /// byte-identical file.
     pub fn save(&self, sim: &SimMemo, sweep: &SweepMemo) -> io::Result<usize> {
-        let mut lines: Vec<String> = Vec::new();
-        for (key, counters) in sim.entries() {
-            lines.push(encode_sim(&key, &counters));
+        self.save_capped(sim, sweep, usize::MAX).map(|r| r.written)
+    }
+
+    /// [`save`](Self::save) bounded to at most `cap` entries: when the
+    /// memos hold more, the *least recently touched* entries (lowest
+    /// access stamp — preloaded-and-never-used entries sort first, see
+    /// `FlightMemo::entries_stamped`) are evicted from the written file.
+    /// The memos themselves are untouched; compaction only bounds what the
+    /// next process warm-loads, so an unbounded corpus stops growing the
+    /// store and its load cost forever.  The write path is the same
+    /// atomic temp-file + rename codec as an uncapped save.
+    pub fn save_capped(
+        &self,
+        sim: &SimMemo,
+        sweep: &SweepMemo,
+        cap: usize,
+    ) -> io::Result<SaveReport> {
+        let mut stamped: Vec<(u64, String)> = Vec::new();
+        for (key, counters, stamp) in sim.entries_stamped() {
+            stamped.push((stamp, encode_sim(&key, &counters)));
         }
-        for (key, point) in sweep.entries() {
-            lines.push(encode_point(&key, &point));
+        for (key, point, stamp) in sweep.entries_stamped() {
+            stamped.push((stamp, encode_point(&key, &point)));
         }
+        let evicted = stamped.len().saturating_sub(cap);
+        if evicted > 0 {
+            // Keep the `cap` most recently touched entries; equal stamps
+            // tie-break on the encoded line so the kept set (and thus the
+            // file) stays deterministic for equal memo states.
+            stamped.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            stamped.truncate(cap);
+        }
+        let mut lines: Vec<String> = stamped.into_iter().map(|(_, line)| line).collect();
         lines.sort_unstable();
         let count = lines.len();
 
@@ -178,8 +204,21 @@ impl PersistentStore {
         let tmp = self.path.with_extension("tmp");
         fs::write(&tmp, &text)?;
         fs::rename(&tmp, &self.path)?;
-        Ok(count)
+        Ok(SaveReport {
+            written: count,
+            evicted,
+        })
     }
+}
+
+/// What a capped save did (see [`PersistentStore::save_capped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Entries written to the store file.
+    pub written: usize,
+    /// Entries the cap evicted from the written file (0 when everything
+    /// fit — the save was an ordinary uncapped one).
+    pub evicted: usize,
 }
 
 enum ParseError {
@@ -773,6 +812,57 @@ mod tests {
             fs::read(store_a.path()).unwrap(),
             fs::read(store_b.path()).unwrap()
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_save_evicts_least_recently_touched_entries() {
+        let dir = std::env::temp_dir().join("cloverstore-test-capped");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("store.txt");
+        let store = PersistentStore::with_hash(&path, 11);
+
+        let sim = SimMemo::new();
+        let sweep = SweepMemo::new();
+        let (sk, sc) = sample_sim_entry();
+        // Preloaded and never touched: stamp 0, first eviction candidate.
+        sim.preload([(sk.clone(), sc)]);
+        let (pk, pp) = sample_point_entry();
+        let old_key = PointKey {
+            ranks: 3,
+            ..pk.clone()
+        };
+        let new_key = PointKey {
+            ranks: 5,
+            ..pk.clone()
+        };
+        sweep.preload([(old_key.clone(), pp.clone()), (new_key.clone(), pp.clone())]);
+        assert!(sweep.entries_stamped().iter().all(|(_, _, s)| *s == 0));
+        // Touch only `new_key` (a memo hit): it becomes the most recent
+        // entry and the only survivor of a cap of 1.
+        let engine = clover_core::ScalingEngine::new(icelake_sp_8360y(), new_key.grid);
+        let _ = engine.point_memo(new_key.ranks, &new_key.opts, &sweep);
+
+        let report = store.save_capped(&sim, &sweep, 1).unwrap();
+        assert_eq!(
+            report,
+            SaveReport {
+                written: 1,
+                evicted: 2
+            }
+        );
+        let (snapshot, outcome) = store.load();
+        assert_eq!(outcome, LoadOutcome::Warm(1));
+        assert!(snapshot.sims.is_empty(), "stamp-0 sim entry evicted");
+        assert_eq!(snapshot.points.len(), 1);
+        assert_eq!(snapshot.points[0].0, new_key, "most recent entry survives");
+
+        // A cap that fits everything is byte-identical to an uncapped save.
+        let report = store.save_capped(&sim, &sweep, 10).unwrap();
+        assert_eq!(report.evicted, 0);
+        let capped_bytes = fs::read(store.path()).unwrap();
+        assert_eq!(store.save(&sim, &sweep).unwrap(), report.written);
+        assert_eq!(fs::read(store.path()).unwrap(), capped_bytes);
         let _ = fs::remove_dir_all(&dir);
     }
 

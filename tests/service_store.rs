@@ -11,14 +11,21 @@
 //!   crashing, and a rebuild-and-save restores a warm store,
 //! * **exact statistics** — the single-flight memo counts one miss per
 //!   computed key no matter how many threads race on it, which is what
-//!   makes the hit-rate acceptance number meaningful.
+//!   makes the hit-rate acceptance number meaningful,
+//! * **concurrent coalescing** — any number of clients racing overlapping
+//!   and identical sweeps on one shared service get payloads
+//!   byte-identical to the single-threaded CLI, while the flight
+//!   statistics prove each unique point was computed exactly once,
+//! * **compaction** — a `--store-cap` save keeps the most recently
+//!   touched entries, and a reload of the compacted store answers the
+//!   recent plan fully warm from ≤ cap entries.
 
 use std::fs;
 use std::sync::Arc;
 
 use cloverleaf_wa::cachesim::FlightMemo;
 use cloverleaf_wa::core::SweepMemo;
-use cloverleaf_wa::scenario::{run_plan_memo, SweepArgs};
+use cloverleaf_wa::scenario::{render_block, run_plan_memo, SweepArgs};
 use cloverleaf_wa::service::{model_hash, LoadOutcome, PersistentStore, Response, SweepService};
 use proptest::prelude::*;
 
@@ -150,7 +157,8 @@ fn truncated_and_corrupt_stores_rebuild_and_resave() {
 fn serve_loop_answers_batched_clients_with_framed_payloads() {
     // The in-memory daemon loop: a client batch of ping + two identical
     // sweeps + stats + quit, answered in order with framed payloads.  The
-    // two sweep payloads must be the same bytes — the second one warm.
+    // two sweep payloads must be the same bytes — the second one answered
+    // from the response cache without touching the memo.
     let service = SweepService::new();
     let batch = format!("ping\nsweep {SWEEP_FLAGS}\nsweep {SWEEP_FLAGS}\nstats\nquit\n");
     let mut out = Vec::new();
@@ -168,12 +176,74 @@ fn serve_loop_answers_batched_clients_with_framed_payloads() {
     assert_eq!(first, second, "repeated sweep is byte-identical");
     let tail = &rest2[len..];
     assert!(tail.contains("ok stats "), "{tail}");
-    // 3 stages × 12 ranks: the second sweep hits all 36 points.
+    // 3 stages × 12 ranks, computed once: the repeat request is a
+    // response-cache hit and never reaches the sweep memo.
     assert!(
-        tail.contains("sweep-hits 36"),
-        "second sweep fully warm: {tail}"
+        tail.contains("sweep-hits 0 sweep-misses 36"),
+        "repeat served above the memo: {tail}"
+    );
+    assert!(
+        tail.contains("response-hits 1 response-misses 1"),
+        "repeat is a response-cache hit: {tail}"
     );
     assert!(tail.ends_with("ok bye\n"), "quit without a store: {tail}");
+
+    // With the response cache disabled the repeat is served warm from the
+    // memo instead — the pre-PR10 daemon semantics stay reachable.
+    let service = SweepService::new().without_response_cache();
+    let mut out = Vec::new();
+    service.serve(batch.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("sweep-hits 36 sweep-misses 36"), "{text}");
+    assert!(text.contains("response-hits 0 response-misses 0"), "{text}");
+}
+
+#[test]
+fn compacted_store_reloads_warm_within_the_cap() {
+    // Compaction acceptance: after serving a 12-point plan and then a
+    // 6-point subset (which refreshes the subset's recency), a capped
+    // save keeps only the 6 most recently touched entries, and a fresh
+    // process loading the compacted store answers the subset fully warm.
+    let store = temp_store("compaction");
+    let full = "sweep --machine icx-8360y --grid 1920 --ranks 1..12";
+    let recent = "sweep --machine icx-8360y --grid 1920 --ranks 1..6";
+    let cap = 6;
+
+    let (cold, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::ColdMissing);
+    let cold = cold.with_store_cap(cap);
+    let Response::Payload(_) = cold.handle_request(full) else {
+        panic!("full sweep failed");
+    };
+    let Response::Payload(recent_bytes) = cold.handle_request(recent) else {
+        panic!("subset sweep failed");
+    };
+    let saved = cold.save().unwrap().expect("store is configured");
+    assert_eq!(saved, cap, "save is compacted to the cap");
+    match cold.handle_request("stats") {
+        Response::Line(line) => assert!(
+            line.contains("store-evictions 6 store-compactions 1"),
+            "compaction is counted: {line}"
+        ),
+        other => panic!("stats failed: {other:?}"),
+    }
+
+    // Fresh process: the compacted store holds ≤ cap entries, and the
+    // recently served plan replays fully warm and byte-identical.
+    let (warm, outcome) = SweepService::with_store(store.clone());
+    assert_eq!(outcome, LoadOutcome::Warm(cap), "entry count ≤ store cap");
+    let Response::Payload(warm_bytes) = warm.handle_request(recent) else {
+        panic!("warm subset sweep failed");
+    };
+    assert_eq!(warm_bytes, recent_bytes, "compaction never changes bytes");
+    let (hits, misses) = warm.sweep_memo().stats();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    assert!(
+        hit_rate >= 0.9,
+        "acceptance: compacted reload ≥ 90% warm, got {hits} hits / {misses} misses"
+    );
+
+    let _ = fs::remove_dir_all(store.path().parent().unwrap());
 }
 
 proptest! {
@@ -212,5 +282,85 @@ proptest! {
             "every lookup is either a hit or a miss"
         );
         prop_assert_eq!(memo.len(), keys);
+    }
+}
+
+proptest! {
+    /// The coalescing acceptance property of the pipelined daemon: any
+    /// number of clients racing overlapping *and* identical sweeps on one
+    /// shared service receive payloads byte-identical to what
+    /// `figures sweep` prints for the same flags, in every interleaving —
+    /// and the flight statistics prove the coalescing was real: across
+    /// all clients and rounds, each unique (scenario, point) key was
+    /// computed exactly once.
+    #[test]
+    fn concurrent_clients_get_cli_bytes_and_compute_each_point_once(
+        clients in 2usize..5,
+        nspans in 1usize..4,
+        s1 in 1u32..4, l1 in 1u32..5,
+        s2 in 1u32..4, l2 in 1u32..5,
+        s3 in 1u32..4, l3 in 1u32..5,
+        rounds in 1usize..3,
+    ) {
+        let spans: Vec<(u32, u32)> = [(s1, l1), (s2, l2), (s3, l3)][..nspans].to_vec();
+        // Overlapping rank windows of one scenario family, plus a
+        // respelled duplicate of the first window (explicit defaults and
+        // a different --jobs) that must collapse onto the same canonical
+        // response identity.
+        let mut variants: Vec<String> = spans
+            .iter()
+            .map(|(start, len)| {
+                format!("--machine icx-8360y --grid 1920 --ranks {start}..{}", start + len)
+            })
+            .collect();
+        variants.push(format!("{} --stage original --jobs 3", variants[0]));
+
+        // The single-threaded CLI path: the reference bytes per variant.
+        let expected: Vec<String> = variants
+            .iter()
+            .map(|flags| {
+                let words: Vec<String> =
+                    flags.split_whitespace().map(str::to_string).collect();
+                let parsed = SweepArgs::parse(&words).unwrap();
+                let artifacts = run_plan_memo(&parsed.plan, parsed.jobs, &SweepMemo::new());
+                artifacts.iter().map(render_block).collect()
+            })
+            .collect();
+
+        let service = Arc::new(SweepService::new());
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let service = Arc::clone(&service);
+                let variants = &variants;
+                let expected = &expected;
+                scope.spawn(move || {
+                    // Each client walks the variants from its own offset,
+                    // so identical requests race across clients.
+                    for r in 0..rounds {
+                        for v in 0..variants.len() {
+                            let idx = (c + r + v) % variants.len();
+                            match service.handle_request(&format!("sweep {}", variants[idx])) {
+                                Response::Payload(payload) => assert_eq!(
+                                    payload, expected[idx],
+                                    "client {c} round {r}: bytes differ from the CLI"
+                                ),
+                                other => panic!("client {c}: sweep failed: {other:?}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Every sweep-memo miss is one computed point; the union of the
+        // rank windows is exactly the unique key set.
+        let unique: std::collections::HashSet<u32> =
+            spans.iter().flat_map(|&(s, l)| s..=s + l).collect();
+        let (_, misses) = service.sweep_memo().stats();
+        prop_assert_eq!(
+            misses as usize,
+            unique.len(),
+            "each unique point computed exactly once across all clients"
+        );
     }
 }
